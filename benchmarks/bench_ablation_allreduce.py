@@ -1,0 +1,54 @@
+"""Ablation: ring versus tree all-reduce for gradient averaging.
+
+Horovod's choice of the ring algorithm (Patarasuk & Yuan) is motivated by
+bandwidth optimality.  This ablation times both collectives on the LSTM's
+gradient set and reports the modelled communication volume per rank.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.distributed.allreduce import ring_allreduce, tree_allreduce
+from repro.evaluation.report import format_table
+from repro.ml.models import build_lstm_classifier
+from repro.utils.random import spawn_rngs
+
+
+def _gradient_buffers(n_ranks=8):
+    model = build_lstm_classifier(rng=0)
+    n_params = model.n_parameters
+    rngs = spawn_rngs(1, n_ranks)
+    return [rng.normal(size=n_params) for rng in rngs], n_params
+
+
+def test_ablation_ring_vs_tree_allreduce(benchmark):
+    buffers, n_params = _gradient_buffers(8)
+
+    # Verify both collectives agree before timing.
+    ring_out = ring_allreduce(buffers)
+    tree_out = tree_allreduce(buffers)
+    np.testing.assert_allclose(ring_out[0], tree_out[0], atol=1e-9)
+
+    benchmark(ring_allreduce, buffers)
+
+    n = len(buffers)
+    bytes_per_rank_ring = 2 * (n - 1) / n * n_params * 4
+    bytes_per_rank_tree = np.log2(n) * n_params * 4
+    rows = [
+        {
+            "algorithm": "ring all-reduce",
+            "modelled bytes moved per rank": int(bytes_per_rank_ring),
+            "relative bandwidth cost": 1.0,
+        },
+        {
+            "algorithm": "tree reduce + broadcast",
+            "modelled bytes moved per rank": int(bytes_per_rank_tree),
+            "relative bandwidth cost": round(bytes_per_rank_tree / bytes_per_rank_ring, 2),
+        },
+    ]
+    text = format_table(rows, f"Ablation: all-reduce algorithm (8 ranks, {n_params} parameters)")
+    write_result("ablation_allreduce", text)
+    print("\n" + text)
+
+    # The ring moves less data per rank than the tree for 8 ranks.
+    assert bytes_per_rank_ring < bytes_per_rank_tree

@@ -1,0 +1,61 @@
+"""Ablation: which local sea-surface method is best against ground truth?
+
+The paper selects the NASA ATBD formulation because it gives the smoothest
+surface (Fig. 8a/9a).  With a simulated scene the true sea level is known, so
+this ablation also measures each method's absolute error and bias — the
+quantitative version of that design choice.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.evaluation.report import format_table
+from repro.freeboard.interpolation import interpolate_missing_windows, sea_surface_at
+from repro.freeboard.sea_surface import SEA_SURFACE_METHODS, estimate_sea_surface
+
+
+def test_ablation_sea_surface_methods(benchmark, pipeline_outputs):
+    beam_name = sorted(pipeline_outputs.classified)[0]
+    track = pipeline_outputs.classified[beam_name]
+    seg = track.segments
+    scene = pipeline_outputs.data.scene
+    truth_sea_level = scene.sea_level(seg.x_m, seg.y_m)
+
+    def evaluate_all_methods():
+        results = {}
+        for method in SEA_SURFACE_METHODS:
+            estimate = estimate_sea_surface(
+                seg.center_along_track_m,
+                seg.height_mean_m,
+                seg.height_error_m(),
+                track.labels,
+                method=method,
+            )
+            estimate = interpolate_missing_windows(estimate)
+            surface = sea_surface_at(estimate, seg.center_along_track_m)
+            results[method] = {
+                "bias_m": float(np.nanmean(surface - truth_sea_level)),
+                "mae_m": float(np.nanmean(np.abs(surface - truth_sea_level))),
+                "smoothness_m": estimate.smoothness(),
+            }
+        return results
+
+    results = benchmark(evaluate_all_methods)
+
+    rows = [
+        {
+            "method": method,
+            "bias (m)": round(stats["bias_m"], 3),
+            "MAE vs true sea level (m)": round(stats["mae_m"], 3),
+            "smoothness RMS (m)": round(stats["smoothness_m"], 4),
+        }
+        for method, stats in results.items()
+    ]
+    text = format_table(rows, "Ablation: local sea-surface estimation method (truth-referenced)")
+    write_result("ablation_sea_surface_methods", text)
+    print("\n" + text)
+
+    # The minimum-elevation method is biased low (inflating freeboard);
+    # the averaging-based methods are closer to the truth.
+    assert results["minimum"]["bias_m"] <= results["average"]["bias_m"] + 1e-9
+    assert results["average"]["mae_m"] <= results["minimum"]["mae_m"] + 1e-9

@@ -1,0 +1,54 @@
+"""Benchmark / regeneration of Figs. 10-11: freeboard comparison ATL03 vs ATL07/ATL10.
+
+Regenerates the along-track freeboard series, the freeboard distributions and
+the point-density comparison, and times the full 2 m freeboard computation.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.evaluation.figures import figure10_11_freeboard_comparison
+from repro.evaluation.report import format_table
+from repro.freeboard.freeboard import compute_freeboard
+
+
+def test_fig10_11_freeboard_comparison(benchmark, pipeline_outputs):
+    beam_name = sorted(pipeline_outputs.classified)[0]
+    track = pipeline_outputs.classified[beam_name]
+
+    # Benchmark the end-to-end freeboard computation for the classified track.
+    benchmark(compute_freeboard, track.segments, track.labels)
+
+    fig = figure10_11_freeboard_comparison(pipeline_outputs, beam_name)
+    comparison = fig["comparison"]
+    rows = [
+        {
+            "product": "ATL03 2 m freeboard (this work)",
+            "mean freeboard (m)": comparison["atl03_mean_freeboard_m"],
+            "mode freeboard (m)": comparison["atl03_mode_freeboard_m"],
+            "points/km": comparison["atl03_points_per_km"],
+        },
+        {
+            "product": "ATL10 (150-photon baseline)",
+            "mean freeboard (m)": comparison["baseline_mean_freeboard_m"],
+            "mode freeboard (m)": comparison["baseline_mode_freeboard_m"],
+            "points/km": comparison["baseline_points_per_km"],
+        },
+    ]
+    text = format_table(rows, f"Figs. 10-11: freeboard comparison along track {fig['beam']}")
+    text += (
+        f"\n\nPoint-density ratio: {comparison['density_ratio']}x"
+        f"\nSea-surface |difference| vs ATL07: {comparison['sea_surface_mean_abs_difference_m']} m"
+        f"\nATL07 mean segment length: {fig['atl07_mean_segment_length_m']:.1f} m"
+    )
+    write_result("fig10_11_freeboard", text)
+    print("\n" + text)
+
+    # Shape assertions: far denser product, physically plausible freeboards,
+    # distribution mass concentrated below ~1 m.
+    assert comparison["density_ratio"] > 8.0
+    assert 0.0 < comparison["atl03_mean_freeboard_m"] < 1.2
+    assert 0.0 < comparison["baseline_mean_freeboard_m"] < 1.2
+    atl03_dist = np.array(fig["atl03_distribution"])
+    bins = np.array(fig["distribution_bins_m"])
+    assert atl03_dist[bins < 1.0].sum() > 0.8

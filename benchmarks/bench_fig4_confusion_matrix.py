@@ -1,0 +1,39 @@
+"""Benchmark / regeneration of Fig. 4: the sea-ice classification confusion matrix."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.evaluation.figures import figure4_confusion_matrix
+from repro.evaluation.report import format_table
+from repro.ml.metrics import classification_report
+
+
+def test_fig4_confusion_matrix(benchmark, pipeline_outputs):
+    classifier = pipeline_outputs.classifier
+    fig = figure4_confusion_matrix(classifier)
+
+    # Benchmark the metric computation itself on the held-out predictions.
+    cm = np.array(fig["confusion_counts"])
+    y_true = np.repeat(np.arange(3), cm.sum(axis=1))
+    y_pred = np.concatenate([np.repeat(np.arange(3), cm[i]) for i in range(3)])
+    benchmark(classification_report, y_true, y_pred, 3)
+
+    rows = [
+        {
+            "true class": name,
+            "thick_ice": fig["confusion_normalized"][i][0],
+            "thin_ice": fig["confusion_normalized"][i][1],
+            "open_water": fig["confusion_normalized"][i][2],
+            "per-class accuracy (%)": fig["per_class_accuracy_percent"][i],
+        }
+        for i, name in enumerate(fig["class_names"])
+    ]
+    text = format_table(rows, "Fig. 4: row-normalised confusion matrix (LSTM, held-out 20%)")
+    text += f"\n\nOverall accuracy: {fig['overall_accuracy_percent']:.2f} %"
+    write_result("fig4_confusion_matrix", text)
+    print("\n" + text)
+
+    # Shape: thick ice (the dominant class) is classified best, as in the paper.
+    per_class = fig["per_class_accuracy_percent"]
+    assert per_class[0] > 85.0
+    assert fig["overall_accuracy_percent"] > 80.0

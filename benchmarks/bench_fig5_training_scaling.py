@@ -1,0 +1,50 @@
+"""Benchmark / regeneration of Fig. 5: distributed-training scaling curves.
+
+The four panels (speedup, total time, throughput, time per epoch) are
+regenerated from the calibrated DGX timing model; the benchmark clock times
+the ring all-reduce of a full LSTM gradient set — the communication kernel
+whose cost shapes the curves.
+"""
+
+from conftest import write_result
+
+from repro.distributed.allreduce import ring_allreduce_average
+from repro.evaluation.figures import figure5_training_scaling
+from repro.evaluation.report import format_table
+from repro.ml.models import build_lstm_classifier
+from repro.utils.random import spawn_rngs
+
+
+def test_fig5_training_scaling(benchmark):
+    fig = figure5_training_scaling()
+
+    # Benchmark: ring all-reduce of the paper-architecture LSTM gradients
+    # across 8 simulated ranks.
+    rngs = spawn_rngs(0, 8)
+    rank_grads = []
+    for rng in rngs:
+        model = build_lstm_classifier(rng=rng)
+        rank_grads.append([rng.normal(size=p.shape) for p in model.params])
+    benchmark(ring_allreduce_average, rank_grads)
+
+    rows = [
+        {
+            "GPUs": n,
+            "speedup": s,
+            "ideal": i,
+            "total time (s)": t,
+            "data/s": d,
+            "time/epoch (s)": e,
+        }
+        for n, s, i, t, d, e in zip(
+            fig["n_gpus"], fig["speedup"], fig["ideal_speedup"],
+            fig["total_time_s"], fig["samples_per_second"], fig["time_per_epoch_s"],
+        )
+    ]
+    text = format_table(rows, "Fig. 5: distributed training scaling (modelled DGX A100)")
+    write_result("fig5_training_scaling", text)
+    print("\n" + text)
+
+    # Near-linear speedup that flattens slightly at 8 GPUs, as in the paper.
+    assert fig["speedup"][-1] > 6.5
+    assert fig["speedup"][-1] < fig["ideal_speedup"][-1]

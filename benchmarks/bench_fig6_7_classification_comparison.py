@@ -1,0 +1,48 @@
+"""Benchmark / regeneration of Figs. 6-7: ATL03 vs ATL07 classification density.
+
+The paper's Figs. 6 and 7 plot the per-segment surface classes of the 2 m
+ATL03 product against the emulated ATL07 product for two tracks, showing the
+ATL03 product is far denser.  This benchmark regenerates the density and
+class-fraction comparison and times the full-track inference pass that
+produces the ATL03 classification.
+"""
+
+from conftest import write_result
+
+from repro.classification.pipeline import InferencePipeline
+from repro.config import CLASS_NAMES
+from repro.evaluation.figures import figure6_7_classification_comparison
+from repro.evaluation.report import format_table
+
+
+def test_fig6_7_classification_comparison(benchmark, pipeline_outputs):
+    beam_name = sorted(pipeline_outputs.classified)[0]
+    beam = pipeline_outputs.data.granule.beam(beam_name)
+    pipeline = InferencePipeline(pipeline_outputs.classifier)
+
+    # Benchmark: classify the whole beam (resample -> features -> LSTM).
+    benchmark(pipeline.classify_beam, beam)
+
+    comparison = figure6_7_classification_comparison(pipeline_outputs, beam_name)
+    fractions = comparison.class_fractions()
+    rows = [
+        {
+            "product": "ATL03 (2 m, this work)",
+            "segments": comparison.atl03_labels.size,
+            "points/km": round(comparison.atl03_points_per_km, 1),
+            **{CLASS_NAMES[c]: round(fractions["atl03"].get(c, 0.0), 3) for c in range(3)},
+        },
+        {
+            "product": "ATL07 (150-photon baseline)",
+            "segments": comparison.atl07_labels.size,
+            "points/km": round(comparison.atl07_points_per_km, 1),
+            **{CLASS_NAMES[c]: round(fractions["atl07"].get(c, 0.0), 3) for c in range(3)},
+        },
+    ]
+    text = format_table(rows, f"Figs. 6-7: classification comparison along track {comparison.track_name}")
+    text += f"\n\nPoint-density ratio (ATL03 / ATL07): {comparison.density_ratio:.1f}x"
+    write_result("fig6_7_classification_comparison", text)
+    print("\n" + text)
+
+    # The headline shape: the 2 m product is at least an order of magnitude denser.
+    assert comparison.density_ratio > 8.0

@@ -1,0 +1,55 @@
+"""Benchmark / regeneration of Figs. 8-9: local sea-surface comparison.
+
+Regenerates (a) the local sea surface from the four estimation methods over
+the classified 2 m segments and (b) the comparison of the NASA-method ATL03
+sea surface with the emulated ATL07 sea surface, and times the NASA-method
+estimation — the stage the freeboard computation depends on.
+"""
+
+from conftest import write_result
+
+from repro.evaluation.figures import figure8_9_sea_surface_comparison
+from repro.evaluation.report import format_table
+from repro.freeboard.sea_surface import estimate_sea_surface
+
+
+def test_fig8_9_sea_surface_comparison(benchmark, pipeline_outputs):
+    beam_name = sorted(pipeline_outputs.classified)[0]
+    track = pipeline_outputs.classified[beam_name]
+    seg = track.segments
+
+    # Benchmark the NASA-method sea-surface estimation over the whole track.
+    benchmark(
+        estimate_sea_surface,
+        seg.center_along_track_m,
+        seg.height_mean_m,
+        seg.height_error_m(),
+        track.labels,
+        "nasa",
+    )
+
+    fig = figure8_9_sea_surface_comparison(pipeline_outputs, beam_name)
+    rows = [
+        {
+            "method": method,
+            "windows": len(fig["methods"][method]["centers_m"]),
+            "mean height (m)": round(
+                sum(fig["methods"][method]["heights_m"]) / max(len(fig["methods"][method]["heights_m"]), 1), 3
+            ),
+            "smoothness RMS (m)": round(fig["smoothness_m"][method], 4),
+        }
+        for method in fig["methods"]
+    ]
+    text = format_table(rows, f"Figs. 8-9: local sea surface methods along track {fig['beam']}")
+    text += (
+        "\n\nMean |ATL03 (NASA method) - ATL07| sea-surface difference: "
+        f"{fig['mean_abs_difference_vs_atl07_m']:.3f} m "
+        "(paper reports 'a little over 0.1 m')"
+    )
+    write_result("fig8_9_sea_surface", text)
+    print("\n" + text)
+
+    # Shape assertions: every method produces windows, and the ATL03/ATL07
+    # difference is decimetre-scale on this lead-rich track.
+    assert all(len(fig["methods"][m]["centers_m"]) >= 3 for m in fig["methods"])
+    assert fig["mean_abs_difference_vs_atl07_m"] < 0.4

@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Table I: IS2-S2 coincident pairs.
+
+Regenerates the eight Ross Sea pairs (acquisition times, time differences and
+drift shifts) and benchmarks the temporal matcher that produces them from the
+two acquisition catalogues.
+"""
+
+from conftest import write_result
+
+from repro.evaluation.report import format_table
+from repro.evaluation.tables import regenerate_table1
+from repro.labeling.pairs import TABLE_I_PAIRS, find_coincident_pairs
+
+
+def test_table1_coincident_pair_matching(benchmark):
+    """Time the IS2/S2 temporal matching and regenerate Table I."""
+    is2_times = [p.is2_time for p in TABLE_I_PAIRS]
+    s2_times = [p.s2_time for p in TABLE_I_PAIRS]
+
+    matches = benchmark(find_coincident_pairs, is2_times, s2_times, 80.0)
+
+    assert len(matches) == 8
+    rows = regenerate_table1()
+    text = format_table(rows, "Table I: IS2 ATL03 / S2 coincident pairs (Ross Sea, Nov 2019)")
+    write_result("table1_coincident_pairs", text)
+    print("\n" + text)

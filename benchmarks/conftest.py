@@ -1,0 +1,74 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has a dedicated ``bench_*`` module.  The expensive
+end-to-end pipeline (scene -> granule -> auto-label -> train -> classify ->
+freeboard) is executed once per benchmark session and shared; each benchmark
+then times its own stage and writes the regenerated table/figure rows to
+``benchmarks/results/`` so they can be compared against the paper (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.surface.scene import SceneConfig
+from repro.workflow.end_to_end import ExperimentConfig, prepare_experiment_data, run_end_to_end
+
+#: Directory where each benchmark writes its regenerated rows.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a regenerated table/figure as plain text under results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def benchmark_experiment_config(seed: int = 42) -> ExperimentConfig:
+    """The experiment sizing used by the evaluation benchmarks.
+
+    A 20 km x 20 km lead-rich scene (the paper's comparison tracks cross wide
+    leads and polynyas) with a single strong beam and five training epochs —
+    large enough to be representative, small enough to finish in seconds.
+    """
+    return ExperimentConfig(
+        scene=SceneConfig(
+            width_m=20_000.0,
+            height_m=20_000.0,
+            open_water_fraction=0.14,
+            thin_ice_fraction=0.18,
+            thick_ice_fraction=0.68,
+            n_leads=14,
+            seed=seed,
+        ),
+        epochs=5,
+        seed=seed,
+        drift_m=(150.0, 250.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    return benchmark_experiment_config()
+
+
+@pytest.fixture(scope="session")
+def experiment_data(experiment_config):
+    """Stage-1 curated data (scene, granule, S2, auto-labels)."""
+    return prepare_experiment_data(experiment_config)
+
+
+@pytest.fixture(scope="session")
+def pipeline_outputs(experiment_config):
+    """The complete end-to-end pipeline outputs shared by the figure benches."""
+    return run_end_to_end(experiment_config)

@@ -1,0 +1,52 @@
+"""repro: scalable higher-resolution polar sea-ice classification and freeboard
+calculation from ICESat-2 ATL03 data.
+
+A from-scratch reproduction of Iqrah et al. (IPDPS 2025).  The package
+provides:
+
+* simulated ATL03 photon granules and Sentinel-2 scenes over a shared
+  ground-truth Ross Sea ice surface (:mod:`repro.surface`,
+  :mod:`repro.atl03`, :mod:`repro.sentinel2`);
+* 2 m along-track resampling, feature extraction and 150-photon aggregation
+  (:mod:`repro.resampling`);
+* S2-based auto-labeling with drift correction (:mod:`repro.labeling`);
+* LSTM / MLP classifiers built on a NumPy neural-network stack
+  (:mod:`repro.ml`, :mod:`repro.classification`);
+* map-reduce and data-parallel training substrates with calibrated cluster /
+  multi-GPU timing models (:mod:`repro.distributed`);
+* local sea-surface detection and freeboard retrieval
+  (:mod:`repro.freeboard`), with emulated ATL07/ATL10 baselines
+  (:mod:`repro.products`);
+* end-to-end orchestration and table/figure regeneration
+  (:mod:`repro.workflow`, :mod:`repro.evaluation`).
+
+Quick start::
+
+    from repro.workflow import ExperimentConfig, run_end_to_end
+
+    outputs = run_end_to_end(ExperimentConfig(epochs=3, seed=0))
+    print(outputs.classifier.report.as_row("LSTM"))
+"""
+
+from repro import config
+from repro.config import (
+    CLASS_NAMES,
+    CLASS_OPEN_WATER,
+    CLASS_THICK_ICE,
+    CLASS_THIN_ICE,
+    CLASS_UNLABELED,
+    N_CLASSES,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config",
+    "CLASS_NAMES",
+    "CLASS_OPEN_WATER",
+    "CLASS_THICK_ICE",
+    "CLASS_THIN_ICE",
+    "CLASS_UNLABELED",
+    "N_CLASSES",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""ATL03 substrate: photon-level data containers, simulator and I/O.
+
+The real ATL03 product is an HDF5 granule of geolocated photons per beam.
+This package provides an equivalent in-memory representation
+(:class:`~repro.atl03.granule.BeamData`, :class:`~repro.atl03.granule.Granule`),
+a physically-motivated photon simulator that produces those records from a
+ground-truth :class:`~repro.surface.IceScene`, signal-confidence and
+background-rate computation, and a compressed on-disk format so granules can
+be written and reloaded by the parallel workflows.
+"""
+
+from repro.atl03.granule import BeamData, Granule
+from repro.atl03.simulator import ATL03SimulatorConfig, simulate_beam, simulate_granule
+from repro.atl03.confidence import SIGNAL_CONF_HIGH, SIGNAL_CONF_LOW, SIGNAL_CONF_MEDIUM, classify_confidence
+from repro.atl03.background import background_rate_per_shot, estimate_background_factor
+from repro.atl03.io import load_granule, save_granule
+
+__all__ = [
+    "BeamData",
+    "Granule",
+    "ATL03SimulatorConfig",
+    "simulate_beam",
+    "simulate_granule",
+    "SIGNAL_CONF_HIGH",
+    "SIGNAL_CONF_MEDIUM",
+    "SIGNAL_CONF_LOW",
+    "classify_confidence",
+    "background_rate_per_shot",
+    "estimate_background_factor",
+    "load_granule",
+    "save_granule",
+]

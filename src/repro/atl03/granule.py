@@ -1,0 +1,221 @@
+"""In-memory containers for ATL03-like photon data.
+
+The design follows a struct-of-arrays layout: every per-photon attribute is a
+flat, contiguous NumPy array on a :class:`BeamData`.  A :class:`Granule`
+groups the beams of one pass (the study uses the three strong beams) together
+with acquisition metadata.  All downstream stages (resampling, labeling,
+classification, freeboard) operate on these arrays, never on per-photon
+Python objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d, ensure_same_length
+
+
+#: Per-photon attribute names stored on a beam, in canonical order.
+PHOTON_FIELDS = (
+    "along_track_m",
+    "height_m",
+    "lat_deg",
+    "lon_deg",
+    "x_m",
+    "y_m",
+    "delta_time_s",
+    "signal_conf",
+    "is_signal",
+    "background_rate_hz",
+)
+
+
+@dataclass
+class BeamData:
+    """Photon records of one beam.
+
+    Attributes
+    ----------
+    name:
+        Beam identifier, e.g. ``"gt1r"``, ``"gt2r"``, ``"gt3r"``.
+    along_track_m:
+        Along-track distance of each photon from the start of the track, m.
+    height_m:
+        Photon height relative to the (corrected) reference surface, m.
+    lat_deg, lon_deg:
+        Geodetic coordinates of each photon.
+    x_m, y_m:
+        Antarctic polar stereographic coordinates of each photon.
+    delta_time_s:
+        Time of each photon relative to the granule start, s.
+    signal_conf:
+        ATL03-style signal confidence, 0 (noise) .. 4 (high confidence).
+    is_signal:
+        Ground-truth flag from the simulator: True for surface returns.
+    background_rate_hz:
+        Estimated background photon rate at each photon's shot.
+    truth_class:
+        Ground-truth surface class per photon (simulator only; -1 when
+        unknown).  Real granules do not carry this; it is used solely by
+        tests and evaluation.
+    """
+
+    name: str
+    along_track_m: np.ndarray
+    height_m: np.ndarray
+    lat_deg: np.ndarray
+    lon_deg: np.ndarray
+    x_m: np.ndarray
+    y_m: np.ndarray
+    delta_time_s: np.ndarray
+    signal_conf: np.ndarray
+    is_signal: np.ndarray
+    background_rate_hz: np.ndarray
+    truth_class: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        arrays = [
+            self.along_track_m,
+            self.height_m,
+            self.lat_deg,
+            self.lon_deg,
+            self.x_m,
+            self.y_m,
+            self.delta_time_s,
+            self.signal_conf,
+            self.is_signal,
+            self.background_rate_hz,
+        ]
+        arrays = [ensure_1d(a, name) for a, name in zip(arrays, PHOTON_FIELDS)]
+        ensure_same_length(*arrays, names=PHOTON_FIELDS)
+        (
+            self.along_track_m,
+            self.height_m,
+            self.lat_deg,
+            self.lon_deg,
+            self.x_m,
+            self.y_m,
+            self.delta_time_s,
+            self.signal_conf,
+            self.is_signal,
+            self.background_rate_hz,
+        ) = (
+            np.ascontiguousarray(arrays[0], dtype=np.float64),
+            np.ascontiguousarray(arrays[1], dtype=np.float64),
+            np.ascontiguousarray(arrays[2], dtype=np.float64),
+            np.ascontiguousarray(arrays[3], dtype=np.float64),
+            np.ascontiguousarray(arrays[4], dtype=np.float64),
+            np.ascontiguousarray(arrays[5], dtype=np.float64),
+            np.ascontiguousarray(arrays[6], dtype=np.float64),
+            np.ascontiguousarray(arrays[7], dtype=np.int8),
+            np.ascontiguousarray(arrays[8], dtype=bool),
+            np.ascontiguousarray(arrays[9], dtype=np.float64),
+        )
+        if self.truth_class is None:
+            self.truth_class = np.full(self.n_photons, -1, dtype=np.int8)
+        else:
+            self.truth_class = np.ascontiguousarray(ensure_1d(self.truth_class, "truth_class"), dtype=np.int8)
+            if self.truth_class.shape[0] != self.n_photons:
+                raise ValueError("truth_class must have one entry per photon")
+        if not np.all(np.diff(self.along_track_m) >= 0):
+            raise ValueError("photons must be sorted by along-track distance")
+
+    @property
+    def n_photons(self) -> int:
+        return int(self.along_track_m.shape[0])
+
+    @property
+    def length_m(self) -> float:
+        """Along-track extent covered by the beam's photons."""
+        if self.n_photons == 0:
+            return 0.0
+        return float(self.along_track_m[-1] - self.along_track_m[0])
+
+    def select(self, mask: np.ndarray) -> "BeamData":
+        """Return a new beam containing only the photons where ``mask`` is True."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool or mask.shape != (self.n_photons,):
+            raise ValueError("mask must be a boolean array with one entry per photon")
+        return BeamData(
+            name=self.name,
+            along_track_m=self.along_track_m[mask],
+            height_m=self.height_m[mask],
+            lat_deg=self.lat_deg[mask],
+            lon_deg=self.lon_deg[mask],
+            x_m=self.x_m[mask],
+            y_m=self.y_m[mask],
+            delta_time_s=self.delta_time_s[mask],
+            signal_conf=self.signal_conf[mask],
+            is_signal=self.is_signal[mask],
+            background_rate_hz=self.background_rate_hz[mask],
+            truth_class=self.truth_class[mask],
+        )
+
+    def slice_along_track(self, start_m: float, stop_m: float) -> "BeamData":
+        """Photons whose along-track distance lies in ``[start_m, stop_m)``.
+
+        Uses ``searchsorted`` on the sorted along-track array so the slice is
+        a view-backed O(log n) operation, not a full-array mask.
+        """
+        if stop_m < start_m:
+            raise ValueError("stop_m must be >= start_m")
+        lo = int(np.searchsorted(self.along_track_m, start_m, side="left"))
+        hi = int(np.searchsorted(self.along_track_m, stop_m, side="left"))
+        idx = np.zeros(self.n_photons, dtype=bool)
+        idx[lo:hi] = True
+        return self.select(idx)
+
+    def signal_only(self, min_confidence: int = 3) -> "BeamData":
+        """Photons whose ATL03 signal confidence is at least ``min_confidence``."""
+        return self.select(self.signal_conf >= min_confidence)
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        """Flat dictionary of the photon arrays (used by the I/O layer)."""
+        out = {name: getattr(self, name) for name in PHOTON_FIELDS}
+        out["truth_class"] = self.truth_class
+        return out
+
+
+@dataclass
+class Granule:
+    """One simulated ATL03 granule: several beams plus acquisition metadata."""
+
+    granule_id: str
+    acquisition_time: datetime
+    beams: dict[str, BeamData]
+    release: str = "006"
+    region: str = "ross_sea"
+
+    def __post_init__(self) -> None:
+        if not self.beams:
+            raise ValueError("a granule must contain at least one beam")
+        if self.acquisition_time.tzinfo is None:
+            self.acquisition_time = self.acquisition_time.replace(tzinfo=timezone.utc)
+        for key, beam in self.beams.items():
+            if key != beam.name:
+                raise ValueError(f"beam dict key {key!r} does not match beam name {beam.name!r}")
+
+    @property
+    def beam_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.beams))
+
+    @property
+    def n_photons(self) -> int:
+        return int(sum(beam.n_photons for beam in self.beams.values()))
+
+    def beam(self, name: str) -> BeamData:
+        try:
+            return self.beams[name]
+        except KeyError:
+            raise KeyError(
+                f"granule {self.granule_id} has no beam {name!r}; available: {self.beam_names}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Granule({self.granule_id!r}, beams={list(self.beam_names)}, "
+            f"n_photons={self.n_photons})"
+        )

@@ -1,0 +1,76 @@
+"""Granule persistence.
+
+Real ATL03 granules are HDF5; h5py is not available offline, so granules are
+stored as compressed ``.npz`` archives with the same logical layout
+(`<beam>/<field>` datasets plus a small JSON metadata blob).  The format is
+self-describing and versioned so the parallel loaders can stream granules
+from disk exactly the way the paper's PySpark jobs read HDF5 from GCS.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+from pathlib import Path
+
+import numpy as np
+
+from repro.atl03.granule import PHOTON_FIELDS, BeamData, Granule
+
+#: On-disk format version; bumped if the layout changes.
+FORMAT_VERSION = 1
+
+
+def save_granule(granule: Granule, path: str | Path) -> Path:
+    """Write a granule to ``path`` (``.npz`` appended if missing).
+
+    Returns the final path written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {}
+    for name, beam in granule.beams.items():
+        for field, values in beam.as_dict().items():
+            arrays[f"{name}/{field}"] = values
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "granule_id": granule.granule_id,
+        "acquisition_time": granule.acquisition_time.isoformat(),
+        "release": granule.release,
+        "region": granule.region,
+        "beams": list(granule.beam_names),
+    }
+    arrays["__meta__"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_granule(path: str | Path) -> Granule:
+    """Load a granule previously written by :func:`save_granule`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"granule file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        if "__meta__" not in data:
+            raise ValueError(f"{path} is not a granule archive (missing metadata)")
+        meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+        version = meta.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported granule format version {version!r} (expected {FORMAT_VERSION})"
+            )
+        beams: dict[str, BeamData] = {}
+        for name in meta["beams"]:
+            kwargs = {field: data[f"{name}/{field}"] for field in PHOTON_FIELDS}
+            kwargs["truth_class"] = data[f"{name}/truth_class"]
+            beams[name] = BeamData(name=name, **kwargs)
+    return Granule(
+        granule_id=meta["granule_id"],
+        acquisition_time=datetime.fromisoformat(meta["acquisition_time"]),
+        beams=beams,
+        release=meta.get("release", "006"),
+        region=meta.get("region", "ross_sea"),
+    )

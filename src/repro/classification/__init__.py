@@ -1,0 +1,25 @@
+"""Sea-ice surface classification: deep-learning pipeline and decision-tree baseline.
+
+* :mod:`repro.classification.decision_tree` — the NASA-ATBD-style threshold
+  cascade used by the operational ATL07 product (the paper's baseline);
+* :mod:`repro.classification.pipeline` — the paper's inference workflow
+  (Fig. 3): preprocess a granule, resample to 2 m, extract features, build
+  LSTM sequences and classify every segment along the track.
+"""
+
+from repro.classification.decision_tree import DecisionTreeClassifier, DecisionTreeConfig
+from repro.classification.pipeline import (
+    ClassifiedTrack,
+    InferencePipeline,
+    TrainedClassifier,
+    train_classifier,
+)
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeConfig",
+    "ClassifiedTrack",
+    "InferencePipeline",
+    "TrainedClassifier",
+    "train_classifier",
+]

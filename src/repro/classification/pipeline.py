@@ -1,0 +1,189 @@
+"""Training and inference pipelines for the sea-ice classifiers (paper Fig. 3).
+
+:func:`train_classifier` turns labelled 2 m segments into a trained
+:class:`TrainedClassifier` (LSTM or MLP, with the feature normalisation
+statistics captured so inference uses the same scaling).
+:class:`InferencePipeline` runs the paper's Fig. 3 workflow on a raw beam:
+preprocess → 2 m resample → feature extraction → (sequence construction for
+the LSTM) → per-segment class prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.atl03.granule import BeamData, Granule
+from repro.config import (
+    DEFAULT_LSTM,
+    DEFAULT_MLP,
+    DEFAULT_TRAINING,
+    LSTMConfig,
+    MLPConfig,
+    N_CLASSES,
+    RESAMPLE_WINDOW_M,
+    TrainingConfig,
+)
+from repro.ml.dataset import Dataset, train_test_split
+from repro.ml.losses import class_balanced_alpha
+from repro.ml.metrics import ClassificationReport, classification_report
+from repro.ml.model import Sequential, TrainingHistory
+from repro.ml.models import build_lstm_classifier, build_mlp_classifier
+from repro.resampling.features import FEATURE_NAMES, feature_matrix, sequence_windows
+from repro.resampling.window import SegmentArray, resample_fixed_window
+from repro.utils.random import default_rng
+
+
+@dataclass
+class TrainedClassifier:
+    """A trained model plus everything needed to reuse it at inference time."""
+
+    model: Sequential
+    kind: str
+    feature_stats: tuple[np.ndarray, np.ndarray]
+    history: TrainingHistory
+    report: ClassificationReport
+    sequence_length: int = 1
+
+    @property
+    def accuracy(self) -> float:
+        return self.report.accuracy
+
+
+def _prepare_features(
+    segments: SegmentArray,
+    labels: np.ndarray,
+    kind: str,
+    sequence_length: int,
+    stats: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray, tuple[np.ndarray, np.ndarray]]:
+    """Feature matrix (or sequence tensor) and filtered labels for training."""
+    X, used_stats = feature_matrix(segments, normalize=True, stats=stats)
+    if kind == "lstm":
+        X = sequence_windows(X, sequence_length)
+    valid = labels >= 0
+    return X[valid], labels[valid], used_stats
+
+
+def train_classifier(
+    segments: SegmentArray,
+    labels: np.ndarray,
+    kind: str = "lstm",
+    lstm_config: LSTMConfig = DEFAULT_LSTM,
+    mlp_config: MLPConfig = DEFAULT_MLP,
+    training: TrainingConfig = DEFAULT_TRAINING,
+    epochs: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> TrainedClassifier:
+    """Train the LSTM or MLP classifier on labelled 2 m segments.
+
+    Parameters
+    ----------
+    segments:
+        Resampled 2 m segments of one or more beams (concatenated).
+    labels:
+        Per-segment class labels; ``-1`` marks unlabeled segments, which are
+        excluded from training and evaluation.
+    kind:
+        ``"lstm"`` or ``"mlp"``.
+    epochs:
+        Override of ``training.epochs`` (useful for quick tests).
+
+    Returns
+    -------
+    TrainedClassifier
+        The fitted model with its held-out evaluation report (80/20 split as
+        in the paper).
+    """
+    if kind not in ("lstm", "mlp"):
+        raise ValueError("kind must be 'lstm' or 'mlp'")
+    labels = np.asarray(labels)
+    if labels.shape[0] != segments.n_segments:
+        raise ValueError("labels must have one entry per segment")
+    rng = default_rng(rng if rng is not None else training.seed)
+
+    seq_len = lstm_config.sequence_length if kind == "lstm" else 1
+    X, y, stats = _prepare_features(segments, labels, kind, seq_len)
+    if X.shape[0] < 10:
+        raise ValueError("not enough labelled segments to train a classifier")
+
+    X_train, y_train, X_test, y_test = train_test_split(
+        X, y, test_fraction=training.validation_fraction, stratify=True, rng=rng
+    )
+    alpha = class_balanced_alpha(y_train, N_CLASSES)
+
+    if kind == "lstm":
+        model = build_lstm_classifier(lstm_config, training, class_weights=alpha, rng=rng)
+    else:
+        model = build_mlp_classifier(mlp_config, training, class_weights=alpha, rng=rng)
+
+    history = model.fit(
+        Dataset(X_train, y_train),
+        epochs=epochs if epochs is not None else training.epochs,
+        batch_size=training.batch_size,
+        validation=Dataset(X_test, y_test),
+        rng=rng,
+    )
+    y_pred = model.predict(X_test)
+    report = classification_report(y_test.astype(int), y_pred, n_classes=N_CLASSES)
+    return TrainedClassifier(
+        model=model,
+        kind=kind,
+        feature_stats=stats,
+        history=history,
+        report=report,
+        sequence_length=seq_len,
+    )
+
+
+@dataclass
+class ClassifiedTrack:
+    """Per-segment classification of one beam (the pipeline output)."""
+
+    segments: SegmentArray
+    labels: np.ndarray
+    probabilities: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.labels.shape[0])
+
+    def class_fractions(self) -> dict[int, float]:
+        values, counts = np.unique(self.labels, return_counts=True)
+        total = float(self.labels.size)
+        return {int(v): float(c) / total for v, c in zip(values, counts)}
+
+
+class InferencePipeline:
+    """The paper's Fig. 3 inference workflow for whole beams/granules."""
+
+    def __init__(
+        self,
+        classifier: TrainedClassifier,
+        window_length_m: float = RESAMPLE_WINDOW_M,
+        min_confidence: int = 3,
+    ) -> None:
+        self.classifier = classifier
+        self.window_length_m = window_length_m
+        self.min_confidence = min_confidence
+
+    def classify_beam(self, beam: BeamData) -> ClassifiedTrack:
+        """Resample one beam to 2 m segments and classify every segment."""
+        segments = resample_fixed_window(
+            beam, window_length_m=self.window_length_m, min_confidence=self.min_confidence
+        )
+        return self.classify_segments(segments)
+
+    def classify_segments(self, segments: SegmentArray) -> ClassifiedTrack:
+        """Classify already-resampled segments."""
+        X, _ = feature_matrix(segments, normalize=True, stats=self.classifier.feature_stats)
+        if self.classifier.kind == "lstm":
+            X = sequence_windows(X, self.classifier.sequence_length)
+        probs = self.classifier.model.predict_proba(X)
+        labels = np.argmax(probs, axis=1).astype(np.int8)
+        return ClassifiedTrack(segments=segments, labels=labels, probabilities=probs)
+
+    def classify_granule(self, granule: Granule) -> dict[str, ClassifiedTrack]:
+        """Classify every beam of a granule; returns a beam-name keyed mapping."""
+        return {name: self.classify_beam(beam) for name, beam in granule.beams.items()}

@@ -1,0 +1,207 @@
+"""Global configuration constants and parameter containers.
+
+These values mirror the settings reported in the paper:
+
+* Ross Sea region of interest (longitude -180 .. -140, latitude -78 .. -70).
+* 2 m along-track resampling window.
+* 10 km sliding windows with 5 km overlap for local sea-surface detection.
+* LSTM / MLP hyper-parameters (Adam lr = 0.003, dropout 0.2, batch size 32,
+  20 epochs, focal loss).
+* The coincident IS2/S2 pair table (Table I) lives in
+  :mod:`repro.labeling.pairs` and references these constants.
+
+All parameter containers are frozen dataclasses so that experiment
+configurations are hashable, comparable and safe to share across worker
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Region of interest (paper Section III.A.1)
+# ---------------------------------------------------------------------------
+
+#: Ross Sea spatial extent used throughout the paper.
+ROSS_SEA_LON_MIN = -180.0
+ROSS_SEA_LON_MAX = -140.0
+ROSS_SEA_LAT_MIN = -78.0
+ROSS_SEA_LAT_MAX = -70.0
+
+#: EPSG code of the Antarctic polar stereographic projection used to overlay
+#: IS2 tracks on S2 images (paper Section III.A.3).
+EPSG_ANTARCTIC_POLAR_STEREO = 3976
+
+# ---------------------------------------------------------------------------
+# ATL03 instrument characteristics (paper Section I)
+# ---------------------------------------------------------------------------
+
+#: Nominal ATL03 footprint diameter in metres.
+ATL03_FOOTPRINT_M = 11.0
+
+#: Nominal along-track photon spacing in metres for a strong beam.
+ATL03_ALONG_TRACK_SPACING_M = 0.7
+
+#: Number of strong beams used by the study.
+N_STRONG_BEAMS = 3
+
+#: Number of signal photons aggregated by the ATL07/ATL10 products.
+ATL07_PHOTON_AGGREGATION = 150
+
+# ---------------------------------------------------------------------------
+# Resampling / sea-surface parameters (paper Sections III.A.2, III.D.1)
+# ---------------------------------------------------------------------------
+
+#: Along-track resampling window length in metres (the paper's 2 m sampling).
+RESAMPLE_WINDOW_M = 2.0
+
+#: Radius of the local sea-surface search window in metres (5 km).
+SEA_SURFACE_WINDOW_RADIUS_M = 5_000.0
+
+#: Full length of the local sea-surface window in metres (10 km).
+SEA_SURFACE_WINDOW_LENGTH_M = 10_000.0
+
+#: Sliding overlap between consecutive sea-surface windows in metres (5 km).
+SEA_SURFACE_WINDOW_OVERLAP_M = 5_000.0
+
+#: Maximum temporal separation between coincident IS2 and S2 acquisitions
+#: accepted for auto-labeling, in minutes (the paper uses an 80 minute
+#: window and Table I lists pairs below two hours).
+MAX_COINCIDENT_MINUTES = 80.0
+
+# ---------------------------------------------------------------------------
+# Surface classes
+# ---------------------------------------------------------------------------
+
+#: Integer label of thick (snow-covered) sea ice.
+CLASS_THICK_ICE = 0
+#: Integer label of thin ice.
+CLASS_THIN_ICE = 1
+#: Integer label of open water.
+CLASS_OPEN_WATER = 2
+#: Sentinel value for unlabeled / invalid segments.
+CLASS_UNLABELED = -1
+
+#: Human readable names indexed by class id.
+CLASS_NAMES = ("thick_ice", "thin_ice", "open_water")
+
+#: Number of surface classes predicted by the models.
+N_CLASSES = 3
+
+# ---------------------------------------------------------------------------
+# Model hyper-parameters (paper Sections III.B and IV.A)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters shared by the LSTM and MLP classifiers."""
+
+    learning_rate: float = 0.003
+    batch_size: int = 32
+    epochs: int = 20
+    dropout: float = 0.2
+    focal_gamma: float = 2.0
+    validation_fraction: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.learning_rate:
+            raise ValueError("learning_rate must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if not 0.0 < self.validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class LSTMConfig:
+    """Architecture of the paper's LSTM classifier.
+
+    The paper uses an LSTM layer with 16 units and ELU activation over
+    sequences of five neighbouring 2 m segments (n-2 .. n+2) with six
+    features each, followed by seven dense layers of
+    32, 96, 32, 16, 112, 48 and 64 units (ELU) and a three-way softmax
+    output.
+    """
+
+    lstm_units: int = 16
+    sequence_length: int = 5
+    n_features: int = 6
+    dense_units: tuple[int, ...] = (32, 96, 32, 16, 112, 48, 64)
+    n_classes: int = N_CLASSES
+    dropout: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.sequence_length % 2 != 1:
+            raise ValueError("sequence_length must be odd so the centre segment is defined")
+        if self.lstm_units <= 0 or self.n_features <= 0:
+            raise ValueError("lstm_units and n_features must be positive")
+
+
+@dataclass(frozen=True)
+class MLPConfig:
+    """Architecture of the paper's MLP classifier (32-unit dense, ReLU)."""
+
+    hidden_units: tuple[int, ...] = (32,)
+    n_features: int = 6
+    n_classes: int = N_CLASSES
+    dropout: float = 0.2
+
+
+# ---------------------------------------------------------------------------
+# Cluster / GPU configurations used for the scaling experiments
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Description of the simulated Google Cloud Dataproc cluster.
+
+    The paper uses one master plus three worker Intel N2 Cascade Lake nodes,
+    each with four cores, and reports scalability over ``executors`` in
+    {1, 2, 4} and ``cores`` per executor in {1, 2, 4}.
+    """
+
+    n_workers: int = 3
+    cores_per_worker: int = 4
+    executor_grid: tuple[int, ...] = (1, 2, 4)
+    cores_grid: tuple[int, ...] = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class GPUClusterConfig:
+    """Description of the simulated DGX A100 node used for Table IV."""
+
+    max_gpus: int = 8
+    gpu_counts: tuple[int, ...] = (1, 2, 4, 6, 8)
+
+
+@dataclass(frozen=True)
+class SeaSurfaceConfig:
+    """Parameters of the local sea-surface detection stage."""
+
+    window_length_m: float = SEA_SURFACE_WINDOW_LENGTH_M
+    window_overlap_m: float = SEA_SURFACE_WINDOW_OVERLAP_M
+    min_open_water_segments: int = 3
+    method: str = "nasa"
+
+    def __post_init__(self) -> None:
+        if self.window_overlap_m >= self.window_length_m:
+            raise ValueError("window_overlap_m must be smaller than window_length_m")
+        if self.min_open_water_segments < 1:
+            raise ValueError("min_open_water_segments must be >= 1")
+
+
+DEFAULT_TRAINING = TrainingConfig()
+DEFAULT_LSTM = LSTMConfig()
+DEFAULT_MLP = MLPConfig()
+DEFAULT_CLUSTER = ClusterConfig()
+DEFAULT_GPU_CLUSTER = GPUClusterConfig()
+DEFAULT_SEA_SURFACE = SeaSurfaceConfig()

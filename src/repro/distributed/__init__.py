@@ -1,0 +1,44 @@
+"""Parallel and distributed substrates.
+
+Replaces the paper's two scaling technologies with purpose-built equivalents:
+
+* :mod:`repro.distributed.mapreduce` — a mini map-reduce engine (the PySpark
+  replacement): deterministic partitioning, serial/threaded/process
+  executors, and per-stage load/map/reduce timing.
+* :mod:`repro.distributed.cluster` — a simulated Google-Cloud-Dataproc-style
+  cluster with a calibrated cost model that regenerates the shape of the
+  paper's Tables II and V on a single machine.
+* :mod:`repro.distributed.allreduce` — the ring all-reduce algorithm Horovod
+  uses for gradient averaging, implemented over in-process "ranks".
+* :mod:`repro.distributed.ddp` — synchronous data-parallel training
+  (the Horovod replacement) with per-rank shards, gradient all-reduce,
+  rank-0 weight broadcast, and a DGX-A100-calibrated timing model for the
+  multi-GPU speedup experiments (Table IV / Fig. 5).
+* :mod:`repro.distributed.speedup` — speedup/efficiency bookkeeping and
+  Amdahl/Gustafson reference curves used by the benchmarks.
+"""
+
+from repro.distributed.mapreduce import MapReduceEngine, MapReduceResult, partition_indices
+from repro.distributed.cluster import ClusterCostModel, ClusterSimulation, ScalingRow
+from repro.distributed.allreduce import ring_allreduce, ring_allreduce_average, tree_allreduce
+from repro.distributed.ddp import DistributedTrainer, DDPTimingModel, GpuScalingRow
+from repro.distributed.speedup import SpeedupTable, amdahl_speedup, gustafson_speedup, parallel_efficiency
+
+__all__ = [
+    "MapReduceEngine",
+    "MapReduceResult",
+    "partition_indices",
+    "ClusterCostModel",
+    "ClusterSimulation",
+    "ScalingRow",
+    "ring_allreduce",
+    "ring_allreduce_average",
+    "tree_allreduce",
+    "DistributedTrainer",
+    "DDPTimingModel",
+    "GpuScalingRow",
+    "SpeedupTable",
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "parallel_efficiency",
+]

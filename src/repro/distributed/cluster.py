@@ -1,0 +1,196 @@
+"""Simulated Dataproc-style cluster with a calibrated scaling cost model.
+
+The paper measures its PySpark stages on a four-node Google Cloud Dataproc
+cluster, sweeping 1-4 executors with 1-4 cores each (Tables II and V).  This
+container has a single CPU, so those wall-clock numbers cannot be measured
+directly; instead the cluster is *simulated*:
+
+1. the real map-reduce job is executed once with the serial executor of
+   :class:`~repro.distributed.mapreduce.MapReduceEngine` — this yields a
+   correct result and measured single-slot load/map/reduce baselines;
+2. a :class:`ClusterCostModel` extrapolates each ``(executors, cores)``
+   configuration from those baselines.
+
+The cost model is the standard shared-nothing map-reduce model:
+
+* *load* is dominated by reading and deserialising partitions in parallel
+  but keeps a small serial fraction (driver-side listing/scheduling), so it
+  follows Amdahl's law with ``load_serial_fraction``;
+* *map* is a tiny constant scheduling overhead (the paper's map column is
+  0.2-0.4 s regardless of configuration);
+* *reduce* (where the per-record work lives in the paper's jobs) is almost
+  perfectly parallel across ``executors * cores`` slots, with a small
+  additional per-executor benefit (separate nodes bring their own memory
+  bandwidth) captured by ``executor_bandwidth_benefit``.
+
+The defaults are calibrated to the paper's Table II: they reproduce the 9.0x
+load and 16.25x reduce speedups at 4 executors x 4 cores, and the
+corresponding 8.54x / 15.68x of Table V when the Table V baselines are used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.config import ClusterConfig, DEFAULT_CLUSTER
+from repro.distributed.mapreduce import MapReduceEngine, MapReduceResult
+
+
+@dataclass(frozen=True)
+class ClusterCostModel:
+    """Analytic cost model for one map-reduce stage on the simulated cluster."""
+
+    load_serial_fraction: float = 0.052
+    reduce_serial_fraction: float = 0.0
+    executor_bandwidth_benefit: float = 0.02
+    map_overhead_s: float = 0.3
+    min_time_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        for name in ("load_serial_fraction", "reduce_serial_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.executor_bandwidth_benefit < 0:
+            raise ValueError("executor_bandwidth_benefit must be non-negative")
+        if self.map_overhead_s < 0:
+            raise ValueError("map_overhead_s must be non-negative")
+
+    def load_time(self, baseline_s: float, executors: int, cores: int) -> float:
+        """Predicted load time for a configuration, given the 1x1 baseline."""
+        self._check(executors, cores)
+        slots = executors * cores
+        serial = self.load_serial_fraction * baseline_s
+        parallel = (1.0 - self.load_serial_fraction) * baseline_s / slots
+        return max(serial + parallel, self.min_time_s)
+
+    def map_time(self, executors: int, cores: int) -> float:
+        """Predicted map (scheduling) time — effectively constant."""
+        self._check(executors, cores)
+        return self.map_overhead_s
+
+    def reduce_time(self, baseline_s: float, executors: int, cores: int) -> float:
+        """Predicted reduce time for a configuration, given the 1x1 baseline."""
+        self._check(executors, cores)
+        slots = executors * cores
+        bandwidth = 1.0 + self.executor_bandwidth_benefit * (executors - 1)
+        serial = self.reduce_serial_fraction * baseline_s
+        parallel = (1.0 - self.reduce_serial_fraction) * baseline_s / (slots * bandwidth)
+        return max(serial + parallel, self.min_time_s)
+
+    @staticmethod
+    def _check(executors: int, cores: int) -> None:
+        if executors <= 0 or cores <= 0:
+            raise ValueError("executors and cores must be positive")
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One row of a Table II / Table V style scalability table."""
+
+    executors: int
+    cores: int
+    load_time_s: float
+    map_time_s: float
+    reduce_time_s: float
+    speedup_load: float
+    speedup_reduce: float
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "Executors": self.executors,
+            "Cores": self.cores,
+            "Load Time (s)": round(self.load_time_s, 1),
+            "Map Time (s)": round(self.map_time_s, 1),
+            "Reduce Time (s)": round(self.reduce_time_s, 1),
+            "Speedup Load": round(self.speedup_load, 2),
+            "Speedup Reduce": round(self.speedup_reduce, 2),
+        }
+
+
+class ClusterSimulation:
+    """Run a job once for correctness, then predict the scaling table."""
+
+    def __init__(
+        self,
+        cost_model: ClusterCostModel | None = None,
+        cluster: ClusterConfig = DEFAULT_CLUSTER,
+    ) -> None:
+        self.cost_model = cost_model if cost_model is not None else ClusterCostModel()
+        self.cluster = cluster
+
+    def run_baseline(
+        self,
+        load: Callable[[], Sequence],
+        map_fn: Callable,
+        reduce_fn: Callable,
+    ) -> MapReduceResult:
+        """Execute the job serially (single slot) and return the real result."""
+        engine = MapReduceEngine(n_partitions=1, executor="serial")
+        return engine.run(load, map_fn, reduce_fn)
+
+    def scaling_table(
+        self,
+        baseline_load_s: float,
+        baseline_reduce_s: float,
+        executor_grid: Sequence[int] | None = None,
+        cores_grid: Sequence[int] | None = None,
+    ) -> list[ScalingRow]:
+        """Predicted scaling table over the executor/core grid.
+
+        ``baseline_load_s`` and ``baseline_reduce_s`` are the single-slot
+        times — either measured by :meth:`run_baseline` on the synthetic
+        workload, or the paper's own 1x1 values when regenerating the exact
+        tables.
+        """
+        if baseline_load_s <= 0 or baseline_reduce_s <= 0:
+            raise ValueError("baseline times must be positive")
+        executors = tuple(executor_grid) if executor_grid is not None else self.cluster.executor_grid
+        cores = tuple(cores_grid) if cores_grid is not None else self.cluster.cores_grid
+
+        ref_load = self.cost_model.load_time(baseline_load_s, executors[0], cores[0])
+        ref_reduce = self.cost_model.reduce_time(baseline_reduce_s, executors[0], cores[0])
+
+        rows: list[ScalingRow] = []
+        for e in executors:
+            for c in cores:
+                load_t = self.cost_model.load_time(baseline_load_s, e, c)
+                map_t = self.cost_model.map_time(e, c)
+                reduce_t = self.cost_model.reduce_time(baseline_reduce_s, e, c)
+                rows.append(
+                    ScalingRow(
+                        executors=e,
+                        cores=c,
+                        load_time_s=load_t,
+                        map_time_s=map_t,
+                        reduce_time_s=reduce_t,
+                        speedup_load=ref_load / load_t,
+                        speedup_reduce=ref_reduce / reduce_t,
+                    )
+                )
+        return rows
+
+    def run_and_scale(
+        self,
+        load: Callable[[], Sequence],
+        map_fn: Callable,
+        reduce_fn: Callable,
+        paper_baseline: tuple[float, float] | None = None,
+    ) -> tuple[MapReduceResult, list[ScalingRow]]:
+        """Convenience: run the job serially, then build the scaling table.
+
+        When ``paper_baseline`` (load_s, reduce_s) is given, the table is
+        scaled to the paper's single-slot baselines instead of the measured
+        ones, so the regenerated table is directly comparable to Table II/V.
+        """
+        result = self.run_baseline(load, map_fn, reduce_fn)
+        if paper_baseline is not None:
+            baseline_load, baseline_reduce = paper_baseline
+        else:
+            baseline_load = max(result.load_seconds, self.cost_model.min_time_s)
+            baseline_reduce = max(
+                result.map_seconds + result.reduce_seconds, self.cost_model.min_time_s
+            )
+        rows = self.scaling_table(baseline_load, baseline_reduce)
+        return result, rows

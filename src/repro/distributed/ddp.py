@@ -1,0 +1,262 @@
+"""Synchronous data-parallel distributed training (the Horovod replacement).
+
+:class:`DistributedTrainer` reproduces Horovod's execution model with
+in-process "ranks" standing in for GPUs:
+
+1. rank 0's initial weights are broadcast to every replica
+   (``hvd.callbacks.BroadcastGlobalVariablesCallback(0)``);
+2. the training set is sharded across ranks (one disjoint shard per rank);
+3. every step, each rank computes gradients on its own mini-batch;
+4. the per-rank gradients are averaged with the real ring all-reduce from
+   :mod:`repro.distributed.allreduce` (``hvd.DistributedOptimizer``);
+5. every rank applies the identical averaged update, so replicas stay
+   bit-for-bit synchronised — an invariant the test suite checks.
+
+Because all ranks share one physical CPU here, multi-GPU *wall-clock* is not
+measurable; :class:`DDPTimingModel` supplies it.  The model has three terms
+per epoch — compute (scales as 1/N), ring all-reduce communication
+(``2 (N-1)/N × bytes / bandwidth`` plus per-step latency) and a fixed input
+pipeline / batch-preparation overhead that does not parallelise (the paper
+explicitly attributes its sub-linear scaling to this "GPU starvation").  The
+defaults are calibrated to the paper's Table IV: 280.72 s on one GPU falling
+to 38.72 s on eight (7.25x).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributed.allreduce import ring_allreduce_average
+from repro.ml.dataset import Dataset
+from repro.ml.model import Sequential, TrainingHistory
+from repro.utils.random import default_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class DDPTimingModel:
+    """Calibrated wall-clock model for multi-GPU data-parallel training.
+
+    Parameters
+    ----------
+    input_pipeline_fraction:
+        Fraction of the single-GPU epoch time spent in the non-parallelised
+        input pipeline (data preprocessing and batch preparation).
+    allreduce_bandwidth_gb_s:
+        Effective ring bandwidth between GPUs (NVLink-class for a DGX A100).
+    allreduce_latency_s:
+        Per-all-reduce latency (launch + synchronisation) per step.
+    """
+
+    input_pipeline_fraction: float = 0.0167
+    allreduce_bandwidth_gb_s: float = 150.0
+    allreduce_latency_s: float = 1.5e-4
+    bytes_per_parameter: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.input_pipeline_fraction < 1.0:
+            raise ValueError("input_pipeline_fraction must be in [0, 1)")
+        if self.allreduce_bandwidth_gb_s <= 0:
+            raise ValueError("allreduce_bandwidth_gb_s must be positive")
+        if self.allreduce_latency_s < 0:
+            raise ValueError("allreduce_latency_s must be non-negative")
+
+    def allreduce_seconds_per_step(self, n_gpus: int, n_parameters: int) -> float:
+        """Ring all-reduce time for one gradient exchange."""
+        if n_gpus <= 1:
+            return 0.0
+        payload_bytes = n_parameters * self.bytes_per_parameter
+        ring_factor = 2.0 * (n_gpus - 1) / n_gpus
+        transfer = ring_factor * payload_bytes / (self.allreduce_bandwidth_gb_s * 1e9)
+        return transfer + self.allreduce_latency_s * (n_gpus - 1)
+
+    def epoch_seconds(
+        self,
+        single_gpu_epoch_s: float,
+        n_gpus: int,
+        n_parameters: int,
+        steps_per_epoch: int,
+    ) -> float:
+        """Predicted wall-clock of one epoch on ``n_gpus`` GPUs."""
+        if single_gpu_epoch_s <= 0:
+            raise ValueError("single_gpu_epoch_s must be positive")
+        if n_gpus <= 0 or steps_per_epoch <= 0:
+            raise ValueError("n_gpus and steps_per_epoch must be positive")
+        pipeline = self.input_pipeline_fraction * single_gpu_epoch_s
+        compute = (1.0 - self.input_pipeline_fraction) * single_gpu_epoch_s / n_gpus
+        comm = self.allreduce_seconds_per_step(n_gpus, n_parameters) * steps_per_epoch
+        return pipeline + compute + comm
+
+
+@dataclass(frozen=True)
+class GpuScalingRow:
+    """One row of the paper's Table IV."""
+
+    n_gpus: int
+    total_time_s: float
+    time_per_epoch_s: float
+    samples_per_second: float
+    speedup: float
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "No. of GPUs": self.n_gpus,
+            "Time (s)": round(self.total_time_s, 2),
+            "Time (s)/Epoch": round(self.time_per_epoch_s, 3),
+            "Data/s": round(self.samples_per_second, 2),
+            "Speedup": round(self.speedup, 2),
+        }
+
+
+@dataclass
+class DistributedRunResult:
+    """Outcome of a (simulated) distributed training run."""
+
+    history: TrainingHistory
+    n_gpus: int
+    measured_wall_seconds: float
+    scaling: list[GpuScalingRow] = field(default_factory=list)
+
+
+class DistributedTrainer:
+    """Horovod-style synchronous data-parallel trainer over in-process ranks."""
+
+    def __init__(
+        self,
+        model_builder,
+        n_gpus: int = 1,
+        timing_model: DDPTimingModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        self.model_builder = model_builder
+        self.n_gpus = n_gpus
+        self.timing_model = timing_model if timing_model is not None else DDPTimingModel()
+        self.seed = seed
+        self.replicas: list[Sequential] = []
+
+    # -- setup ----------------------------------------------------------------
+
+    def _initialise_replicas(self) -> None:
+        """Build one model per rank and broadcast rank 0's weights to all."""
+        rngs = spawn_rngs(self.seed, self.n_gpus)
+        self.replicas = [self.model_builder(rng=rngs[r]) for r in range(self.n_gpus)]
+        # hvd.BroadcastGlobalVariablesCallback(0): everyone starts from rank 0.
+        root_weights = self.replicas[0].get_weights()
+        for replica in self.replicas[1:]:
+            replica.set_weights(root_weights)
+
+    # -- training --------------------------------------------------------------
+
+    def train(
+        self,
+        train: Dataset,
+        epochs: int = 20,
+        batch_size: int = 32,
+        validation: Dataset | None = None,
+        shuffle: bool = True,
+    ) -> DistributedRunResult:
+        """Run synchronous data-parallel training.
+
+        ``batch_size`` is the *per-rank* batch size (Horovod convention), so
+        the effective global batch is ``batch_size * n_gpus``.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self._initialise_replicas()
+        shards = [train.shard(r, self.n_gpus) for r in range(self.n_gpus)]
+        rng = default_rng(self.seed + 1)
+
+        history = TrainingHistory()
+        start_wall = time.perf_counter()
+        steps_per_epoch = max(min(len(s) for s in shards) // batch_size, 1)
+
+        for _epoch in range(epochs):
+            epoch_start = time.perf_counter()
+            epoch_shards = [s.shuffled(default_rng(int(rng.integers(0, 2**31)))) for s in shards] if shuffle else shards
+            batch_iters = [s.batches(batch_size) for s in epoch_shards]
+            losses: list[float] = []
+            for _step in range(steps_per_epoch):
+                rank_grads: list[list[np.ndarray]] = []
+                step_losses: list[float] = []
+                for rank in range(self.n_gpus):
+                    try:
+                        X_batch, y_batch = next(batch_iters[rank])
+                    except StopIteration:
+                        break
+                    loss, grads = self.replicas[rank].compute_gradients(X_batch, y_batch)
+                    rank_grads.append(grads)
+                    step_losses.append(loss)
+                if len(rank_grads) < self.n_gpus:
+                    break
+                averaged = ring_allreduce_average(rank_grads)
+                for rank in range(self.n_gpus):
+                    self.replicas[rank].apply_gradients(averaged[rank])
+                losses.append(float(np.mean(step_losses)))
+
+            history.loss.append(float(np.mean(losses)) if losses else 0.0)
+            _, train_acc = self.replicas[0].evaluate(train)
+            history.accuracy.append(train_acc)
+            if validation is not None:
+                val_loss, val_acc = self.replicas[0].evaluate(validation)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+            history.epoch_seconds.append(time.perf_counter() - epoch_start)
+
+        wall = time.perf_counter() - start_wall
+        return DistributedRunResult(history=history, n_gpus=self.n_gpus, measured_wall_seconds=wall)
+
+    @property
+    def model(self) -> Sequential:
+        """Rank 0's replica (all replicas are identical after training)."""
+        if not self.replicas:
+            raise RuntimeError("train() has not been called yet")
+        return self.replicas[0]
+
+    # -- Table IV regeneration ---------------------------------------------------
+
+    def scaling_table(
+        self,
+        single_gpu_total_s: float,
+        n_samples: int,
+        epochs: int = 20,
+        batch_size: int = 32,
+        n_parameters: int | None = None,
+        gpu_counts: tuple[int, ...] = (1, 2, 4, 6, 8),
+    ) -> list[GpuScalingRow]:
+        """Predict the multi-GPU scaling table from a single-GPU baseline.
+
+        ``single_gpu_total_s`` is the total training wall-clock on one GPU —
+        either measured locally (and optionally rescaled) or the paper's
+        280.72 s when regenerating Table IV exactly.
+        """
+        if single_gpu_total_s <= 0 or n_samples <= 0:
+            raise ValueError("single_gpu_total_s and n_samples must be positive")
+        if n_parameters is None:
+            probe = self.model_builder(rng=default_rng(self.seed))
+            n_parameters = probe.n_parameters
+        single_epoch_s = single_gpu_total_s / epochs
+        steps_per_epoch = max(n_samples // batch_size, 1)
+
+        rows: list[GpuScalingRow] = []
+        base_total: float | None = None
+        for n in gpu_counts:
+            epoch_s = self.timing_model.epoch_seconds(
+                single_epoch_s, n, n_parameters, max(steps_per_epoch // n, 1)
+            )
+            total = epoch_s * epochs
+            if base_total is None:
+                base_total = total
+            rows.append(
+                GpuScalingRow(
+                    n_gpus=n,
+                    total_time_s=total,
+                    time_per_epoch_s=epoch_s,
+                    samples_per_second=n_samples / epoch_s,
+                    speedup=base_total / total,
+                )
+            )
+        return rows

@@ -1,0 +1,89 @@
+"""Speedup bookkeeping and analytic scaling laws.
+
+Small utilities shared by the scaling benchmarks: tabulating measured or
+modelled speedups, and the Amdahl / Gustafson reference curves used to sanity
+check the cluster and GPU cost models (a modelled speedup should never exceed
+the Amdahl bound implied by its own serial fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def amdahl_speedup(n_workers: int | np.ndarray, serial_fraction: float) -> np.ndarray:
+    """Amdahl's law: ``S(n) = 1 / (s + (1 - s) / n)``."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must be in [0, 1]")
+    n = np.asarray(n_workers, dtype=float)
+    if np.any(n < 1):
+        raise ValueError("worker counts must be >= 1")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n)
+
+
+def gustafson_speedup(n_workers: int | np.ndarray, serial_fraction: float) -> np.ndarray:
+    """Gustafson's law: ``S(n) = n - s (n - 1)`` (scaled-problem speedup)."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must be in [0, 1]")
+    n = np.asarray(n_workers, dtype=float)
+    if np.any(n < 1):
+        raise ValueError("worker counts must be >= 1")
+    return n - serial_fraction * (n - 1.0)
+
+
+def parallel_efficiency(speedup: float | np.ndarray, n_workers: int | np.ndarray) -> np.ndarray:
+    """Parallel efficiency ``E = S / n``."""
+    s = np.asarray(speedup, dtype=float)
+    n = np.asarray(n_workers, dtype=float)
+    if np.any(n < 1):
+        raise ValueError("worker counts must be >= 1")
+    return s / n
+
+
+@dataclass
+class SpeedupTable:
+    """Accumulates (configuration, time) measurements and derives speedups."""
+
+    label: str
+    configurations: list[str] = field(default_factory=list)
+    workers: list[int] = field(default_factory=list)
+    times_s: list[float] = field(default_factory=list)
+
+    def add(self, configuration: str, n_workers: int, time_s: float) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if time_s <= 0:
+            raise ValueError("time_s must be positive")
+        self.configurations.append(configuration)
+        self.workers.append(n_workers)
+        self.times_s.append(time_s)
+
+    @property
+    def baseline_s(self) -> float:
+        if not self.times_s:
+            raise ValueError("no measurements recorded")
+        return self.times_s[0]
+
+    def speedups(self) -> np.ndarray:
+        """Speedup of each configuration relative to the first one recorded."""
+        return self.baseline_s / np.asarray(self.times_s)
+
+    def efficiencies(self) -> np.ndarray:
+        return parallel_efficiency(self.speedups(), np.asarray(self.workers))
+
+    def rows(self) -> list[dict[str, float | str | int]]:
+        """Printable rows: configuration, workers, time, speedup, efficiency."""
+        speedups = self.speedups()
+        effs = self.efficiencies()
+        return [
+            {
+                "configuration": cfg,
+                "workers": w,
+                "time_s": round(t, 3),
+                "speedup": round(float(s), 2),
+                "efficiency": round(float(e), 3),
+            }
+            for cfg, w, t, s, e in zip(self.configurations, self.workers, self.times_s, speedups, effs)
+        ]

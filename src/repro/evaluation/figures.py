@@ -1,0 +1,216 @@
+"""Regeneration of the paper's figures as data series.
+
+Plots are not drawn (no plotting dependency offline); each function returns
+the numeric series behind the corresponding figure so the benchmark harness
+can print them and tests can assert their shape (who wins, by what factor,
+where the distributions peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.classification.pipeline import InferencePipeline, TrainedClassifier
+from repro.config import CLASS_NAMES, DEFAULT_GPU_CLUSTER
+from repro.distributed.ddp import DDPTimingModel, DistributedTrainer
+from repro.evaluation.tables import (
+    PAPER_TABLE4_N_SAMPLES,
+    PAPER_TABLE4_SINGLE_GPU_S,
+    regenerate_table4,
+)
+from repro.freeboard.comparison import FreeboardComparison, compare_freeboards, point_density
+from repro.freeboard.freeboard import FreeboardResult, compute_freeboard
+from repro.freeboard.interpolation import interpolate_missing_windows, sea_surface_at
+from repro.freeboard.sea_surface import SEA_SURFACE_METHODS, estimate_sea_surface
+from repro.products.atl07 import ATL07Product, generate_atl07
+from repro.products.atl10 import ATL10Product, generate_atl10
+from repro.workflow.end_to_end import PipelineOutputs
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: confusion matrix
+# ---------------------------------------------------------------------------
+
+
+def figure4_confusion_matrix(classifier: TrainedClassifier) -> dict[str, object]:
+    """Row-normalised confusion matrix with per-class accuracies (percent)."""
+    report = classifier.report
+    normalized = report.normalized_confusion()
+    return {
+        "class_names": list(CLASS_NAMES),
+        "confusion_counts": report.confusion.tolist(),
+        "confusion_normalized": normalized.tolist(),
+        "per_class_accuracy_percent": [round(100.0 * v, 2) for v in report.per_class_accuracy],
+        "overall_accuracy_percent": round(100.0 * report.accuracy, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: distributed training scaling curves
+# ---------------------------------------------------------------------------
+
+
+def figure5_training_scaling(
+    timing_model: DDPTimingModel | None = None,
+    single_gpu_total_s: float = PAPER_TABLE4_SINGLE_GPU_S,
+    n_samples: int = PAPER_TABLE4_N_SAMPLES,
+) -> dict[str, list[float]]:
+    """The four panels of Fig. 5: speedup, total time, throughput, time/epoch."""
+    rows = regenerate_table4(
+        timing_model=timing_model,
+        single_gpu_total_s=single_gpu_total_s,
+        n_samples=n_samples,
+    )
+    return {
+        "n_gpus": [row["No. of GPUs"] for row in rows],
+        "speedup": [row["Speedup"] for row in rows],
+        "total_time_s": [row["Time (s)"] for row in rows],
+        "samples_per_second": [row["Data/s"] for row in rows],
+        "time_per_epoch_s": [row["Time (s)/Epoch"] for row in rows],
+        "ideal_speedup": [float(row["No. of GPUs"]) for row in rows],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 & 7: classification density comparison ATL03 vs ATL07
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClassificationComparison:
+    """Series behind Figs. 6/7 for one track."""
+
+    track_name: str
+    atl03_along_m: np.ndarray
+    atl03_labels: np.ndarray
+    atl07_along_m: np.ndarray
+    atl07_labels: np.ndarray
+    atl03_points_per_km: float
+    atl07_points_per_km: float
+
+    @property
+    def density_ratio(self) -> float:
+        if self.atl07_points_per_km == 0:
+            return np.inf
+        return self.atl03_points_per_km / self.atl07_points_per_km
+
+    def class_fractions(self) -> dict[str, dict[int, float]]:
+        out: dict[str, dict[int, float]] = {}
+        for name, labels in (("atl03", self.atl03_labels), ("atl07", self.atl07_labels)):
+            values, counts = np.unique(labels, return_counts=True)
+            out[name] = {int(v): float(c) / labels.size for v, c in zip(values, counts)}
+        return out
+
+
+def figure6_7_classification_comparison(
+    outputs: PipelineOutputs, beam_name: str | None = None
+) -> ClassificationComparison:
+    """Compare the 2 m classification against the emulated ATL07 classes."""
+    if beam_name is None:
+        beam_name = sorted(outputs.classified)[0]
+    track = outputs.classified[beam_name]
+    atl07 = outputs.atl07[beam_name]
+    return ClassificationComparison(
+        track_name=beam_name,
+        atl03_along_m=track.segments.center_along_track_m,
+        atl03_labels=track.labels,
+        atl07_along_m=atl07.along_track_m,
+        atl07_labels=atl07.surface_class,
+        atl03_points_per_km=point_density(track.segments.center_along_track_m),
+        atl07_points_per_km=atl07.points_per_km(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 8 & 9: local sea surface comparison
+# ---------------------------------------------------------------------------
+
+
+def figure8_9_sea_surface_comparison(
+    outputs: PipelineOutputs, beam_name: str | None = None
+) -> dict[str, object]:
+    """Sea-surface heights from the four ATL03 methods plus the ATL07 baseline.
+
+    Returns, per method, the window centres and heights, and the mean
+    absolute difference between the (NASA-method) ATL03 sea surface and the
+    ATL07 sea surface evaluated at the ATL07 segments — the quantity the
+    paper reports as "a little over 0.1 m".
+    """
+    if beam_name is None:
+        beam_name = sorted(outputs.classified)[0]
+    track = outputs.classified[beam_name]
+    atl07 = outputs.atl07[beam_name]
+    seg = track.segments
+
+    methods: dict[str, dict[str, list[float]]] = {}
+    smoothness: dict[str, float] = {}
+    nasa_estimate = None
+    for method in SEA_SURFACE_METHODS:
+        estimate = estimate_sea_surface(
+            seg.center_along_track_m,
+            seg.height_mean_m,
+            seg.height_error_m(),
+            track.labels,
+            method=method,
+        )
+        estimate = interpolate_missing_windows(estimate)
+        if method == "nasa":
+            nasa_estimate = estimate
+        methods[method] = {
+            "centers_m": estimate.centers_m.tolist(),
+            "heights_m": estimate.heights_m.tolist(),
+        }
+        smoothness[method] = estimate.smoothness()
+
+    assert nasa_estimate is not None
+    atl03_at_atl07 = sea_surface_at(nasa_estimate, atl07.along_track_m)
+    diff = float(np.mean(np.abs(atl03_at_atl07 - atl07.sea_surface_m)))
+
+    return {
+        "beam": beam_name,
+        "methods": methods,
+        "smoothness_m": smoothness,
+        "atl07_centers_m": atl07.along_track_m.tolist(),
+        "atl07_sea_surface_m": atl07.sea_surface_m.tolist(),
+        "mean_abs_difference_vs_atl07_m": diff,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 10 & 11: freeboard comparison
+# ---------------------------------------------------------------------------
+
+
+def figure10_11_freeboard_comparison(
+    outputs: PipelineOutputs, beam_name: str | None = None
+) -> dict[str, object]:
+    """Freeboard series, distributions and point densities (ATL03 vs ATL10)."""
+    if beam_name is None:
+        beam_name = sorted(outputs.freeboard)[0]
+    fb: FreeboardResult = outputs.freeboard[beam_name]
+    atl07: ATL07Product = outputs.atl07[beam_name]
+    atl10: ATL10Product = outputs.atl10[beam_name]
+
+    comparison: FreeboardComparison = compare_freeboards(
+        fb,
+        atl10.along_track_m,
+        atl10.freeboard_m,
+        baseline_sea_surface_m=atl10.sea_surface_m,
+    )
+    atl03_centres, atl03_density = fb.distribution()
+    atl10_centres, atl10_density = atl10.distribution()
+
+    return {
+        "beam": beam_name,
+        "atl03_along_m": fb.along_track_m.tolist(),
+        "atl03_freeboard_m": fb.freeboard_m.tolist(),
+        "atl10_along_m": atl10.along_track_m.tolist(),
+        "atl10_freeboard_m": atl10.freeboard_m.tolist(),
+        "distribution_bins_m": atl03_centres.tolist(),
+        "atl03_distribution": atl03_density.tolist(),
+        "atl10_distribution": atl10_density.tolist(),
+        "comparison": comparison.as_dict(),
+        "atl07_mean_segment_length_m": atl07.mean_segment_length_m(),
+    }

@@ -1,0 +1,47 @@
+"""Plain-text and Markdown table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[_stringify(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)]
+
+    def fmt_row(values: Sequence[str]) -> str:
+        return " | ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(columns))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render a list of dict rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return (f"**{title}**\n\n" if title else "") + "_(no rows)_"
+    columns = list(rows[0].keys())
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(row.get(col, "")) for col in columns) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Local sea-surface detection and freeboard retrieval (paper Section III.D).
+
+* :mod:`repro.freeboard.sea_surface` — the four local sea-surface estimators
+  (minimum, average, nearest-minimum and the NASA ATBD weighted-lead
+  equations) applied in 10 km sliding windows with 5 km overlap;
+* :mod:`repro.freeboard.interpolation` — linear interpolation of windows
+  without open water from their neighbours;
+* :mod:`repro.freeboard.freeboard` — the freeboard computation
+  ``hf = hs - href`` over classified 2 m segments;
+* :mod:`repro.freeboard.comparison` — comparison utilities against the
+  emulated ATL07/ATL10 products (distributions, point densities);
+* :mod:`repro.freeboard.parallel` — the map-reduce-parallel freeboard job
+  used by the Table V scaling experiment.
+"""
+
+from repro.freeboard.sea_surface import (
+    SEA_SURFACE_METHODS,
+    SeaSurfaceEstimate,
+    WindowSeaSurface,
+    estimate_sea_surface,
+    nasa_lead_height,
+    nasa_reference_height,
+)
+from repro.freeboard.interpolation import interpolate_missing_windows, sea_surface_at
+from repro.freeboard.freeboard import FreeboardResult, compute_freeboard
+from repro.freeboard.comparison import FreeboardComparison, compare_freeboards, point_density
+from repro.freeboard.parallel import parallel_freeboard
+from repro.freeboard.thickness import (
+    ThicknessResult,
+    one_layer_method,
+    thickness_from_freeboard,
+)
+
+__all__ = [
+    "ThicknessResult",
+    "one_layer_method",
+    "thickness_from_freeboard",
+    "SEA_SURFACE_METHODS",
+    "SeaSurfaceEstimate",
+    "WindowSeaSurface",
+    "estimate_sea_surface",
+    "nasa_lead_height",
+    "nasa_reference_height",
+    "interpolate_missing_windows",
+    "sea_surface_at",
+    "FreeboardResult",
+    "compute_freeboard",
+    "FreeboardComparison",
+    "compare_freeboards",
+    "point_density",
+    "parallel_freeboard",
+]

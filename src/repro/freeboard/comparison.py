@@ -1,0 +1,130 @@
+"""Comparison of the 2 m ATL03-derived products against ATL07/ATL10 baselines.
+
+Regenerates the quantities behind the paper's Figs. 8-11:
+
+* sea-surface difference statistics between the ATL03 pipeline and the
+  ATL07-style product (the paper reports "a little over 0.1 m"),
+* freeboard distributions for both products,
+* point densities (segments per kilometre), the paper's headline resolution
+  argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.freeboard.freeboard import FreeboardResult
+from repro.utils.validation import ensure_1d
+
+
+def point_density(along_track_m: np.ndarray, track_length_m: float | None = None) -> float:
+    """Samples per kilometre of track."""
+    along = ensure_1d(np.asarray(along_track_m, dtype=float), "along_track_m")
+    if along.size == 0:
+        return 0.0
+    if track_length_m is None:
+        track_length_m = float(along.max() - along.min())
+    if track_length_m <= 0:
+        raise ValueError("track_length_m must be positive")
+    return float(along.size / (track_length_m / 1000.0))
+
+
+@dataclass
+class FreeboardComparison:
+    """Summary statistics of a high-resolution vs baseline freeboard pair."""
+
+    atl03_mean_freeboard_m: float
+    baseline_mean_freeboard_m: float
+    atl03_mode_freeboard_m: float
+    baseline_mode_freeboard_m: float
+    atl03_points_per_km: float
+    baseline_points_per_km: float
+    sea_surface_mean_abs_difference_m: float
+
+    @property
+    def density_ratio(self) -> float:
+        """How many times denser the ATL03 product is than the baseline."""
+        if self.baseline_points_per_km == 0:
+            return np.inf
+        return self.atl03_points_per_km / self.baseline_points_per_km
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "atl03_mean_freeboard_m": round(self.atl03_mean_freeboard_m, 3),
+            "baseline_mean_freeboard_m": round(self.baseline_mean_freeboard_m, 3),
+            "atl03_mode_freeboard_m": round(self.atl03_mode_freeboard_m, 3),
+            "baseline_mode_freeboard_m": round(self.baseline_mode_freeboard_m, 3),
+            "atl03_points_per_km": round(self.atl03_points_per_km, 1),
+            "baseline_points_per_km": round(self.baseline_points_per_km, 1),
+            "density_ratio": round(self.density_ratio, 1),
+            "sea_surface_mean_abs_difference_m": round(self.sea_surface_mean_abs_difference_m, 3),
+        }
+
+
+def _mode_of_distribution(values: np.ndarray, bin_width_m: float = 0.02) -> float:
+    """Mode (peak) of a freeboard distribution via histogramming."""
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return 0.0
+    hi = max(float(values.max()), bin_width_m)
+    edges = np.arange(0.0, hi + bin_width_m, bin_width_m)
+    counts, _ = np.histogram(values, bins=edges)
+    peak = int(np.argmax(counts))
+    return float(0.5 * (edges[peak] + edges[peak + 1]))
+
+
+def compare_freeboards(
+    atl03: FreeboardResult,
+    baseline_along_m: np.ndarray,
+    baseline_freeboard_m: np.ndarray,
+    baseline_sea_surface_m: np.ndarray | None = None,
+) -> FreeboardComparison:
+    """Compare the 2 m freeboard product against a coarser baseline.
+
+    Parameters
+    ----------
+    atl03:
+        The high-resolution freeboard result from :func:`compute_freeboard`.
+    baseline_along_m, baseline_freeboard_m:
+        The baseline (ATL07/ATL10-style) segment positions and freeboards.
+    baseline_sea_surface_m:
+        Baseline sea-surface heights at the baseline positions; if given, the
+        mean absolute sea-surface difference is evaluated at those positions
+        against the ATL03 sea surface (otherwise reported as NaN).
+    """
+    baseline_along = ensure_1d(np.asarray(baseline_along_m, dtype=float), "baseline_along_m")
+    baseline_fb = ensure_1d(np.asarray(baseline_freeboard_m, dtype=float), "baseline_freeboard_m")
+    if baseline_along.shape != baseline_fb.shape:
+        raise ValueError("baseline positions and freeboards must have the same length")
+
+    ice = atl03.ice_mask()
+    atl03_fb = atl03.freeboard_m[ice]
+
+    if baseline_sea_surface_m is not None:
+        baseline_ss = ensure_1d(np.asarray(baseline_sea_surface_m, dtype=float), "baseline_sea_surface_m")
+        atl03_ss_at_baseline = np.interp(
+            baseline_along, atl03.along_track_m, atl03.sea_surface_m
+        )
+        valid = np.isfinite(baseline_ss)
+        ss_diff = (
+            float(np.mean(np.abs(atl03_ss_at_baseline[valid] - baseline_ss[valid])))
+            if valid.any()
+            else float("nan")
+        )
+    else:
+        ss_diff = float("nan")
+
+    track_length = float(atl03.along_track_m.max() - atl03.along_track_m.min())
+    return FreeboardComparison(
+        atl03_mean_freeboard_m=float(atl03_fb.mean()) if atl03_fb.size else 0.0,
+        baseline_mean_freeboard_m=float(baseline_fb[np.isfinite(baseline_fb)].mean())
+        if np.isfinite(baseline_fb).any()
+        else 0.0,
+        atl03_mode_freeboard_m=_mode_of_distribution(atl03_fb),
+        baseline_mode_freeboard_m=_mode_of_distribution(baseline_fb),
+        atl03_points_per_km=point_density(atl03.along_track_m[ice], track_length),
+        baseline_points_per_km=point_density(baseline_along, track_length),
+        sea_surface_mean_abs_difference_m=ss_diff,
+    )

@@ -1,0 +1,76 @@
+"""Filling sea-surface windows that contain no open water.
+
+The paper: "if there is no open water for a particular window, we do a linear
+interpolation with respect to the nearest local sea surface to derive the
+local sea surface for that area."  This module provides that interpolation
+over the window sequence, plus evaluation of the resulting piecewise-linear
+sea surface at arbitrary along-track positions (needed to subtract it from
+every 2 m segment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.freeboard.sea_surface import SeaSurfaceEstimate, WindowSeaSurface
+
+
+def interpolate_missing_windows(estimate: SeaSurfaceEstimate) -> SeaSurfaceEstimate:
+    """Fill NaN windows by linear interpolation between valid neighbours.
+
+    Windows before the first (after the last) valid window are filled with
+    the first (last) valid height — constant extrapolation, since there is no
+    second anchor to define a slope.  Errors of interpolated windows are the
+    mean of the neighbouring valid errors inflated by 50 % to reflect the
+    extra uncertainty.  Raises ``ValueError`` when no window is valid.
+    """
+    centers = estimate.centers_m
+    heights = estimate.heights_m
+    errors = estimate.errors_m
+    valid = np.isfinite(heights)
+    if not valid.any():
+        raise ValueError(
+            "no window contains enough open water to anchor the sea surface; "
+            "the track has no leads"
+        )
+    if valid.all():
+        return estimate
+
+    filled_heights = heights.copy()
+    filled_errors = errors.copy()
+    filled_heights[~valid] = np.interp(centers[~valid], centers[valid], heights[valid])
+    mean_valid_error = float(np.nanmean(errors[valid])) if np.isfinite(errors[valid]).any() else 0.05
+    filled_errors[~valid] = 1.5 * mean_valid_error
+
+    windows = [
+        WindowSeaSurface(
+            center_m=w.center_m,
+            start_m=w.start_m,
+            stop_m=w.stop_m,
+            height_m=float(filled_heights[i]),
+            error_m=float(filled_errors[i]),
+            n_open_water=w.n_open_water,
+            interpolated=not bool(valid[i]),
+        )
+        for i, w in enumerate(estimate.windows)
+    ]
+    return SeaSurfaceEstimate(method=estimate.method, windows=windows)
+
+
+def sea_surface_at(
+    estimate: SeaSurfaceEstimate, along_track_m: np.ndarray
+) -> np.ndarray:
+    """Evaluate the (filled) sea surface at arbitrary along-track positions.
+
+    The window estimates define a piecewise-linear function of along-track
+    distance through the window centres; positions beyond the first/last
+    centre use the nearest window's height.  Windows still containing NaN
+    (call :func:`interpolate_missing_windows` first) are ignored.
+    """
+    centers = estimate.centers_m
+    heights = estimate.heights_m
+    valid = np.isfinite(heights)
+    if not valid.any():
+        raise ValueError("sea-surface estimate has no valid windows")
+    s = np.asarray(along_track_m, dtype=float)
+    return np.interp(s, centers[valid], heights[valid])

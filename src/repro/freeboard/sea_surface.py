@@ -1,0 +1,314 @@
+"""Local sea-surface height estimation from open-water segments.
+
+The paper evaluates four estimators of the local sea surface within 10 km
+sliding windows (5 km overlap), using the segments classified as open water:
+
+1. **minimum** — the minimum open-water elevation in the window;
+2. **average** — the mean open-water elevation in the window;
+3. **nearest-minimum** — the elevation of the open-water segment closest to
+   the window centre among the lowest ones;
+4. **nasa** — the ATL07/ATL10 ATBD formulation: open-water segments are
+   grouped into *leads*, each lead's height is an error-weighted mean of its
+   candidate segments (paper eq. 2), and the window's reference height is
+   the inverse-variance weighted combination of its leads (paper eq. 3).
+
+The paper selects the NASA formulation because it produces the smoothest sea
+surface; the ablation benchmark quantifies that choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CLASS_OPEN_WATER, DEFAULT_SEA_SURFACE, SeaSurfaceConfig
+from repro.utils.validation import ensure_1d, ensure_same_length
+
+#: Names of the supported estimation methods.
+SEA_SURFACE_METHODS = ("minimum", "average", "nearest_minimum", "nasa")
+
+
+@dataclass
+class WindowSeaSurface:
+    """Sea-surface estimate of a single along-track window."""
+
+    center_m: float
+    start_m: float
+    stop_m: float
+    height_m: float
+    error_m: float
+    n_open_water: int
+    interpolated: bool = False
+
+
+@dataclass
+class SeaSurfaceEstimate:
+    """Sea-surface estimates for all windows along a track."""
+
+    method: str
+    windows: list[WindowSeaSurface]
+
+    @property
+    def centers_m(self) -> np.ndarray:
+        return np.array([w.center_m for w in self.windows])
+
+    @property
+    def heights_m(self) -> np.ndarray:
+        return np.array([w.height_m for w in self.windows])
+
+    @property
+    def errors_m(self) -> np.ndarray:
+        return np.array([w.error_m for w in self.windows])
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    def valid_mask(self) -> np.ndarray:
+        return np.isfinite(self.heights_m)
+
+    def smoothness(self) -> float:
+        """RMS of consecutive window-height differences (lower is smoother).
+
+        This is the criterion the paper uses qualitatively ("a smoother local
+        sea surface") to prefer the NASA formulation; NaN windows are skipped.
+        """
+        h = self.heights_m
+        valid = np.isfinite(h)
+        h = h[valid]
+        if h.size < 2:
+            return 0.0
+        return float(np.sqrt(np.mean(np.diff(h) ** 2)))
+
+
+# ---------------------------------------------------------------------------
+# NASA ATBD lead / reference-height equations (paper eq. 2 and 3)
+# ---------------------------------------------------------------------------
+
+
+def nasa_lead_height(
+    heights_m: np.ndarray, errors_m: np.ndarray
+) -> tuple[float, float]:
+    """Weighted lead height and error from candidate open-water segments.
+
+    Implements the paper's equation (2): weights
+    ``w_i = exp(-((h_i - h_min) / sigma_i)^2)`` normalised to sum to one,
+    ``h_lead = sum(a_i h_i)`` and ``sigma^2_lead = sum(a_i^2 sigma_i^2)``.
+    """
+    h = ensure_1d(np.asarray(heights_m, dtype=float), "heights_m")
+    sigma = ensure_1d(np.asarray(errors_m, dtype=float), "errors_m")
+    ensure_same_length(h, sigma, names=("heights_m", "errors_m"))
+    if h.size == 0:
+        raise ValueError("a lead needs at least one candidate segment")
+    if np.any(sigma < 0):
+        raise ValueError("errors must be non-negative")
+    sigma = np.where(sigma > 1e-6, sigma, 1e-6)
+
+    h_min = h.min()
+    w = np.exp(-(((h - h_min) / sigma) ** 2))
+    total = w.sum()
+    if total <= 0:
+        w = np.full(h.shape, 1.0 / h.size)
+    else:
+        w = w / total
+    lead_height = float(np.sum(w * h))
+    lead_error = float(np.sqrt(np.sum(w**2 * sigma**2)))
+    return lead_height, lead_error
+
+
+def nasa_reference_height(
+    lead_heights_m: np.ndarray, lead_errors_m: np.ndarray
+) -> tuple[float, float]:
+    """Window reference height from its leads (paper equation 3).
+
+    Leads are combined with inverse-variance weights
+    ``a_i = (1/sigma_i^2) / sum_j (1/sigma_j^2)``.
+    """
+    h = ensure_1d(np.asarray(lead_heights_m, dtype=float), "lead_heights_m")
+    sigma = ensure_1d(np.asarray(lead_errors_m, dtype=float), "lead_errors_m")
+    ensure_same_length(h, sigma, names=("lead_heights_m", "lead_errors_m"))
+    if h.size == 0:
+        raise ValueError("a window needs at least one lead")
+    sigma = np.where(sigma > 1e-6, sigma, 1e-6)
+    inv_var = 1.0 / sigma**2
+    a = inv_var / inv_var.sum()
+    ref_height = float(np.sum(a * h))
+    ref_error = float(np.sqrt(np.sum(a**2 * sigma**2)))
+    return ref_height, ref_error
+
+
+def _group_leads(
+    along_m: np.ndarray, max_gap_m: float = 100.0
+) -> list[np.ndarray]:
+    """Group open-water segment indices into leads by along-track proximity.
+
+    Consecutive open-water segments separated by less than ``max_gap_m``
+    belong to the same lead (a physical crack is a contiguous stretch of open
+    water).  Returns a list of index arrays into the input.
+    """
+    if along_m.size == 0:
+        return []
+    order = np.argsort(along_m)
+    sorted_along = along_m[order]
+    breaks = np.flatnonzero(np.diff(sorted_along) > max_gap_m) + 1
+    groups = np.split(order, breaks)
+    return [np.asarray(g) for g in groups]
+
+
+# ---------------------------------------------------------------------------
+# Window-level estimation
+# ---------------------------------------------------------------------------
+
+
+def _window_estimate(
+    method: str,
+    along_m: np.ndarray,
+    heights_m: np.ndarray,
+    errors_m: np.ndarray,
+    center_m: float,
+) -> tuple[float, float]:
+    """Sea-surface height and error of one window from its open-water segments."""
+    if method == "minimum":
+        idx = int(np.argmin(heights_m))
+        return float(heights_m[idx]), float(errors_m[idx])
+    if method == "average":
+        return float(heights_m.mean()), float(heights_m.std() / np.sqrt(heights_m.size))
+    if method == "nearest_minimum":
+        # Among the lowest quartile of open-water heights, pick the segment
+        # closest to the window centre.
+        threshold = np.quantile(heights_m, 0.25)
+        candidates = np.flatnonzero(heights_m <= threshold)
+        nearest = candidates[np.argmin(np.abs(along_m[candidates] - center_m))]
+        return float(heights_m[nearest]), float(errors_m[nearest])
+    if method == "nasa":
+        leads = _group_leads(along_m)
+        lead_heights = []
+        lead_errors = []
+        for lead_idx in leads:
+            lh, le = nasa_lead_height(heights_m[lead_idx], errors_m[lead_idx])
+            lead_heights.append(lh)
+            lead_errors.append(le)
+        return nasa_reference_height(np.array(lead_heights), np.array(lead_errors))
+    raise ValueError(f"unknown sea-surface method {method!r}; choose from {SEA_SURFACE_METHODS}")
+
+
+def estimate_sea_surface(
+    along_track_m: np.ndarray,
+    height_m: np.ndarray,
+    height_error_m: np.ndarray,
+    labels: np.ndarray,
+    method: str = "nasa",
+    config: SeaSurfaceConfig = DEFAULT_SEA_SURFACE,
+    fallback_lowest_quantile: float | None = 0.02,
+) -> SeaSurfaceEstimate:
+    """Estimate the local sea surface along a classified track.
+
+    Parameters
+    ----------
+    along_track_m, height_m, height_error_m:
+        Per-segment along-track position, mean height and height error
+        (standard deviation of the 2 m segment).
+    labels:
+        Per-segment surface classes; only ``CLASS_OPEN_WATER`` segments
+        contribute to the estimates.
+    method:
+        One of :data:`SEA_SURFACE_METHODS`.
+    config:
+        Window length / overlap configuration (10 km windows sliding by 5 km
+        in the paper).
+    fallback_lowest_quantile:
+        If no window along the whole track contains enough open water (e.g.
+        the classifier found no leads, or a coarse baseline product diluted
+        them away), the segments whose heights fall in this lowest quantile
+        are treated as sea-surface candidates instead, mirroring the
+        operational products' lowest-surface fallback.  Pass ``None`` to
+        disable and get all-NaN windows in that case.
+
+    Returns
+    -------
+    SeaSurfaceEstimate
+        One :class:`WindowSeaSurface` per window.  Windows with fewer than
+        ``config.min_open_water_segments`` open-water segments get NaN
+        heights; fill them with
+        :func:`repro.freeboard.interpolation.interpolate_missing_windows`.
+    """
+    if method not in SEA_SURFACE_METHODS:
+        raise ValueError(f"unknown sea-surface method {method!r}; choose from {SEA_SURFACE_METHODS}")
+    along = ensure_1d(np.asarray(along_track_m, dtype=float), "along_track_m")
+    height = ensure_1d(np.asarray(height_m, dtype=float), "height_m")
+    error = ensure_1d(np.asarray(height_error_m, dtype=float), "height_error_m")
+    lab = ensure_1d(np.asarray(labels), "labels")
+    ensure_same_length(along, height, error, lab, names=("along_track_m", "height_m", "height_error_m", "labels"))
+    if along.size == 0:
+        raise ValueError("cannot estimate a sea surface from zero segments")
+
+    step = config.window_length_m - config.window_overlap_m
+    start = float(along.min())
+    stop = float(along.max())
+    n_windows = max(int(np.ceil((stop - start) / step)), 1)
+
+    def build_windows(water_mask: np.ndarray) -> list[WindowSeaSurface]:
+        water_along = along[water_mask]
+        water_height = height[water_mask]
+        # Floor the per-segment error at 2 cm: a zero error (e.g. a segment
+        # with a single photon, whose sample std is 0) would otherwise make
+        # the NASA weighting collapse onto the minimum height and bias the
+        # sea surface low.
+        water_error = np.clip(
+            np.where(np.isfinite(error[water_mask]), error[water_mask], 0.05), 0.02, None
+        )
+
+        # Sorted view for fast windowed slicing.
+        order = np.argsort(water_along)
+        water_along = water_along[order]
+        water_height = water_height[order]
+        water_error = water_error[order]
+
+        windows: list[WindowSeaSurface] = []
+        for i in range(n_windows):
+            w_start = start + i * step
+            w_stop = w_start + config.window_length_m
+            center = 0.5 * (w_start + w_stop)
+            lo = int(np.searchsorted(water_along, w_start, side="left"))
+            hi = int(np.searchsorted(water_along, w_stop, side="right"))
+            w_along = water_along[lo:hi]
+            w_height = water_height[lo:hi]
+            w_error = water_error[lo:hi]
+            # Outlier rejection (the ATBD filters sea-surface candidates):
+            # discard segments far from the window's median water height —
+            # typically empty-ish segments whose "height" is a stray
+            # background photon metres below the surface.
+            if w_height.size:
+                median = np.median(w_height)
+                mad = np.median(np.abs(w_height - median))
+                tolerance = max(3.0 * 1.4826 * mad, 0.25)
+                keep = np.abs(w_height - median) <= tolerance
+                w_along, w_height, w_error = w_along[keep], w_height[keep], w_error[keep]
+            count = int(w_height.size)
+            if count >= config.min_open_water_segments:
+                h, e = _window_estimate(method, w_along, w_height, w_error, center)
+                windows.append(WindowSeaSurface(center, w_start, w_stop, h, e, count))
+            else:
+                windows.append(
+                    WindowSeaSurface(center, w_start, w_stop, np.nan, np.nan, count)
+                )
+        return windows
+
+    water_mask = (lab == CLASS_OPEN_WATER) & np.isfinite(height)
+    windows = build_windows(water_mask)
+
+    # Fallback: when not a single window can be anchored on classified open
+    # water, treat the lowest-height segments as sea-surface candidates
+    # (the operational products' lowest-surface fallback).
+    if fallback_lowest_quantile is not None and not any(
+        np.isfinite(w.height_m) for w in windows
+    ):
+        finite = np.isfinite(height)
+        if finite.any():
+            threshold = np.quantile(height[finite], fallback_lowest_quantile)
+            fallback_mask = finite & (height <= threshold)
+            if fallback_mask.sum() >= config.min_open_water_segments:
+                windows = build_windows(fallback_mask)
+
+    return SeaSurfaceEstimate(method=method, windows=windows)

@@ -1,0 +1,32 @@
+"""Geodesy substrate: ellipsoid, polar stereographic projection, corrections.
+
+The paper overlays ICESat-2 tracks on Sentinel-2 scenes in the Antarctic
+polar stereographic projection (EPSG:3976) and applies the ATL03 geophysical
+corrections (geoid, ocean tide, inverted barometer) plus the first-photon
+bias correction before resampling.  This subpackage provides those pieces
+without external projection libraries.
+"""
+
+from repro.geodesy.ellipsoid import WGS84, Ellipsoid
+from repro.geodesy.projection import PolarStereographic, antarctic_polar_stereographic
+from repro.geodesy.corrections import (
+    GeophysicalCorrections,
+    apply_geophysical_corrections,
+    first_photon_bias_correction,
+    inverted_barometer_correction,
+    ocean_tide_correction,
+    geoid_undulation,
+)
+
+__all__ = [
+    "WGS84",
+    "Ellipsoid",
+    "PolarStereographic",
+    "antarctic_polar_stereographic",
+    "GeophysicalCorrections",
+    "apply_geophysical_corrections",
+    "first_photon_bias_correction",
+    "inverted_barometer_correction",
+    "ocean_tide_correction",
+    "geoid_undulation",
+]

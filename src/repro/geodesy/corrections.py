@@ -1,0 +1,133 @@
+"""Geophysical height corrections applied to ATL03 photon heights.
+
+The ATL03 ATBD applies (among others) geoid undulation, ocean tide and
+inverted-barometer corrections so that sea-surface heights are expressed
+relative to the local mean sea surface, plus a first-photon (dead-time) bias
+correction to the received photon heights.  The real corrections come from
+global models; here each correction is a smooth, deterministic analytic field
+parameterised the same way (position and/or time and surface pressure), which
+is sufficient to exercise the correction pipeline and to make "corrected"
+versus "uncorrected" heights measurably different in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ensure_same_length
+
+
+@dataclass(frozen=True)
+class GeophysicalCorrections:
+    """Per-photon correction terms, all in metres, positive upward."""
+
+    geoid: np.ndarray
+    ocean_tide: np.ndarray
+    inverted_barometer: np.ndarray
+
+    def total(self) -> np.ndarray:
+        """Sum of all correction terms."""
+        return self.geoid + self.ocean_tide + self.inverted_barometer
+
+
+def geoid_undulation(lat_deg: np.ndarray, lon_deg: np.ndarray) -> np.ndarray:
+    """Synthetic geoid undulation field over the Ross Sea, in metres.
+
+    The true EGM2008 undulation over the Ross Sea is around -50 to -60 m and
+    varies smoothly on ~100 km scales; the synthetic field reproduces that
+    character with low-order harmonics of position.
+    """
+    lat = np.asarray(lat_deg, dtype=float)
+    lon = np.asarray(lon_deg, dtype=float)
+    return (
+        -55.0
+        + 2.5 * np.sin(np.radians(lon) * 3.0)
+        + 1.5 * np.cos(np.radians(lat) * 7.0)
+        + 0.5 * np.sin(np.radians(lon + lat) * 5.0)
+    )
+
+
+def ocean_tide_correction(time_s: np.ndarray, lat_deg: np.ndarray) -> np.ndarray:
+    """Synthetic ocean tide height, in metres.
+
+    Dominated by an M2-like semidiurnal component (period 12.42 h) with a
+    small diurnal term; amplitude ~0.3 m, typical of the Ross Sea.
+    """
+    t = np.asarray(time_s, dtype=float)
+    lat = np.asarray(lat_deg, dtype=float)
+    m2 = 0.25 * np.sin(2.0 * np.pi * t / (12.42 * 3600.0) + np.radians(lat))
+    k1 = 0.08 * np.sin(2.0 * np.pi * t / (23.93 * 3600.0))
+    return m2 + k1
+
+
+def inverted_barometer_correction(pressure_hpa: np.ndarray) -> np.ndarray:
+    """Inverted-barometer sea-level response, in metres.
+
+    The standard -9.948 mm/hPa response relative to a 1013.25 hPa reference.
+    """
+    p = np.asarray(pressure_hpa, dtype=float)
+    return -0.009948 * (p - 1013.25)
+
+
+def apply_geophysical_corrections(
+    height_m: np.ndarray,
+    lat_deg: np.ndarray,
+    lon_deg: np.ndarray,
+    time_s: np.ndarray,
+    pressure_hpa: np.ndarray | float = 990.0,
+) -> tuple[np.ndarray, GeophysicalCorrections]:
+    """Apply geoid, tide and inverted-barometer corrections to photon heights.
+
+    Returns the corrected heights (relative to the local mean sea surface)
+    and the individual correction terms.
+    """
+    height = np.asarray(height_m, dtype=float)
+    lat = np.asarray(lat_deg, dtype=float)
+    lon = np.asarray(lon_deg, dtype=float)
+    time = np.asarray(time_s, dtype=float)
+    ensure_same_length(height, lat, lon, time, names=("height", "lat", "lon", "time"))
+    pressure = np.broadcast_to(np.asarray(pressure_hpa, dtype=float), height.shape)
+
+    corr = GeophysicalCorrections(
+        geoid=geoid_undulation(lat, lon),
+        ocean_tide=ocean_tide_correction(time, lat),
+        inverted_barometer=inverted_barometer_correction(pressure),
+    )
+    return height - corr.total(), corr
+
+
+def first_photon_bias_correction(
+    height_m: np.ndarray,
+    photon_rate_per_shot: np.ndarray | float,
+    dead_time_ns: float = 3.2,
+    pulse_width_ns: float = 1.5,
+) -> np.ndarray:
+    """First-photon (detector dead-time) bias correction.
+
+    Strong returns bias the earliest detected photon toward the top of the
+    return pulse, raising apparent surface heights.  The bias grows with the
+    per-shot photon rate; the correction subtracts an estimate of that shift.
+    The functional form follows the ATL03 ATBD's first-order model: the bias
+    is proportional to the pulse width times the expected fraction of the
+    pulse lost to dead time, saturating at high rates.
+
+    Parameters
+    ----------
+    height_m:
+        Photon heights in metres.
+    photon_rate_per_shot:
+        Expected signal photons per laser shot (scalar or per-photon array).
+    dead_time_ns, pulse_width_ns:
+        Detector dead time and transmitted pulse width (1 ns ≈ 0.15 m of
+        one-way range).
+    """
+    height = np.asarray(height_m, dtype=float)
+    rate = np.broadcast_to(np.asarray(photon_rate_per_shot, dtype=float), height.shape)
+    if np.any(rate < 0):
+        raise ValueError("photon_rate_per_shot must be non-negative")
+    metres_per_ns = 0.15  # one-way light travel distance per nanosecond
+    saturation = 1.0 - np.exp(-rate * dead_time_ns / max(pulse_width_ns, 1e-9) * 0.1)
+    bias = 0.5 * pulse_width_ns * metres_per_ns * saturation
+    return height - bias

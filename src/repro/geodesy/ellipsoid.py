@@ -1,0 +1,97 @@
+"""Reference ellipsoid model (WGS84) and basic geodesic helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Ellipsoid:
+    """An oblate reference ellipsoid.
+
+    Attributes
+    ----------
+    a:
+        Semi-major axis in metres.
+    f:
+        Flattening.
+    """
+
+    a: float
+    f: float
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise ValueError("semi-major axis must be positive")
+        if not 0 <= self.f < 1:
+            raise ValueError("flattening must be in [0, 1)")
+
+    @property
+    def b(self) -> float:
+        """Semi-minor axis in metres."""
+        return self.a * (1.0 - self.f)
+
+    @property
+    def e2(self) -> float:
+        """First eccentricity squared."""
+        return self.f * (2.0 - self.f)
+
+    @property
+    def e(self) -> float:
+        """First eccentricity."""
+        return float(np.sqrt(self.e2))
+
+    def prime_vertical_radius(self, lat_rad: np.ndarray) -> np.ndarray:
+        """Radius of curvature in the prime vertical, N(lat)."""
+        sin_lat = np.sin(lat_rad)
+        return self.a / np.sqrt(1.0 - self.e2 * sin_lat**2)
+
+    def meridional_radius(self, lat_rad: np.ndarray) -> np.ndarray:
+        """Radius of curvature in the meridian, M(lat)."""
+        sin_lat = np.sin(lat_rad)
+        return self.a * (1.0 - self.e2) / (1.0 - self.e2 * sin_lat**2) ** 1.5
+
+    def geodetic_to_ecef(
+        self, lat_deg: np.ndarray, lon_deg: np.ndarray, height_m: np.ndarray | float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Convert geodetic coordinates to Earth-centred Earth-fixed XYZ."""
+        lat = np.radians(np.asarray(lat_deg, dtype=float))
+        lon = np.radians(np.asarray(lon_deg, dtype=float))
+        h = np.asarray(height_m, dtype=float)
+        n = self.prime_vertical_radius(lat)
+        cos_lat = np.cos(lat)
+        x = (n + h) * cos_lat * np.cos(lon)
+        y = (n + h) * cos_lat * np.sin(lon)
+        z = (n * (1.0 - self.e2) + h) * np.sin(lat)
+        return x, y, z
+
+    def surface_distance(
+        self,
+        lat1_deg: np.ndarray,
+        lon1_deg: np.ndarray,
+        lat2_deg: np.ndarray,
+        lon2_deg: np.ndarray,
+    ) -> np.ndarray:
+        """Great-circle distance (spherical approximation with mean radius).
+
+        Accurate to a fraction of a percent over the short along-track
+        distances used by the pipeline (kilometres), which is sufficient for
+        windowing; the precise along-track distance used for resampling is
+        carried in projected coordinates instead.
+        """
+        lat1 = np.radians(np.asarray(lat1_deg, dtype=float))
+        lon1 = np.radians(np.asarray(lon1_deg, dtype=float))
+        lat2 = np.radians(np.asarray(lat2_deg, dtype=float))
+        lon2 = np.radians(np.asarray(lon2_deg, dtype=float))
+        mean_radius = (2.0 * self.a + self.b) / 3.0
+        d_lat = lat2 - lat1
+        d_lon = lon2 - lon1
+        h = np.sin(d_lat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(d_lon / 2.0) ** 2
+        return 2.0 * mean_radius * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+
+
+#: The WGS84 ellipsoid used by the ICESat-2 products (ITRF2014 realisation).
+WGS84 = Ellipsoid(a=6_378_137.0, f=1.0 / 298.257223563, name="WGS84")

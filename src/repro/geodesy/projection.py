@@ -1,0 +1,160 @@
+"""Polar stereographic projection (EPSG:3976 style) on an ellipsoid.
+
+The forward/inverse formulas follow Snyder, *Map Projections — A Working
+Manual* (USGS PP 1395), section 21, the same formulation used by proj4 for
+the NSIDC Antarctic polar stereographic grid.  EPSG:3976 is the south polar
+variant with a standard parallel of 70° S and central meridian 0° E on WGS84.
+
+Only this projection is needed by the pipeline: both the simulated Sentinel-2
+scenes and the ICESat-2 track points are expressed in its metre grid, so
+overlaying the two datasets (paper Section III.A.3) is a direct nearest-pixel
+lookup in projected coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geodesy.ellipsoid import WGS84, Ellipsoid
+
+
+@dataclass(frozen=True)
+class PolarStereographic:
+    """Ellipsoidal polar stereographic projection.
+
+    Parameters
+    ----------
+    ellipsoid:
+        Reference ellipsoid.
+    standard_parallel_deg:
+        Latitude of true scale.  Negative for the south polar aspect
+        (EPSG:3976 uses -70).
+    central_meridian_deg:
+        Longitude of the projection's y axis.
+    false_easting, false_northing:
+        Offsets added to the projected coordinates, in metres.
+    """
+
+    ellipsoid: Ellipsoid = WGS84
+    standard_parallel_deg: float = -70.0
+    central_meridian_deg: float = 0.0
+    false_easting: float = 0.0
+    false_northing: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.standard_parallel_deg == 0.0:
+            raise ValueError("standard parallel of a polar stereographic projection cannot be 0")
+
+    @property
+    def south(self) -> bool:
+        """True for the south polar aspect."""
+        return self.standard_parallel_deg < 0.0
+
+    # -- internal helpers ---------------------------------------------------
+
+    def _t(self, lat_rad: np.ndarray) -> np.ndarray:
+        """Isometric colatitude function t(lat) from Snyder eq. 15-9."""
+        e = self.ellipsoid.e
+        sin_lat = np.sin(lat_rad)
+        return np.tan(np.pi / 4.0 - lat_rad / 2.0) / (
+            (1.0 - e * sin_lat) / (1.0 + e * sin_lat)
+        ) ** (e / 2.0)
+
+    def _m(self, lat_rad: float) -> float:
+        """Scale function m(lat) from Snyder eq. 14-15."""
+        e2 = self.ellipsoid.e2
+        sin_lat = np.sin(lat_rad)
+        return float(np.cos(lat_rad) / np.sqrt(1.0 - e2 * sin_lat**2))
+
+    # -- public API ---------------------------------------------------------
+
+    def forward(
+        self, lat_deg: np.ndarray, lon_deg: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project geodetic (lat, lon) in degrees to (x, y) in metres."""
+        lat = np.asarray(lat_deg, dtype=float)
+        lon = np.asarray(lon_deg, dtype=float)
+        if np.any(np.abs(lat) > 90.0):
+            raise ValueError("latitude out of range [-90, 90]")
+        sign = -1.0 if self.south else 1.0
+        # Work in the north polar aspect internally by mirroring latitudes.
+        lat_rad = np.radians(sign * lat)
+        lon_rad = np.radians(sign * (lon - self.central_meridian_deg))
+        lat_ts = np.radians(sign * self.standard_parallel_deg)
+
+        a = self.ellipsoid.a
+        t = self._t(lat_rad)
+        t_c = self._t(np.asarray(lat_ts))
+        m_c = self._m(float(lat_ts))
+        rho = a * m_c * t / t_c
+
+        x = rho * np.sin(lon_rad)
+        y = -rho * np.cos(lon_rad)
+        if self.south:
+            x, y = -x, -y  # mirror back to the south aspect
+        return x + self.false_easting, y + self.false_northing
+
+    def inverse(
+        self, x_m: np.ndarray, y_m: np.ndarray, max_iter: int = 12, tol: float = 1e-12
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Inverse projection: (x, y) metres back to geodetic degrees."""
+        x = np.asarray(x_m, dtype=float) - self.false_easting
+        y = np.asarray(y_m, dtype=float) - self.false_northing
+        sign = -1.0 if self.south else 1.0
+        if self.south:
+            x, y = -x, -y
+
+        a = self.ellipsoid.a
+        e = self.ellipsoid.e
+        lat_ts = np.radians(sign * self.standard_parallel_deg)
+        t_c = self._t(np.asarray(lat_ts))
+        m_c = self._m(float(lat_ts))
+
+        rho = np.hypot(x, y)
+        t = rho * t_c / (a * m_c)
+
+        # Iterate Snyder eq. 7-9 for the conformal latitude inversion.
+        lat = np.pi / 2.0 - 2.0 * np.arctan(t)
+        for _ in range(max_iter):
+            sin_lat = np.sin(lat)
+            new_lat = np.pi / 2.0 - 2.0 * np.arctan(
+                t * ((1.0 - e * sin_lat) / (1.0 + e * sin_lat)) ** (e / 2.0)
+            )
+            if np.all(np.abs(new_lat - lat) < tol):
+                lat = new_lat
+                break
+            lat = new_lat
+
+        lon = np.arctan2(x, -y)
+        # At the exact pole rho == 0 and the longitude is undefined; pick 0.
+        lon = np.where(rho == 0.0, 0.0, lon)
+        lat_deg = sign * np.degrees(lat)
+        lon_deg = sign * np.degrees(lon) + self.central_meridian_deg
+        lon_deg = (lon_deg + 180.0) % 360.0 - 180.0
+        return lat_deg, lon_deg
+
+    def scale_factor(self, lat_deg: np.ndarray) -> np.ndarray:
+        """Point scale factor k at a given latitude (1 at the standard parallel)."""
+        sign = -1.0 if self.south else 1.0
+        lat_rad = np.radians(sign * np.asarray(lat_deg, dtype=float))
+        lat_ts = np.radians(sign * self.standard_parallel_deg)
+        t = self._t(lat_rad)
+        t_c = self._t(np.asarray(lat_ts))
+        m_c = self._m(float(lat_ts))
+        m = np.cos(lat_rad) / np.sqrt(1.0 - self.ellipsoid.e2 * np.sin(lat_rad) ** 2)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            k = np.where(m > 0, m_c * t / (t_c * m), m_c / t_c * 0.5 * 2.0)
+        return k
+
+
+def antarctic_polar_stereographic() -> PolarStereographic:
+    """The EPSG:3976-equivalent projection used throughout the pipeline."""
+    return PolarStereographic(
+        ellipsoid=WGS84,
+        standard_parallel_deg=-70.0,
+        central_meridian_deg=0.0,
+        false_easting=0.0,
+        false_northing=0.0,
+    )

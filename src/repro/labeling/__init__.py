@@ -1,0 +1,34 @@
+"""Auto-labeling of ATL03 segments from coincident Sentinel-2 imagery.
+
+Implements the paper's Section III.A.3-4:
+
+* :mod:`repro.labeling.pairs` — the IS2/S2 coincident-pair catalogue
+  (Table I) and the temporal-matching rule (< 80 minutes);
+* :mod:`repro.labeling.alignment` — sea-ice drift estimation and the S2
+  image shift that re-aligns the datasets;
+* :mod:`repro.labeling.autolabel` — overlay of IS2 2 m segments on the
+  segmented S2 image (shared EPSG:3976 projection) and label transfer;
+* :mod:`repro.labeling.manual` — the manual-correction model for transition
+  regions and cloud-contaminated labels.
+"""
+
+from repro.labeling.pairs import TABLE_I_PAIRS, CoincidentPair, find_coincident_pairs
+from repro.labeling.alignment import estimate_drift, apply_shift, DriftEstimate
+from repro.labeling.autolabel import AutoLabelResult, auto_label_segments, overlay_labels
+from repro.labeling.manual import correct_labels, transition_mask
+from repro.labeling.parallel import parallel_autolabel
+
+__all__ = [
+    "parallel_autolabel",
+    "TABLE_I_PAIRS",
+    "CoincidentPair",
+    "find_coincident_pairs",
+    "estimate_drift",
+    "apply_shift",
+    "DriftEstimate",
+    "AutoLabelResult",
+    "auto_label_segments",
+    "overlay_labels",
+    "correct_labels",
+    "transition_mask",
+]

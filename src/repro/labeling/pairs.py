@@ -1,0 +1,148 @@
+"""Coincident ICESat-2 / Sentinel-2 acquisition pairs (paper Table I).
+
+The paper lists eight IS2 ATL03 / S2 pairs over the Ross Sea in November 2019
+with time differences below two hours, together with the shift applied to the
+S2 image to compensate sea-ice drift.  The table is reproduced here verbatim
+as data, and :func:`find_coincident_pairs` implements the matching rule used
+to construct it (nearest S2 acquisition within a configurable temporal
+window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.config import MAX_COINCIDENT_MINUTES
+
+
+#: Compass direction -> unit vector in projected (x, y) coordinates.
+_DIRECTION_VECTORS = {
+    "N": (0.0, 1.0),
+    "S": (0.0, -1.0),
+    "E": (1.0, 0.0),
+    "W": (-1.0, 0.0),
+    "NE": (0.7071067811865476, 0.7071067811865476),
+    "NW": (-0.7071067811865476, 0.7071067811865476),
+    "SE": (0.7071067811865476, -0.7071067811865476),
+    "SW": (-0.7071067811865476, -0.7071067811865476),
+}
+
+
+@dataclass(frozen=True)
+class CoincidentPair:
+    """One IS2/S2 coincident acquisition pair."""
+
+    index: int
+    is2_time: datetime
+    s2_time: datetime
+    shift_distance_m: float
+    shift_direction: str
+
+    def __post_init__(self) -> None:
+        if self.shift_distance_m < 0:
+            raise ValueError("shift_distance_m must be non-negative")
+        if self.shift_distance_m > 0 and self.shift_direction not in _DIRECTION_VECTORS:
+            raise ValueError(f"unknown shift direction {self.shift_direction!r}")
+
+    @property
+    def time_difference_minutes(self) -> float:
+        """Absolute IS2-S2 time difference in minutes."""
+        return abs((self.is2_time - self.s2_time).total_seconds()) / 60.0
+
+    @property
+    def shift_vector_m(self) -> tuple[float, float]:
+        """The S2 shift expressed as a projected (dx, dy) vector in metres."""
+        if self.shift_distance_m == 0.0:
+            return (0.0, 0.0)
+        ux, uy = _DIRECTION_VECTORS[self.shift_direction]
+        return (self.shift_distance_m * ux, self.shift_distance_m * uy)
+
+    @property
+    def implied_drift_speed_m_per_min(self) -> float:
+        """Ice drift speed implied by the shift over the time difference."""
+        dt = self.time_difference_minutes
+        if dt == 0:
+            return 0.0
+        return self.shift_distance_m / dt
+
+
+def _utc(year: int, month: int, day: int, hh: int, mm: int, ss: int) -> datetime:
+    return datetime(year, month, day, hh, mm, ss, tzinfo=timezone.utc)
+
+
+#: Table I of the paper: the eight Ross Sea pairs from November 2019.
+TABLE_I_PAIRS: tuple[CoincidentPair, ...] = (
+    CoincidentPair(1, _utc(2019, 11, 3, 18, 44, 32), _utc(2019, 11, 3, 18, 34, 59), 550.0, "NW"),
+    CoincidentPair(2, _utc(2019, 11, 4, 19, 53, 11), _utc(2019, 11, 4, 19, 45, 29), 0.0, ""),
+    CoincidentPair(3, _utc(2019, 11, 13, 19, 10, 53), _utc(2019, 11, 13, 18, 34, 59), 200.0, "W"),
+    CoincidentPair(4, _utc(2019, 11, 16, 19, 28, 13), _utc(2019, 11, 16, 18, 44, 59), 0.0, ""),
+    CoincidentPair(5, _utc(2019, 11, 17, 19, 2, 34), _utc(2019, 11, 17, 18, 15, 9), 530.0, "NW"),
+    CoincidentPair(6, _utc(2019, 11, 20, 19, 19, 52), _utc(2019, 11, 20, 20, 5, 29), 400.0, "NW"),
+    CoincidentPair(7, _utc(2019, 11, 23, 18, 2, 55), _utc(2019, 11, 23, 18, 34, 59), 150.0, "E"),
+    CoincidentPair(8, _utc(2019, 11, 26, 18, 20, 14), _utc(2019, 11, 26, 18, 44, 59), 350.0, "SW"),
+)
+
+
+def find_coincident_pairs(
+    is2_times: list[datetime],
+    s2_times: list[datetime],
+    max_minutes: float = MAX_COINCIDENT_MINUTES,
+) -> list[tuple[int, int, float]]:
+    """Match IS2 acquisitions to the temporally nearest S2 acquisition.
+
+    Parameters
+    ----------
+    is2_times, s2_times:
+        Acquisition timestamps (timezone-aware).
+    max_minutes:
+        Maximum accepted absolute time difference.
+
+    Returns
+    -------
+    list of (is2_index, s2_index, minutes):
+        One entry per IS2 acquisition that has an S2 partner within the
+        window, sorted by IS2 index.  Each S2 image may serve several IS2
+        tracks (the real archive has far fewer S2 scenes than IS2 passes).
+    """
+    if max_minutes <= 0:
+        raise ValueError("max_minutes must be positive")
+    if not s2_times:
+        return []
+    s2_epoch = np.array([t.timestamp() for t in s2_times])
+    order = np.argsort(s2_epoch)
+    s2_sorted = s2_epoch[order]
+
+    matches: list[tuple[int, int, float]] = []
+    for i, t in enumerate(is2_times):
+        ts = t.timestamp()
+        pos = int(np.searchsorted(s2_sorted, ts))
+        best_j, best_dt = -1, np.inf
+        for candidate in (pos - 1, pos):
+            if 0 <= candidate < s2_sorted.shape[0]:
+                dt = abs(s2_sorted[candidate] - ts) / 60.0
+                if dt < best_dt:
+                    best_dt = dt
+                    best_j = int(order[candidate])
+        if best_j >= 0 and best_dt <= max_minutes:
+            matches.append((i, best_j, float(best_dt)))
+    return matches
+
+
+def table_i_rows() -> list[dict[str, object]]:
+    """Table I as printable rows (used by the benchmark harness)."""
+    rows = []
+    for pair in TABLE_I_PAIRS:
+        rows.append(
+            {
+                "index": pair.index,
+                "is2_time": pair.is2_time.strftime("%Y/%m/%d %H:%M:%S"),
+                "s2_time": pair.s2_time.strftime("%Y/%m/%d %H:%M:%S"),
+                "time_difference_min": round(pair.time_difference_minutes, 2),
+                "shift_m": pair.shift_distance_m,
+                "shift_direction": pair.shift_direction or "-",
+            }
+        )
+    return rows

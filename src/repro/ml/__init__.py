@@ -1,0 +1,68 @@
+"""Neural-network stack implemented from scratch on NumPy.
+
+The paper trains its classifiers with TensorFlow/Keras; offline that is
+replaced by this self-contained stack with the same building blocks:
+
+* :mod:`repro.ml.layers` — Dense, Dropout, activation layers (ELU, ReLU,
+  softmax) with forward and backward passes;
+* :mod:`repro.ml.lstm` — an LSTM layer with full backpropagation through
+  time;
+* :mod:`repro.ml.losses` — categorical cross-entropy and the focal loss used
+  by the paper for class imbalance;
+* :mod:`repro.ml.optimizers` — SGD and Adam;
+* :mod:`repro.ml.model` — a Keras-like ``Sequential`` container with
+  ``fit`` / ``predict`` / ``evaluate``;
+* :mod:`repro.ml.metrics` — accuracy, precision, recall, F1 and the
+  confusion matrix;
+* :mod:`repro.ml.dataset` — splitting, batching and sequence construction;
+* :mod:`repro.ml.models` — the exact LSTM and MLP architectures of the
+  paper.
+
+Gradient correctness of every layer is verified against numerical
+differentiation in the test suite, and the distributed trainer in
+:mod:`repro.distributed.ddp` reuses these models unchanged.
+"""
+
+from repro.ml.layers import Dense, Dropout, ELU, Flatten, ReLU, Softmax
+from repro.ml.lstm import LSTM
+from repro.ml.losses import CategoricalCrossEntropy, FocalLoss
+from repro.ml.optimizers import SGD, Adam
+from repro.ml.model import Sequential
+from repro.ml.metrics import (
+    ClassificationReport,
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.dataset import Dataset, one_hot, train_test_split
+from repro.ml.models import build_lstm_classifier, build_mlp_classifier
+
+__all__ = [
+    "Dense",
+    "Dropout",
+    "ELU",
+    "ReLU",
+    "Softmax",
+    "Flatten",
+    "LSTM",
+    "CategoricalCrossEntropy",
+    "FocalLoss",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "ClassificationReport",
+    "accuracy_score",
+    "classification_report",
+    "confusion_matrix",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "Dataset",
+    "one_hot",
+    "train_test_split",
+    "build_lstm_classifier",
+    "build_mlp_classifier",
+]

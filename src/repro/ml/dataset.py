@@ -1,0 +1,114 @@
+"""Dataset utilities: one-hot encoding, splitting, batching and sharding.
+
+The paper uses an 80/20 train/test split and a batch size of 32; the
+distributed trainer additionally shards the training set across simulated
+GPUs the way Horovod's data-parallel training does (disjoint, equally sized
+shards per rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.random import default_rng, stratified_indices
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """One-hot encode integer labels into an ``(n, n_classes)`` float array."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError("labels must be one-dimensional")
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError(f"labels must be in [0, {n_classes - 1}]")
+    out = np.zeros((labels.shape[0], n_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    stratify: bool = True,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split features and labels into train and test sets.
+
+    With ``stratify=True`` (the default) per-class proportions are preserved,
+    which matters for the rare open-water class.
+    Returns ``(X_train, y_train, X_test, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y must have the same number of samples")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = default_rng(rng)
+    if stratify:
+        train_idx, test_idx = stratified_indices(rng, y, test_fraction)
+    else:
+        perm = rng.permutation(X.shape[0])
+        n_test = int(round(X.shape[0] * test_fraction))
+        test_idx = np.sort(perm[:n_test])
+        train_idx = np.sort(perm[n_test:])
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]
+
+
+@dataclass
+class Dataset:
+    """A features/labels pair with batching and sharding helpers."""
+
+    X: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=float)
+        self.y = np.asarray(self.y)
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValueError("X and y must have the same number of samples")
+
+    def __len__(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.X.shape[-1])
+
+    def class_counts(self, n_classes: int) -> np.ndarray:
+        """Number of samples per class."""
+        return np.bincount(self.y.astype(int), minlength=n_classes)
+
+    def shuffled(self, rng: np.random.Generator | int | None = None) -> "Dataset":
+        """Return a shuffled copy (used once per epoch)."""
+        rng = default_rng(rng)
+        perm = rng.permutation(len(self))
+        return Dataset(self.X[perm], self.y[perm])
+
+    def batches(self, batch_size: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Iterate over consecutive mini-batches (last one may be smaller)."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        for start in range(0, len(self), batch_size):
+            stop = start + batch_size
+            yield self.X[start:stop], self.y[start:stop]
+
+    def shard(self, rank: int, world_size: int) -> "Dataset":
+        """Disjoint shard for data-parallel rank ``rank`` of ``world_size``.
+
+        Samples are strided (``rank::world_size``) so every shard sees a
+        representative class mix; shard sizes differ by at most one sample.
+        """
+        if world_size <= 0:
+            raise ValueError("world_size must be positive")
+        if not 0 <= rank < world_size:
+            raise ValueError("rank must satisfy 0 <= rank < world_size")
+        return Dataset(self.X[rank::world_size], self.y[rank::world_size])
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Arbitrary indexed subset."""
+        indices = np.asarray(indices)
+        return Dataset(self.X[indices], self.y[indices])

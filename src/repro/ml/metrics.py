@@ -1,0 +1,138 @@
+"""Classification metrics: accuracy, precision, recall, F1 and confusion matrix.
+
+The paper evaluates its classifiers with overall accuracy plus macro-averaged
+precision/recall/F1 (Table III) and a row-normalised confusion matrix giving
+per-class accuracy (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CLASS_NAMES
+
+
+def _validate_labels(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.ndim != 1:
+        raise ValueError("labels must be one-dimensional")
+    if y_true.size == 0:
+        raise ValueError("labels must not be empty")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """Confusion matrix with true classes on rows, predictions on columns."""
+    y_true, y_pred = _validate_labels(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    if np.any(y_true < 0) or np.any(y_pred < 0):
+        raise ValueError("labels must be non-negative for a confusion matrix")
+    idx = y_true.astype(np.int64) * n_classes + y_pred.astype(np.int64)
+    counts = np.bincount(idx, minlength=n_classes * n_classes)
+    return counts.reshape(n_classes, n_classes)
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _validate_labels(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def _per_class_prf(cm: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    tp = np.diag(cm).astype(float)
+    fp = cm.sum(axis=0) - tp
+    fn = cm.sum(axis=1) - tp
+    precision = np.divide(tp, tp + fp, out=np.zeros_like(tp), where=(tp + fp) > 0)
+    recall = np.divide(tp, tp + fn, out=np.zeros_like(tp), where=(tp + fn) > 0)
+    denom = precision + recall
+    f1 = np.divide(2 * precision * recall, denom, out=np.zeros_like(tp), where=denom > 0)
+    return precision, recall, f1
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro") -> float:
+    """Precision, macro- or micro-averaged, or weighted by class support."""
+    cm = confusion_matrix(y_true, y_pred)
+    precision, _, _ = _per_class_prf(cm)
+    return _average(precision, cm, average)
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro") -> float:
+    """Recall, macro- or micro-averaged, or weighted by class support."""
+    cm = confusion_matrix(y_true, y_pred)
+    _, recall, _ = _per_class_prf(cm)
+    return _average(recall, cm, average)
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro") -> float:
+    """F1 score, macro- or micro-averaged, or weighted by class support."""
+    cm = confusion_matrix(y_true, y_pred)
+    _, _, f1 = _per_class_prf(cm)
+    return _average(f1, cm, average)
+
+
+def _average(values: np.ndarray, cm: np.ndarray, average: str) -> float:
+    support = cm.sum(axis=1).astype(float)
+    if average == "macro":
+        present = support > 0
+        return float(values[present].mean()) if present.any() else 0.0
+    if average == "weighted":
+        total = support.sum()
+        return float(np.sum(values * support) / total) if total > 0 else 0.0
+    if average == "micro":
+        tp = np.diag(cm).sum()
+        total = cm.sum()
+        return float(tp / total) if total > 0 else 0.0
+    raise ValueError(f"unknown average {average!r}")
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Aggregate evaluation of a classifier, formatted like the paper's Table III."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    confusion: np.ndarray
+    per_class_accuracy: tuple[float, ...]
+    class_names: tuple[str, ...] = CLASS_NAMES
+
+    def as_row(self, model_name: str) -> dict[str, float | str]:
+        """One printable row of Table III (values in percent)."""
+        return {
+            "Model": model_name,
+            "Accuracy": round(100.0 * self.accuracy, 2),
+            "Precision": round(100.0 * self.precision, 2),
+            "Recall": round(100.0 * self.recall, 2),
+            "F1 score": round(100.0 * self.f1, 2),
+        }
+
+    def normalized_confusion(self) -> np.ndarray:
+        """Row-normalised confusion matrix (per-class accuracy on the diagonal)."""
+        cm = self.confusion.astype(float)
+        row_sums = cm.sum(axis=1, keepdims=True)
+        return np.divide(cm, row_sums, out=np.zeros_like(cm), where=row_sums > 0)
+
+
+def classification_report(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None, average: str = "weighted"
+) -> ClassificationReport:
+    """Compute the full evaluation bundle used by the benchmarks."""
+    cm = confusion_matrix(y_true, y_pred, n_classes=n_classes)
+    precision, recall, f1 = _per_class_prf(cm)
+    support = cm.sum(axis=1).astype(float)
+    row_acc = np.divide(np.diag(cm), support, out=np.zeros(cm.shape[0]), where=support > 0)
+    return ClassificationReport(
+        accuracy=accuracy_score(y_true, y_pred),
+        precision=_average(precision, cm, average),
+        recall=_average(recall, cm, average),
+        f1=_average(f1, cm, average),
+        confusion=cm,
+        per_class_accuracy=tuple(float(v) for v in row_acc),
+    )

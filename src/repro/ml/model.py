@@ -1,0 +1,214 @@
+"""A Keras-like ``Sequential`` model with training, evaluation and inference.
+
+The model chains layers from :mod:`repro.ml.layers` /
+:mod:`repro.ml.lstm`, computes the loss from :mod:`repro.ml.losses`, and
+updates parameters with an optimizer from :mod:`repro.ml.optimizers`.  It
+also exposes exactly the hooks the distributed trainer needs:
+
+* :meth:`Sequential.compute_gradients` — forward + backward over a batch
+  without applying the update (so gradients can be all-reduced first);
+* :meth:`Sequential.apply_gradients` — optimizer step on externally supplied
+  (e.g. averaged) gradients;
+* :meth:`Sequential.get_weights` / :meth:`Sequential.set_weights` — broadcast
+  of the initial state from rank 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.layers import Layer
+from repro.ml.losses import CategoricalCrossEntropy, FocalLoss
+from repro.ml.optimizers import Adam, Optimizer
+from repro.ml.dataset import Dataset, one_hot
+from repro.ml.metrics import accuracy_score
+from repro.utils.random import default_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded by :meth:`Sequential.fit`."""
+
+    loss: list[float] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.loss)
+
+
+class Sequential:
+    """A linear stack of layers."""
+
+    def __init__(self, layers: list[Layer], n_classes: int) -> None:
+        if not layers:
+            raise ValueError("a model needs at least one layer")
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        self.layers = list(layers)
+        self.n_classes = n_classes
+        self.loss: FocalLoss | CategoricalCrossEntropy | None = None
+        self.optimizer: Optimizer | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    def compile(
+        self,
+        optimizer: Optimizer | None = None,
+        loss: FocalLoss | CategoricalCrossEntropy | None = None,
+    ) -> "Sequential":
+        """Attach an optimizer and loss (defaults: Adam lr=0.003, focal loss)."""
+        self.optimizer = optimizer if optimizer is not None else Adam(learning_rate=0.003)
+        self.loss = loss if loss is not None else FocalLoss(gamma=2.0)
+        return self
+
+    # -- parameter access -------------------------------------------------------
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads]
+
+    @property
+    def n_parameters(self) -> int:
+        return int(sum(p.size for p in self.params))
+
+    def get_weights(self) -> list[np.ndarray]:
+        return [p.copy() for p in self.params]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        params = self.params
+        if len(weights) != len(params):
+            raise ValueError(f"expected {len(params)} weight arrays, got {len(weights)}")
+        for p, w in zip(params, weights):
+            w = np.asarray(w, dtype=float)
+            if p.shape != w.shape:
+                raise ValueError(f"weight shape mismatch: expected {p.shape}, got {w.shape}")
+            p[...] = w
+
+    # -- forward / backward ------------------------------------------------------
+
+    def forward(self, X: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.asarray(X, dtype=float)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # -- gradients / updates ------------------------------------------------------
+
+    def compute_gradients(
+        self, X: np.ndarray, y: np.ndarray, training: bool = True
+    ) -> tuple[float, list[np.ndarray]]:
+        """Forward + backward over one batch; returns (loss, gradient copies).
+
+        The returned gradients are copies so callers (the distributed
+        trainer) can aggregate them without aliasing the layer buffers.
+        """
+        if self.loss is None:
+            raise RuntimeError("model must be compiled before training")
+        targets = one_hot(np.asarray(y), self.n_classes)
+        probs = self.forward(X, training=training)
+        loss_value = self.loss(probs, targets)
+        grad = self.loss.gradient(probs, targets)
+        self.backward(grad)
+        return float(loss_value), [g.copy() for g in self.grads]
+
+    def apply_gradients(self, gradients: list[np.ndarray]) -> None:
+        """Apply externally supplied gradients with the compiled optimizer."""
+        if self.optimizer is None:
+            raise RuntimeError("model must be compiled before applying gradients")
+        params = self.params
+        if len(gradients) != len(params):
+            raise ValueError("gradient list length does not match parameter count")
+        self.optimizer.step(params, gradients)
+
+    def train_batch(self, X: np.ndarray, y: np.ndarray) -> float:
+        """One optimization step on a mini-batch; returns the batch loss."""
+        loss_value, grads = self.compute_gradients(X, y, training=True)
+        self.apply_gradients(grads)
+        return loss_value
+
+    # -- high level API -------------------------------------------------------------
+
+    def fit(
+        self,
+        train: Dataset,
+        epochs: int = 20,
+        batch_size: int = 32,
+        validation: Dataset | None = None,
+        shuffle: bool = True,
+        rng: np.random.Generator | int | None = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``train``.
+
+        Returns a :class:`TrainingHistory` with loss/accuracy per epoch (and
+        validation metrics when a validation set is supplied).
+        """
+        import time
+
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        rng = default_rng(rng)
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            start = time.perf_counter()
+            data = train.shuffled(rng) if shuffle else train
+            losses = []
+            for X_batch, y_batch in data.batches(batch_size):
+                losses.append(self.train_batch(X_batch, y_batch))
+            history.loss.append(float(np.mean(losses)) if losses else 0.0)
+            history.accuracy.append(self.evaluate(train)[1])
+            if validation is not None:
+                val_loss, val_acc = self.evaluate(validation)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+            history.epoch_seconds.append(time.perf_counter() - start)
+            if verbose:  # pragma: no cover - logging only
+                msg = f"epoch {epoch + 1}/{epochs} loss={history.loss[-1]:.4f} acc={history.accuracy[-1]:.4f}"
+                if validation is not None:
+                    msg += f" val_acc={history.val_accuracy[-1]:.4f}"
+                print(msg)
+        return history
+
+    def predict_proba(self, X: np.ndarray, batch_size: int = 1024) -> np.ndarray:
+        """Class probabilities, evaluated in inference mode (dropout off)."""
+        X = np.asarray(X, dtype=float)
+        outputs = []
+        for start in range(0, X.shape[0], batch_size):
+            outputs.append(self.forward(X[start:start + batch_size], training=False))
+        return np.concatenate(outputs, axis=0) if outputs else np.empty((0, self.n_classes))
+
+    def predict(self, X: np.ndarray, batch_size: int = 1024) -> np.ndarray:
+        """Hard class predictions."""
+        return np.argmax(self.predict_proba(X, batch_size=batch_size), axis=1)
+
+    def evaluate(self, data: Dataset, batch_size: int = 1024) -> tuple[float, float]:
+        """Return (loss, accuracy) over a dataset in inference mode."""
+        if self.loss is None:
+            raise RuntimeError("model must be compiled before evaluation")
+        probs = self.predict_proba(data.X, batch_size=batch_size)
+        targets = one_hot(data.y.astype(int), self.n_classes)
+        loss_value = self.loss(probs, targets)
+        acc = accuracy_score(data.y.astype(int), np.argmax(probs, axis=1))
+        return float(loss_value), float(acc)
+
+    def summary(self) -> str:
+        """Human-readable layer/parameter summary."""
+        lines = [f"Sequential model: {len(self.layers)} layers, {self.n_parameters} parameters"]
+        for i, layer in enumerate(self.layers):
+            lines.append(f"  [{i}] {type(layer).__name__}: {layer.n_parameters} params")
+        return "\n".join(lines)

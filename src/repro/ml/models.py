@@ -1,0 +1,86 @@
+"""The paper's classifier architectures.
+
+* :func:`build_lstm_classifier` — an LSTM layer with 16 units and ELU
+  activation over sequences of five 2 m segments with six features each,
+  dropout 0.2, followed by seven dense layers of 32, 96, 32, 16, 112, 48 and
+  64 units (ELU) and a three-way softmax head (paper Section III.B.1).
+* :func:`build_mlp_classifier` — a dense layer of 32 units with ReLU
+  activation and a softmax head over the same six features
+  (paper Section III.B.2).
+
+Both are compiled with Adam (lr = 0.003) and the focal loss, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import LSTMConfig, MLPConfig, TrainingConfig, DEFAULT_LSTM, DEFAULT_MLP, DEFAULT_TRAINING
+from repro.ml.layers import Dense, Dropout, ELU, ReLU, Softmax
+from repro.ml.losses import FocalLoss
+from repro.ml.lstm import LSTM
+from repro.ml.model import Sequential
+from repro.ml.optimizers import Adam
+from repro.utils.random import default_rng, derive_rng
+
+
+def build_lstm_classifier(
+    config: LSTMConfig = DEFAULT_LSTM,
+    training: TrainingConfig = DEFAULT_TRAINING,
+    class_weights: np.ndarray | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> Sequential:
+    """Build and compile the paper's LSTM sea-ice classifier.
+
+    The model expects inputs of shape
+    ``(batch, config.sequence_length, config.n_features)``.
+    """
+    rng = default_rng(rng)
+    layers = [
+        LSTM(config.n_features, config.lstm_units, activation="elu", rng=derive_rng(rng, 0)),
+        Dropout(config.dropout, rng=derive_rng(rng, 1)),
+    ]
+    n_in = config.lstm_units
+    for i, units in enumerate(config.dense_units):
+        layers.append(Dense(n_in, units, rng=derive_rng(rng, 10 + i)))
+        layers.append(ELU())
+        n_in = units
+    layers.append(Dense(n_in, config.n_classes, rng=derive_rng(rng, 99)))
+    layers.append(Softmax())
+
+    model = Sequential(layers, n_classes=config.n_classes)
+    model.compile(
+        optimizer=Adam(learning_rate=training.learning_rate),
+        loss=FocalLoss(gamma=training.focal_gamma, alpha=class_weights),
+    )
+    return model
+
+
+def build_mlp_classifier(
+    config: MLPConfig = DEFAULT_MLP,
+    training: TrainingConfig = DEFAULT_TRAINING,
+    class_weights: np.ndarray | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> Sequential:
+    """Build and compile the paper's MLP sea-ice classifier.
+
+    The model expects inputs of shape ``(batch, config.n_features)``.
+    """
+    rng = default_rng(rng)
+    layers: list = []
+    n_in = config.n_features
+    for i, units in enumerate(config.hidden_units):
+        layers.append(Dense(n_in, units, rng=derive_rng(rng, i)))
+        layers.append(ReLU())
+        if config.dropout > 0:
+            layers.append(Dropout(config.dropout, rng=derive_rng(rng, 50 + i)))
+        n_in = units
+    layers.append(Dense(n_in, config.n_classes, rng=derive_rng(rng, 99)))
+    layers.append(Softmax())
+
+    model = Sequential(layers, n_classes=config.n_classes)
+    model.compile(
+        optimizer=Adam(learning_rate=training.learning_rate),
+        loss=FocalLoss(gamma=training.focal_gamma, alpha=class_weights),
+    )
+    return model

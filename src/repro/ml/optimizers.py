@@ -1,0 +1,100 @@
+"""Gradient-descent optimizers: SGD (with momentum) and Adam.
+
+The paper uses Adam with a learning rate of 0.003 for both classifiers.  The
+optimizers operate in place on the model's parameter arrays so that the
+distributed trainer can all-reduce gradients *before* the update without any
+extra copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer interface."""
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any accumulated state (momentum, moment estimates)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have the same length")
+        if self.momentum == 0.0:
+            for p, g in zip(params, grads):
+                p -= self.learning_rate * g
+            return
+        if self._velocity is None or len(self._velocity) != len(params):
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.learning_rate * g
+            p += v
+
+    def reset(self) -> None:
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.003,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-7,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have the same length")
+        if self._m is None or len(self._m) != len(params):
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+            self._t = 0
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0

@@ -1,0 +1,15 @@
+"""Emulated ATL07 and ATL10 baseline products.
+
+The paper compares its 2 m ATL03-derived classification, sea surface and
+freeboard against the operational ATL07 (sea-ice height + surface class) and
+ATL10 (freeboard) products.  Those products are themselves derived from
+ATL03 by 150-signal-photon aggregation, a decision-tree surface classifier
+and the ATBD sea-surface equations — all of which exist in this library — so
+the baselines are generated here from the same simulated granules, which
+makes the comparisons self-consistent.
+"""
+
+from repro.products.atl07 import ATL07Product, generate_atl07
+from repro.products.atl10 import ATL10Product, generate_atl10
+
+__all__ = ["ATL07Product", "generate_atl07", "ATL10Product", "generate_atl10"]

@@ -1,0 +1,64 @@
+"""Emulated ATL10 sea-ice freeboard product.
+
+ATL10 computes freeboard for the ATL07 segments within 10 km swaths using
+the ATBD reference sea surface.  Here it is derived directly from the
+emulated :class:`~repro.products.atl07.ATL07Product`: freeboard is the ATL07
+segment height minus the ATL07 sea surface, reported only for ice segments
+(the operational product excludes the lead segments themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CLASS_OPEN_WATER
+from repro.products.atl07 import ATL07Product
+
+
+@dataclass
+class ATL10Product:
+    """Per-segment ATL10-style freeboard records of one beam."""
+
+    beam_name: str
+    along_track_m: np.ndarray
+    freeboard_m: np.ndarray
+    sea_surface_m: np.ndarray
+    segment_length_m: np.ndarray
+    surface_class: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.along_track_m.shape[0])
+
+    def mean_freeboard_m(self) -> float:
+        if self.n_segments == 0:
+            return 0.0
+        return float(self.freeboard_m.mean())
+
+    def distribution(self, bin_width_m: float = 0.02, max_freeboard_m: float = 1.5) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram (bin centres, normalised density) of the freeboards."""
+        if bin_width_m <= 0 or max_freeboard_m <= 0:
+            raise ValueError("bin width and maximum freeboard must be positive")
+        edges = np.arange(0.0, max_freeboard_m + bin_width_m, bin_width_m)
+        counts, _ = np.histogram(self.freeboard_m, bins=edges)
+        density = counts / max(counts.sum(), 1)
+        centres = 0.5 * (edges[:-1] + edges[1:])
+        return centres, density
+
+
+def generate_atl10(atl07: ATL07Product, clip_negative: bool = True) -> ATL10Product:
+    """Derive the emulated ATL10 freeboard product from an ATL07 product."""
+    ice_mask = atl07.surface_class != CLASS_OPEN_WATER
+    freeboard = atl07.height_m - atl07.sea_surface_m
+    if clip_negative:
+        freeboard = np.clip(freeboard, 0.0, None)
+    return ATL10Product(
+        beam_name=atl07.beam_name,
+        along_track_m=atl07.along_track_m[ice_mask],
+        freeboard_m=freeboard[ice_mask],
+        sea_surface_m=atl07.sea_surface_m[ice_mask],
+        segment_length_m=atl07.segment_length_m[ice_mask],
+        surface_class=atl07.surface_class[ice_mask],
+    )

@@ -1,0 +1,22 @@
+"""Along-track resampling: 2 m windows, feature extraction and photon aggregation.
+
+The paper's central data transformation is resampling the ATL03 photon cloud
+into fixed 2 m along-track segments with per-segment statistics (the inputs
+to the classifiers), in contrast to the operational ATL07/ATL10 products
+which aggregate a fixed number (150) of signal photons into variable-length
+segments.  Both resamplings are implemented here, fully vectorised.
+"""
+
+from repro.resampling.window import SegmentArray, resample_fixed_window
+from repro.resampling.features import FEATURE_NAMES, extract_features, feature_matrix
+from repro.resampling.photon_agg import PhotonAggregateSegments, aggregate_photons
+
+__all__ = [
+    "SegmentArray",
+    "resample_fixed_window",
+    "FEATURE_NAMES",
+    "extract_features",
+    "feature_matrix",
+    "PhotonAggregateSegments",
+    "aggregate_photons",
+]

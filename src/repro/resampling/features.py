@@ -1,0 +1,120 @@
+"""Per-segment classification features.
+
+The paper identifies six effective features per 2 m segment (Section III.B.1):
+height/elevation, height standard deviation, high-confidence photon count,
+photon-rate change, background photon rate and background-rate change.  The
+"change" features are along-track first differences, which is what lets the
+models see transitions between surface types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resampling.window import SegmentArray
+
+#: Canonical feature order used by the models.
+FEATURE_NAMES = (
+    "height_mean_m",
+    "height_std_m",
+    "n_high_conf",
+    "photon_rate_change",
+    "background_rate_hz",
+    "background_rate_change",
+)
+
+
+def _along_track_change(values: np.ndarray) -> np.ndarray:
+    """Centred along-track difference with zero-padded ends."""
+    change = np.zeros_like(values, dtype=float)
+    if values.shape[0] > 2:
+        change[1:-1] = 0.5 * (values[2:] - values[:-2])
+    if values.shape[0] >= 2:
+        change[0] = values[1] - values[0]
+        change[-1] = values[-1] - values[-2]
+    return change
+
+
+def extract_features(segments: SegmentArray, fill_value: float = 0.0) -> dict[str, np.ndarray]:
+    """Compute the six per-segment features as a name -> array mapping.
+
+    NaN statistics from empty segments are replaced by ``fill_value`` so the
+    feature matrix is always finite (the models cannot ingest NaN).
+    """
+    height = np.nan_to_num(segments.height_mean_m, nan=fill_value)
+    height_std = np.nan_to_num(segments.height_std_m, nan=fill_value)
+    n_high_conf = segments.n_high_conf.astype(float)
+    photon_rate = np.nan_to_num(segments.photon_rate, nan=fill_value)
+    background = np.nan_to_num(segments.background_rate_hz, nan=fill_value)
+
+    return {
+        "height_mean_m": height,
+        "height_std_m": height_std,
+        "n_high_conf": n_high_conf,
+        "photon_rate_change": _along_track_change(photon_rate),
+        "background_rate_hz": background,
+        "background_rate_change": _along_track_change(background),
+    }
+
+
+def feature_matrix(
+    segments: SegmentArray,
+    normalize: bool = True,
+    stats: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+    """Stack the features into an ``(n_segments, 6)`` matrix.
+
+    Parameters
+    ----------
+    normalize:
+        If True, features are standardised to zero mean / unit variance.
+    stats:
+        Optional pre-computed ``(mean, std)`` to reuse for inference-time
+        normalisation (so training and inference share the same scaling).
+
+    Returns
+    -------
+    (X, (mean, std)):
+        The feature matrix and the normalisation statistics used.
+    """
+    features = extract_features(segments)
+    X = np.column_stack([features[name] for name in FEATURE_NAMES]).astype(np.float64)
+
+    if not normalize:
+        return X, (np.zeros(X.shape[1]), np.ones(X.shape[1]))
+
+    if stats is None:
+        mean = X.mean(axis=0)
+        std = X.std(axis=0)
+    else:
+        mean, std = stats
+        mean = np.asarray(mean, dtype=float)
+        std = np.asarray(std, dtype=float)
+        if mean.shape != (X.shape[1],) or std.shape != (X.shape[1],):
+            raise ValueError("stats must be (mean, std) arrays with one entry per feature")
+    safe_std = np.where(std > 1e-12, std, 1.0)
+    X = (X - mean) / safe_std
+    return X, (mean, safe_std)
+
+
+def sequence_windows(X: np.ndarray, sequence_length: int = 5) -> np.ndarray:
+    """Build overlapping sequences of neighbouring segments for the LSTM.
+
+    The paper classifies segment *n* from segments n-2 .. n+2, i.e. sequences
+    of length five centred on the segment of interest.  Edge segments reuse
+    the nearest valid neighbours (edge padding) so every segment gets a
+    sequence.
+
+    Returns an array of shape ``(n_segments, sequence_length, n_features)``.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("X must be (n_segments, n_features)")
+    if sequence_length < 1 or sequence_length % 2 == 0:
+        raise ValueError("sequence_length must be a positive odd number")
+    half = sequence_length // 2
+    padded = np.pad(X, ((half, half), (0, 0)), mode="edge")
+    n = X.shape[0]
+    # Sliding windows over the padded array, one per original segment.
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (sequence_length, X.shape[1]))
+    return windows[:n, 0, :, :].copy()

@@ -1,0 +1,115 @@
+"""Fixed-photon-count aggregation (the ATL07/ATL10 segmentation baseline).
+
+The operational ATL07 product accumulates 150 signal photons per segment, so
+segment length varies from ~10 m over bright ice to hundreds of metres over
+dark leads.  This module implements that aggregation so the pipeline can
+emulate ATL07/ATL10 and compare against them, reproducing the paper's point
+about resolution: a 2 m fixed window yields far more (and more uniform)
+samples than 150-photon aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.atl03.granule import BeamData
+from repro.config import ATL07_PHOTON_AGGREGATION
+
+
+@dataclass
+class PhotonAggregateSegments:
+    """Variable-length segments built from a fixed number of signal photons."""
+
+    beam_name: str
+    photons_per_segment: int
+    center_along_track_m: np.ndarray
+    length_m: np.ndarray
+    lat_deg: np.ndarray
+    lon_deg: np.ndarray
+    x_m: np.ndarray
+    y_m: np.ndarray
+    height_mean_m: np.ndarray
+    height_std_m: np.ndarray
+    height_min_m: np.ndarray
+    n_photons: np.ndarray
+    delta_time_s: np.ndarray
+    truth_class: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.center_along_track_m.shape[0])
+
+    def mean_length_m(self) -> float:
+        """Average along-track segment length (resolution of the product)."""
+        if self.n_segments == 0:
+            return 0.0
+        return float(self.length_m.mean())
+
+
+def aggregate_photons(
+    beam: BeamData,
+    photons_per_segment: int = ATL07_PHOTON_AGGREGATION,
+    min_confidence: int = 3,
+) -> PhotonAggregateSegments:
+    """Aggregate a beam's signal photons into fixed-count segments.
+
+    Photons with confidence below ``min_confidence`` are ignored (the real
+    product aggregates signal photons only).  A trailing partial segment with
+    fewer than ``photons_per_segment`` photons is dropped, matching the
+    operational behaviour.
+    """
+    if photons_per_segment < 1:
+        raise ValueError("photons_per_segment must be >= 1")
+    signal = beam.select(beam.signal_conf >= min_confidence)
+    n_full = signal.n_photons // photons_per_segment
+    if n_full == 0:
+        empty = np.empty(0)
+        return PhotonAggregateSegments(
+            beam_name=beam.name,
+            photons_per_segment=photons_per_segment,
+            center_along_track_m=empty,
+            length_m=empty,
+            lat_deg=empty,
+            lon_deg=empty,
+            x_m=empty,
+            y_m=empty,
+            height_mean_m=empty,
+            height_std_m=empty,
+            height_min_m=empty,
+            n_photons=np.empty(0, dtype=np.int64),
+            delta_time_s=empty,
+            truth_class=np.empty(0, dtype=np.int8),
+        )
+
+    n_used = n_full * photons_per_segment
+    # Reshape the leading photons into (n_segments, photons_per_segment) and
+    # reduce along axis 1 — one pass, no Python loop.
+    def seg(values: np.ndarray) -> np.ndarray:
+        return values[:n_used].reshape(n_full, photons_per_segment)
+
+    along = seg(signal.along_track_m)
+    heights = seg(signal.height_m)
+    truth = seg(signal.truth_class)
+
+    # Majority class per segment via sorting each row (classes are 0..2).
+    truth_sorted = np.sort(truth, axis=1)
+    majority = truth_sorted[:, photons_per_segment // 2].astype(np.int8)
+
+    return PhotonAggregateSegments(
+        beam_name=beam.name,
+        photons_per_segment=photons_per_segment,
+        center_along_track_m=along.mean(axis=1),
+        length_m=along.max(axis=1) - along.min(axis=1),
+        lat_deg=seg(signal.lat_deg).mean(axis=1),
+        lon_deg=seg(signal.lon_deg).mean(axis=1),
+        x_m=seg(signal.x_m).mean(axis=1),
+        y_m=seg(signal.y_m).mean(axis=1),
+        height_mean_m=heights.mean(axis=1),
+        height_std_m=heights.std(axis=1),
+        height_min_m=heights.min(axis=1),
+        n_photons=np.full(n_full, photons_per_segment, dtype=np.int64),
+        delta_time_s=seg(signal.delta_time_s).mean(axis=1),
+        truth_class=majority,
+    )

@@ -1,0 +1,31 @@
+"""Sentinel-2 substrate: multispectral scene simulator and color-based segmentation.
+
+The paper auto-labels ICESat-2 photons by overlaying them on Sentinel-2
+images that were segmented into thick ice, thin ice and open water with the
+authors' thin-cloud/shadow-filtered color-based method (their reference [5]).
+Real S2 L1C imagery is not available offline, so this package provides:
+
+* :mod:`repro.sentinel2.scene` — renders a ground-truth
+  :class:`~repro.surface.IceScene` into top-of-atmosphere reflectance for the
+  10 m bands B2 (blue), B3 (green), B4 (red) and B8 (NIR);
+* :mod:`repro.sentinel2.cloud` — synthesises thin-cloud optical-depth and
+  cloud-shadow fields and applies them to the reflectance;
+* :mod:`repro.sentinel2.segmentation` — the color-based segmentation with
+  thin-cloud and shadow filtering that recovers per-pixel surface labels.
+"""
+
+from repro.sentinel2.scene import S2SceneConfig, S2Image, render_scene
+from repro.sentinel2.cloud import CloudConfig, apply_clouds_and_shadows, synthesize_cloud_fields
+from repro.sentinel2.segmentation import SegmentationConfig, SegmentationResult, segment_image
+
+__all__ = [
+    "S2SceneConfig",
+    "S2Image",
+    "render_scene",
+    "CloudConfig",
+    "synthesize_cloud_fields",
+    "apply_clouds_and_shadows",
+    "SegmentationConfig",
+    "SegmentationResult",
+    "segment_image",
+]

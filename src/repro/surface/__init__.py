@@ -1,0 +1,27 @@
+"""Ground-truth sea-ice surface model shared by the ATL03 and Sentinel-2 simulators.
+
+The paper's input data are real ICESat-2 granules and Sentinel-2 scenes over
+the Ross Sea.  Because both observe the *same* physical surface, this package
+provides that shared surface: a 2-D scene of thick ice, thin ice and
+open-water leads/polynyas in Antarctic polar stereographic coordinates, with
+a smoothly varying local sea-surface height and a per-class freeboard field.
+The ATL03 photon simulator samples surface heights along a track through the
+scene, and the Sentinel-2 simulator renders multispectral reflectance of the
+same scene — which is exactly the geometry that makes the paper's
+auto-labeling (transfer S2 labels to IS2 photons) meaningful.
+"""
+
+from repro.surface.scene import IceScene, SceneConfig, generate_scene
+from repro.surface.fields import gaussian_random_field, smooth_threshold_classes
+from repro.surface.track import TrackSpec, generate_track, track_through_scene
+
+__all__ = [
+    "IceScene",
+    "SceneConfig",
+    "generate_scene",
+    "gaussian_random_field",
+    "smooth_threshold_classes",
+    "TrackSpec",
+    "generate_track",
+    "track_through_scene",
+]

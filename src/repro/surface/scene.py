@@ -1,0 +1,258 @@
+"""Synthetic Ross Sea ice scene: class map, freeboard and sea-surface fields.
+
+An :class:`IceScene` is the single source of truth observed by both
+simulated sensors.  It lives in Antarctic polar stereographic (EPSG:3976
+style) coordinates and provides vectorised point queries:
+
+* ``classify(x, y)`` — surface class (thick ice / thin ice / open water),
+* ``freeboard(x, y)`` — ice surface height above the local sea surface,
+* ``sea_level(x, y)`` — local sea-surface height relative to the ellipsoid
+  (after geophysical corrections, i.e. what ATL03 heights are referenced to),
+* ``surface_height(x, y)`` — what a lidar actually ranges to:
+  ``sea_level + freeboard`` (open water has zero freeboard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import (
+    CLASS_OPEN_WATER,
+    CLASS_THICK_ICE,
+    CLASS_THIN_ICE,
+)
+from repro.surface.fields import (
+    add_linear_leads,
+    gaussian_random_field,
+    smooth_threshold_classes,
+)
+from repro.utils.random import default_rng
+
+
+@dataclass(frozen=True)
+class SceneConfig:
+    """Parameters of a synthetic sea-ice scene.
+
+    The defaults produce a scene similar in character to the paper's Ross Sea
+    November 2019 setting: mostly thick first-year ice, a band of thin ice,
+    and a small fraction of open water concentrated in leads and polynyas.
+    """
+
+    width_m: float = 50_000.0
+    height_m: float = 50_000.0
+    pixel_size_m: float = 10.0
+    origin_x_m: float = -350_000.0
+    origin_y_m: float = -1_250_000.0
+    thick_ice_fraction: float = 0.72
+    thin_ice_fraction: float = 0.18
+    open_water_fraction: float = 0.10
+    n_leads: int = 12
+    lead_width_m: float = 60.0
+    ice_correlation_length_m: float = 2_500.0
+    thick_ice_freeboard_mean_m: float = 0.35
+    thick_ice_freeboard_std_m: float = 0.12
+    thin_ice_freeboard_mean_m: float = 0.06
+    thin_ice_freeboard_std_m: float = 0.03
+    snow_depth_mean_m: float = 0.08
+    ridge_fraction: float = 0.03
+    ridge_height_m: float = 1.2
+    sea_level_mean_m: float = 0.0
+    sea_level_amplitude_m: float = 0.15
+    sea_level_wavelength_m: float = 40_000.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.pixel_size_m <= 0:
+            raise ValueError("pixel_size_m must be positive")
+        if self.width_m < self.pixel_size_m or self.height_m < self.pixel_size_m:
+            raise ValueError("scene must span at least one pixel")
+        fractions = (
+            self.thick_ice_fraction,
+            self.thin_ice_fraction,
+            self.open_water_fraction,
+        )
+        if any(f < 0 for f in fractions):
+            raise ValueError("class fractions must be non-negative")
+        if abs(sum(fractions) - 1.0) > 1e-6:
+            raise ValueError("class fractions must sum to 1")
+
+    @property
+    def nx(self) -> int:
+        return max(int(round(self.width_m / self.pixel_size_m)), 1)
+
+    @property
+    def ny(self) -> int:
+        return max(int(round(self.height_m / self.pixel_size_m)), 1)
+
+
+class IceScene:
+    """A rasterised sea-ice scene with vectorised point queries."""
+
+    def __init__(
+        self,
+        config: SceneConfig,
+        class_map: np.ndarray,
+        freeboard_map: np.ndarray,
+        sea_level_params: tuple[float, float, float, float],
+    ) -> None:
+        class_map = np.asarray(class_map)
+        freeboard_map = np.asarray(freeboard_map, dtype=float)
+        if class_map.shape != (config.ny, config.nx):
+            raise ValueError(
+                f"class_map shape {class_map.shape} does not match config grid "
+                f"({config.ny}, {config.nx})"
+            )
+        if freeboard_map.shape != class_map.shape:
+            raise ValueError("freeboard_map must have the same shape as class_map")
+        self.config = config
+        self.class_map = class_map
+        self.freeboard_map = freeboard_map
+        # (mean, amplitude, wavelength, phase) of the long-wavelength sea level.
+        self._sea_level_params = sea_level_params
+
+    # -- coordinate helpers --------------------------------------------------
+
+    def _to_pixel(self, x_m: np.ndarray, y_m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Convert projected metres to integer pixel indices, clipped to the grid."""
+        cfg = self.config
+        col = np.floor((np.asarray(x_m, dtype=float) - cfg.origin_x_m) / cfg.pixel_size_m)
+        row = np.floor((np.asarray(y_m, dtype=float) - cfg.origin_y_m) / cfg.pixel_size_m)
+        col = np.clip(col, 0, cfg.nx - 1).astype(np.intp)
+        row = np.clip(row, 0, cfg.ny - 1).astype(np.intp)
+        return row, col
+
+    def contains(self, x_m: np.ndarray, y_m: np.ndarray) -> np.ndarray:
+        """Boolean mask of points that fall inside the scene extent."""
+        cfg = self.config
+        x = np.asarray(x_m, dtype=float)
+        y = np.asarray(y_m, dtype=float)
+        return (
+            (x >= cfg.origin_x_m)
+            & (x < cfg.origin_x_m + cfg.width_m)
+            & (y >= cfg.origin_y_m)
+            & (y < cfg.origin_y_m + cfg.height_m)
+        )
+
+    @property
+    def extent(self) -> tuple[float, float, float, float]:
+        """(x_min, x_max, y_min, y_max) of the scene in projected metres."""
+        cfg = self.config
+        return (
+            cfg.origin_x_m,
+            cfg.origin_x_m + cfg.width_m,
+            cfg.origin_y_m,
+            cfg.origin_y_m + cfg.height_m,
+        )
+
+    # -- point queries ---------------------------------------------------------
+
+    def classify(self, x_m: np.ndarray, y_m: np.ndarray) -> np.ndarray:
+        """Surface class at projected coordinates (nearest pixel)."""
+        row, col = self._to_pixel(x_m, y_m)
+        return self.class_map[row, col]
+
+    def freeboard(self, x_m: np.ndarray, y_m: np.ndarray) -> np.ndarray:
+        """True freeboard (ice + snow surface above local sea level), metres."""
+        row, col = self._to_pixel(x_m, y_m)
+        return self.freeboard_map[row, col]
+
+    def sea_level(self, x_m: np.ndarray, y_m: np.ndarray) -> np.ndarray:
+        """Local sea-surface height relative to the ellipsoid, metres."""
+        mean, amp, wavelength, phase = self._sea_level_params
+        x = np.asarray(x_m, dtype=float)
+        y = np.asarray(y_m, dtype=float)
+        k = 2.0 * np.pi / wavelength
+        return (
+            mean
+            + amp * np.sin(k * x + phase)
+            + 0.5 * amp * np.cos(k * 0.7 * y + 2.0 * phase)
+        )
+
+    def surface_height(self, x_m: np.ndarray, y_m: np.ndarray) -> np.ndarray:
+        """Height of the surface a lidar ranges to: sea level plus freeboard."""
+        return self.sea_level(x_m, y_m) + self.freeboard(x_m, y_m)
+
+    # -- summaries -------------------------------------------------------------
+
+    def class_fractions(self) -> dict[int, float]:
+        """Observed area fraction of each surface class."""
+        values, counts = np.unique(self.class_map, return_counts=True)
+        total = float(self.class_map.size)
+        return {int(v): float(c) / total for v, c in zip(values, counts)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cfg = self.config
+        return (
+            f"IceScene({cfg.nx}x{cfg.ny} px, pixel={cfg.pixel_size_m} m, "
+            f"fractions={self.class_fractions()})"
+        )
+
+
+def generate_scene(config: SceneConfig | None = None, seed: int | None = None) -> IceScene:
+    """Generate a synthetic Ross Sea ice scene.
+
+    The class map is produced by thresholding a correlated Gaussian random
+    field at the configured area fractions (open water in the lowest values,
+    then thin ice, then thick ice), and then carving narrow linear leads of
+    open water through the pack — the structures the sea-surface detection
+    stage depends on.  The freeboard field combines a per-class base level,
+    correlated texture, snow cover on thick ice and occasional pressure
+    ridges.
+    """
+    cfg = config if config is not None else SceneConfig()
+    if seed is not None:
+        cfg = SceneConfig(**{**cfg.__dict__, "seed": seed})
+    rng = default_rng(cfg.seed)
+
+    corr_px = max(cfg.ice_correlation_length_m / cfg.pixel_size_m, 1.0)
+    concentration = gaussian_random_field((cfg.ny, cfg.nx), corr_px, rng)
+
+    # Classes ordered from the lowest field values upward:
+    # open water, thin ice, thick ice.
+    raw = smooth_threshold_classes(
+        concentration,
+        (cfg.open_water_fraction, cfg.thin_ice_fraction, cfg.thick_ice_fraction),
+    )
+    class_map = np.full(raw.shape, CLASS_THICK_ICE, dtype=np.int8)
+    class_map[raw == 0] = CLASS_OPEN_WATER
+    class_map[raw == 1] = CLASS_THIN_ICE
+    class_map[raw == 2] = CLASS_THICK_ICE
+
+    lead_width_px = max(int(round(cfg.lead_width_m / cfg.pixel_size_m)), 1)
+    class_map = add_linear_leads(
+        class_map, cfg.n_leads, CLASS_OPEN_WATER, lead_width_px, rng
+    )
+
+    # Freeboard field -------------------------------------------------------
+    texture = gaussian_random_field((cfg.ny, cfg.nx), corr_px / 4.0, rng)
+    freeboard = np.zeros((cfg.ny, cfg.nx), dtype=float)
+
+    thick = class_map == CLASS_THICK_ICE
+    thin = class_map == CLASS_THIN_ICE
+    freeboard[thick] = (
+        cfg.thick_ice_freeboard_mean_m
+        + cfg.snow_depth_mean_m
+        + cfg.thick_ice_freeboard_std_m * texture[thick]
+    )
+    freeboard[thin] = (
+        cfg.thin_ice_freeboard_mean_m + cfg.thin_ice_freeboard_std_m * texture[thin]
+    )
+    # Pressure ridges: a sparse set of thick-ice pixels get a tall sail.
+    if cfg.ridge_fraction > 0 and thick.any():
+        ridge_field = gaussian_random_field((cfg.ny, cfg.nx), corr_px / 10.0, rng)
+        ridge_threshold = np.quantile(ridge_field[thick], 1.0 - cfg.ridge_fraction)
+        ridges = thick & (ridge_field > ridge_threshold)
+        freeboard[ridges] += cfg.ridge_height_m * rng.uniform(0.5, 1.0, size=int(ridges.sum()))
+    # Physical constraint: freeboard never negative, open water exactly zero.
+    np.clip(freeboard, 0.0, None, out=freeboard)
+    freeboard[class_map == CLASS_OPEN_WATER] = 0.0
+
+    sea_level_params = (
+        cfg.sea_level_mean_m,
+        cfg.sea_level_amplitude_m,
+        cfg.sea_level_wavelength_m,
+        float(rng.uniform(0, 2.0 * np.pi)),
+    )
+    return IceScene(cfg, class_map, freeboard, sea_level_params)

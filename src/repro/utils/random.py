@@ -1,0 +1,104 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library (photon simulation, scene
+generation, model initialisation, dropout, data shuffling) takes an explicit
+``numpy.random.Generator`` or an integer seed.  No module touches the global
+NumPy random state, which keeps parallel workers reproducible and makes
+property-based tests stable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an integer seed, or an existing generator
+        (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, key: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng`` and an integer key.
+
+    The derivation is deterministic: the same parent state and key always
+    produce the same child stream.  This is how per-partition and per-worker
+    streams are created in the map-reduce and data-parallel code so results
+    do not depend on scheduling order.
+    """
+    if key < 0:
+        raise ValueError("key must be non-negative")
+    seed_seq = np.random.SeedSequence(entropy=int(rng.integers(0, 2**63 - 1)), spawn_key=(key,))
+    return np.random.default_rng(seed_seq)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Create ``n`` independent generators from a single seed.
+
+    Unlike :func:`derive_rng`, spawning from an integer seed is fully
+    deterministic in the seed alone, which is what the distributed trainer
+    uses to give each simulated GPU its own stream.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        # Consume one value to obtain deterministic entropy from the generator.
+        entropy = int(seed.integers(0, 2**63 - 1))
+    else:
+        entropy = seed
+    seq = np.random.SeedSequence(entropy)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def choice_without_replacement(
+    rng: np.random.Generator, n: int, k: int
+) -> np.ndarray:
+    """Return ``k`` distinct indices drawn from ``range(n)``.
+
+    Thin wrapper that validates arguments so callers get a clear error when a
+    workload asks for more samples than exist.
+    """
+    if k > n:
+        raise ValueError(f"cannot draw {k} samples from a population of {n}")
+    return rng.choice(n, size=k, replace=False)
+
+
+def stratified_indices(
+    rng: np.random.Generator, labels: Sequence[int] | np.ndarray, fraction: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split indices into (train, test) preserving per-class proportions.
+
+    Parameters
+    ----------
+    labels:
+        Integer class labels.
+    fraction:
+        Fraction of each class assigned to the *test* split.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError("labels must be one-dimensional")
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    train_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    for cls in np.unique(labels):
+        idx = np.flatnonzero(labels == cls)
+        idx = idx[rng.permutation(idx.size)]
+        n_test = int(round(idx.size * fraction))
+        n_test = min(max(n_test, 1 if idx.size > 1 else 0), idx.size - 1) if idx.size > 1 else 0
+        test_parts.append(idx[:n_test])
+        train_parts.append(idx[n_test:])
+    train = np.sort(np.concatenate(train_parts)) if train_parts else np.empty(0, dtype=int)
+    test = np.sort(np.concatenate(test_parts)) if test_parts else np.empty(0, dtype=int)
+    return train, test

@@ -1,0 +1,98 @@
+"""Timing instrumentation used by the map-reduce engine and the benchmarks.
+
+The paper reports separate *load*, *map* and *reduce* wall-clock times for the
+PySpark workflows (Tables II and V), so the engine needs light-weight,
+composable timers that can be aggregated per stage.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class TimingRecord:
+    """Accumulated wall-clock time per named stage."""
+
+    stages: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+        self.counts[stage] = self.counts.get(stage, 0) + 1
+
+    def get(self, stage: str) -> float:
+        return self.stages.get(stage, 0.0)
+
+    def total(self) -> float:
+        return float(sum(self.stages.values()))
+
+    def merge(self, other: "TimingRecord") -> "TimingRecord":
+        merged = TimingRecord(dict(self.stages), dict(self.counts))
+        for stage, seconds in other.stages.items():
+            merged.stages[stage] = merged.stages.get(stage, 0.0) + seconds
+        for stage, count in other.counts.items():
+            merged.counts[stage] = merged.counts.get(stage, 0) + count
+        return merged
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.stages)
+
+
+class Stopwatch:
+    """Simple monotonic stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> sw.start()
+    >>> _ = sum(range(1000))
+    >>> elapsed = sw.stop()
+    >>> elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+
+@contextmanager
+def timed(record: TimingRecord, stage: str) -> Iterator[None]:
+    """Context manager adding the elapsed wall-clock time to ``record``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record.add(stage, time.perf_counter() - start)
+
+
+def time_call(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
+    """Call ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,84 @@
+"""Input validation helpers shared across the library.
+
+These raise precise, user-actionable errors on the public API boundary so the
+vectorised internals can assume well-formed arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_1d(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Return ``array`` as a 1-D float array or raise ``ValueError``."""
+    arr = np.asarray(array)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def ensure_2d(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Return ``array`` as a 2-D array or raise ``ValueError``."""
+    arr = np.asarray(array)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be two-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def ensure_same_length(*arrays: np.ndarray, names: tuple[str, ...] | None = None) -> None:
+    """Raise ``ValueError`` unless every array has the same first dimension."""
+    lengths = [np.asarray(a).shape[0] for a in arrays]
+    if len(set(lengths)) > 1:
+        labels = names if names is not None else tuple(f"array{i}" for i in range(len(arrays)))
+        detail = ", ".join(f"{n}={l}" for n, l in zip(labels, lengths))
+        raise ValueError(f"arrays must have equal length ({detail})")
+
+
+def ensure_finite(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Raise ``ValueError`` if the array contains NaN or infinity."""
+    arr = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def ensure_positive(value: float, name: str = "value") -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be strictly positive, got {value}")
+    return float(value)
+
+
+def ensure_in_range(value: float, lo: float, hi: float, name: str = "value") -> float:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return float(value)
+
+
+def ensure_monotonic(array: np.ndarray, name: str = "array", strict: bool = False) -> np.ndarray:
+    """Raise ``ValueError`` unless the array is (strictly) non-decreasing."""
+    arr = ensure_1d(array, name)
+    diffs = np.diff(arr)
+    if strict:
+        if np.any(diffs <= 0):
+            raise ValueError(f"{name} must be strictly increasing")
+    else:
+        if np.any(diffs < 0):
+            raise ValueError(f"{name} must be non-decreasing")
+    return arr
+
+
+def ensure_labels(labels: np.ndarray, n_classes: int, name: str = "labels") -> np.ndarray:
+    """Validate an integer label array against the number of classes.
+
+    The sentinel value ``-1`` (unlabeled) is allowed.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    if arr.size and (arr.min() < -1 or arr.max() >= n_classes):
+        raise ValueError(f"{name} values must be in [-1, {n_classes - 1}]")
+    return arr

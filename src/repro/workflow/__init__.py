@@ -1,0 +1,17 @@
+"""End-to-end workflow orchestration (paper Fig. 1 and Fig. 3)."""
+
+from repro.workflow.end_to_end import (
+    ExperimentConfig,
+    ExperimentData,
+    PipelineOutputs,
+    prepare_experiment_data,
+    run_end_to_end,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentData",
+    "PipelineOutputs",
+    "prepare_experiment_data",
+    "run_end_to_end",
+]

@@ -1,0 +1,65 @@
+"""Tests for background-rate modelling and estimation."""
+
+import numpy as np
+import pytest
+
+from repro.atl03.background import background_rate_per_shot, estimate_background_factor
+
+
+class TestBackgroundRatePerShot:
+    def test_daytime_rate_above_night_rate(self):
+        t = np.linspace(0, 10, 100)
+        day = background_rate_per_shot(t, solar_elevation_deg=30.0, rng=0)
+        night = background_rate_per_shot(t, solar_elevation_deg=-5.0, rng=0)
+        assert day.mean() > night.mean()
+
+    def test_night_rate_close_to_floor(self):
+        t = np.linspace(0, 10, 50)
+        night = background_rate_per_shot(
+            t, solar_elevation_deg=-10.0, night_rate_hz=2e5, rng=1, fluctuation=0.0
+        )
+        np.testing.assert_allclose(night, 2e5, rtol=1e-6)
+
+    def test_rates_never_negative(self):
+        t = np.linspace(0, 100, 1000)
+        rate = background_rate_per_shot(t, fluctuation=0.6, rng=3)
+        assert np.all(rate >= 0.0)
+
+    def test_empty_input(self):
+        assert background_rate_per_shot(np.empty(0)).shape == (0,)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            background_rate_per_shot(np.zeros(3), day_rate_hz=-1.0)
+        with pytest.raises(ValueError):
+            background_rate_per_shot(np.zeros(3), fluctuation=1.5)
+
+
+class TestEstimateBackgroundFactor:
+    def test_recovers_order_of_magnitude(self, beam):
+        centres, rate = estimate_background_factor(
+            beam.along_track_m, beam.height_m, beam.signal_conf
+        )
+        assert centres.shape == rate.shape
+        assert rate.shape[0] >= 1
+        # The simulated day-time rate is O(1e5..1e6) Hz; the estimate should
+        # land within an order of magnitude of the true per-photon rates.
+        true_mean = beam.background_rate_hz.mean()
+        assert 0.05 * true_mean < rate.mean() < 20.0 * true_mean
+
+    def test_empty_input(self):
+        centres, rate = estimate_background_factor(np.empty(0), np.empty(0), np.empty(0))
+        assert centres.shape == (0,)
+        assert rate.shape == (0,)
+
+    def test_no_noise_photons_gives_zero_rate(self):
+        along = np.linspace(0, 100, 50)
+        conf = np.full(50, 4, dtype=np.int8)
+        centres, rate = estimate_background_factor(along, np.zeros(50), conf)
+        assert np.all(rate == 0.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_background_factor(np.zeros(3), np.zeros(3), np.zeros(3), bin_length_m=0.0)
+        with pytest.raises(ValueError):
+            estimate_background_factor(np.zeros(3), np.zeros(2), np.zeros(3))

@@ -1,0 +1,68 @@
+"""Tests for the signal-confidence classification."""
+
+import numpy as np
+import pytest
+
+from repro.atl03.confidence import (
+    SIGNAL_CONF_HIGH,
+    SIGNAL_CONF_LOW,
+    SIGNAL_CONF_NOISE,
+    classify_confidence,
+)
+
+
+def _synthetic_cloud(rng, n_signal=2000, n_noise=400, surface=1.0):
+    """Signal photons at a surface plus uniform background noise."""
+    along_signal = rng.uniform(0, 1000, n_signal)
+    height_signal = rng.normal(surface, 0.1, n_signal)
+    along_noise = rng.uniform(0, 1000, n_noise)
+    height_noise = rng.uniform(surface - 15, surface + 15, n_noise)
+    along = np.concatenate([along_signal, along_noise])
+    height = np.concatenate([height_signal, height_noise])
+    is_signal = np.concatenate([np.ones(n_signal, bool), np.zeros(n_noise, bool)])
+    return along, height, is_signal
+
+
+class TestClassifyConfidence:
+    def test_signal_photons_get_high_confidence(self, rng):
+        along, height, is_signal = _synthetic_cloud(rng)
+        conf = classify_confidence(along, height)
+        assert np.mean(conf[is_signal] >= 3) > 0.95
+
+    def test_far_noise_gets_low_confidence(self, rng):
+        along, height, is_signal = _synthetic_cloud(rng)
+        conf = classify_confidence(along, height)
+        far_noise = ~is_signal & (np.abs(height - 1.0) > 5.0)
+        assert np.mean(conf[far_noise] <= SIGNAL_CONF_LOW) > 0.95
+
+    def test_tracks_surface_slope(self, rng):
+        # A sloping surface: the modal height moves bin to bin and confident
+        # photons must follow it.
+        along = np.sort(rng.uniform(0, 2000, 4000))
+        surface = 0.002 * along  # 4 m rise over the track
+        height = surface + rng.normal(0, 0.05, along.size)
+        conf = classify_confidence(along, height, bin_length_m=50.0)
+        assert np.mean(conf >= 3) > 0.9
+
+    def test_empty_input(self):
+        conf = classify_confidence(np.empty(0), np.empty(0))
+        assert conf.shape == (0,)
+        assert conf.dtype == np.int8
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            classify_confidence(np.zeros(3), np.zeros(4))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            classify_confidence(np.zeros(3), np.zeros(3), surface_window_m=0.0)
+        with pytest.raises(ValueError):
+            classify_confidence(np.zeros(3), np.zeros(3), bin_length_m=-1.0)
+
+    def test_confidence_values_are_valid_grades(self, beam):
+        valid = {SIGNAL_CONF_NOISE, SIGNAL_CONF_LOW, 3, SIGNAL_CONF_HIGH}
+        assert set(np.unique(beam.signal_conf)).issubset(valid)
+
+    def test_single_photon(self):
+        conf = classify_confidence(np.array([5.0]), np.array([0.3]))
+        assert conf[0] == SIGNAL_CONF_HIGH  # it is its own mode

@@ -1,0 +1,120 @@
+"""Tests for the ATL03 photon containers."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.atl03.granule import BeamData, Granule
+
+
+def _make_beam(n=20, name="gt1r"):
+    along = np.linspace(0.0, 100.0, n)
+    return BeamData(
+        name=name,
+        along_track_m=along,
+        height_m=np.linspace(0.0, 1.0, n),
+        lat_deg=np.full(n, -75.0),
+        lon_deg=np.full(n, -170.0),
+        x_m=np.linspace(0.0, 100.0, n),
+        y_m=np.zeros(n),
+        delta_time_s=along / 7000.0,
+        signal_conf=np.full(n, 4, dtype=np.int8),
+        is_signal=np.ones(n, dtype=bool),
+        background_rate_hz=np.full(n, 1e5),
+    )
+
+
+class TestBeamData:
+    def test_basic_properties(self):
+        beam = _make_beam(20)
+        assert beam.n_photons == 20
+        assert beam.length_m == pytest.approx(100.0)
+        assert beam.truth_class.shape == (20,)
+        assert np.all(beam.truth_class == -1)
+
+    def test_rejects_unsorted_photons(self):
+        beam_kwargs = _make_beam(5).as_dict()
+        beam_kwargs["along_track_m"] = beam_kwargs["along_track_m"][::-1].copy()
+        with pytest.raises(ValueError, match="sorted"):
+            BeamData(name="gt1r", **beam_kwargs)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            BeamData(
+                name="gt1r",
+                along_track_m=np.arange(3, dtype=float),
+                height_m=np.zeros(4),
+                lat_deg=np.zeros(3),
+                lon_deg=np.zeros(3),
+                x_m=np.zeros(3),
+                y_m=np.zeros(3),
+                delta_time_s=np.zeros(3),
+                signal_conf=np.zeros(3, dtype=np.int8),
+                is_signal=np.zeros(3, dtype=bool),
+                background_rate_hz=np.zeros(3),
+            )
+
+    def test_select_subsets_all_fields(self):
+        beam = _make_beam(10)
+        mask = np.zeros(10, dtype=bool)
+        mask[2:5] = True
+        sub = beam.select(mask)
+        assert sub.n_photons == 3
+        np.testing.assert_array_equal(sub.along_track_m, beam.along_track_m[2:5])
+        np.testing.assert_array_equal(sub.truth_class, beam.truth_class[2:5])
+
+    def test_select_rejects_bad_mask(self):
+        beam = _make_beam(10)
+        with pytest.raises(ValueError):
+            beam.select(np.ones(5, dtype=bool))
+        with pytest.raises(ValueError):
+            beam.select(np.ones(10, dtype=int))
+
+    def test_slice_along_track(self):
+        beam = _make_beam(101)
+        sub = beam.slice_along_track(10.0, 20.0)
+        assert np.all(sub.along_track_m >= 10.0)
+        assert np.all(sub.along_track_m < 20.0)
+        with pytest.raises(ValueError):
+            beam.slice_along_track(20.0, 10.0)
+
+    def test_signal_only_filters_by_confidence(self):
+        beam = _make_beam(10)
+        beam.signal_conf[:5] = 0
+        sub = beam.signal_only(min_confidence=3)
+        assert sub.n_photons == 5
+
+    def test_arrays_are_contiguous(self, beam):
+        assert beam.height_m.flags["C_CONTIGUOUS"]
+        assert beam.along_track_m.flags["C_CONTIGUOUS"]
+
+
+class TestGranule:
+    def test_construction_and_lookup(self):
+        beams = {"gt1r": _make_beam(10, "gt1r"), "gt2r": _make_beam(5, "gt2r")}
+        granule = Granule("G1", datetime(2019, 11, 4, tzinfo=timezone.utc), beams)
+        assert granule.n_photons == 15
+        assert granule.beam_names == ("gt1r", "gt2r")
+        assert granule.beam("gt2r").n_photons == 5
+
+    def test_missing_beam_raises_keyerror_with_available(self):
+        granule = Granule("G1", datetime(2019, 11, 4, tzinfo=timezone.utc), {"gt1r": _make_beam(3)})
+        with pytest.raises(KeyError, match="gt1r"):
+            granule.beam("gt3r")
+
+    def test_empty_granule_rejected(self):
+        with pytest.raises(ValueError):
+            Granule("G1", datetime(2019, 11, 4, tzinfo=timezone.utc), {})
+
+    def test_beam_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Granule(
+                "G1",
+                datetime(2019, 11, 4, tzinfo=timezone.utc),
+                {"gt2r": _make_beam(3, "gt1r")},
+            )
+
+    def test_naive_datetime_becomes_utc(self):
+        granule = Granule("G1", datetime(2019, 11, 4), {"gt1r": _make_beam(3)})
+        assert granule.acquisition_time.tzinfo is not None

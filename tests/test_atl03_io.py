@@ -1,0 +1,49 @@
+"""Tests for granule persistence."""
+
+import numpy as np
+import pytest
+
+from repro.atl03.io import FORMAT_VERSION, load_granule, save_granule
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_preserves_photons(self, granule, tmp_path):
+        path = save_granule(granule, tmp_path / "granule_a")
+        assert path.suffix == ".npz"
+        loaded = load_granule(path)
+        assert loaded.granule_id == granule.granule_id
+        assert loaded.beam_names == granule.beam_names
+        assert loaded.acquisition_time == granule.acquisition_time
+        for name in granule.beam_names:
+            orig = granule.beam(name)
+            back = loaded.beam(name)
+            np.testing.assert_array_equal(back.along_track_m, orig.along_track_m)
+            np.testing.assert_array_equal(back.height_m, orig.height_m)
+            np.testing.assert_array_equal(back.signal_conf, orig.signal_conf)
+            np.testing.assert_array_equal(back.truth_class, orig.truth_class)
+
+    def test_explicit_npz_suffix_preserved(self, granule, tmp_path):
+        path = save_granule(granule, tmp_path / "g.npz")
+        assert path.name == "g.npz"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_granule(tmp_path / "missing.npz")
+
+    def test_non_granule_archive_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, data=np.arange(5))
+        with pytest.raises(ValueError, match="metadata"):
+            load_granule(path)
+
+    def test_format_version_checked(self, granule, tmp_path, monkeypatch):
+        import repro.atl03.io as io_mod
+
+        path = save_granule(granule, tmp_path / "g2")
+        monkeypatch.setattr(io_mod, "FORMAT_VERSION", FORMAT_VERSION + 1)
+        with pytest.raises(ValueError, match="format version"):
+            load_granule(path)
+
+    def test_nested_directory_created(self, granule, tmp_path):
+        path = save_granule(granule, tmp_path / "a" / "b" / "granule")
+        assert path.exists()

@@ -1,0 +1,106 @@
+"""Tests for the ATL03 photon simulator."""
+
+import numpy as np
+import pytest
+
+from repro.atl03.simulator import ATL03SimulatorConfig, simulate_beam, simulate_granule
+from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE, CLASS_THIN_ICE
+from repro.surface.scene import SceneConfig, generate_scene
+from repro.surface.track import TrackSpec, generate_track
+
+
+class TestSimulatorConfig:
+    def test_rates_follow_surface_brightness(self):
+        cfg = ATL03SimulatorConfig()
+        assert cfg.signal_rate_thick_ice > cfg.signal_rate_thin_ice > cfg.signal_rate_open_water
+
+    def test_rate_lookup_vectorised(self):
+        cfg = ATL03SimulatorConfig()
+        classes = np.array([CLASS_THICK_ICE, CLASS_THIN_ICE, CLASS_OPEN_WATER])
+        rates = cfg.signal_rate_for_class(classes)
+        assert rates[0] == cfg.signal_rate_thick_ice
+        assert rates[2] == cfg.signal_rate_open_water
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shot_spacing_m": 0.0},
+            {"telemetry_window_m": -1.0},
+            {"ranging_noise_m": -0.1},
+            {"signal_rate_thick_ice": -1.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ATL03SimulatorConfig(**kwargs)
+
+
+class TestSimulateBeam:
+    def test_photons_sorted_and_georeferenced(self, beam):
+        assert np.all(np.diff(beam.along_track_m) >= 0)
+        assert np.all(beam.lat_deg < -60.0)
+        assert beam.n_photons > 1000
+
+    def test_deterministic_in_seed(self, scene, track):
+        a = simulate_beam(scene, track, rng=5)
+        b = simulate_beam(scene, track, rng=5)
+        np.testing.assert_array_equal(a.height_m, b.height_m)
+
+    def test_signal_photons_near_surface(self, scene, track, beam):
+        signal = beam.select(beam.is_signal)
+        x, y = signal.x_m, signal.y_m
+        truth = scene.surface_height(x, y)
+        residual = signal.height_m - truth
+        # Ranging noise 0.1 m plus roughness: well within half a metre RMS.
+        assert np.sqrt(np.mean(residual**2)) < 0.5
+
+    def test_background_photons_spread_over_window(self, beam):
+        background = beam.select(~beam.is_signal)
+        assert background.n_photons > 0
+        spread = background.height_m.max() - background.height_m.min()
+        assert spread > 5.0
+
+    def test_ice_brighter_than_water(self, beam):
+        signal = beam.select(beam.is_signal)
+        thick = signal.truth_class == CLASS_THICK_ICE
+        water = signal.truth_class == CLASS_OPEN_WATER
+        if thick.any() and water.any():
+            # Per-photon density along-track is proportional to the return rate.
+            thick_count = thick.sum() / max((beam.truth_class == CLASS_THICK_ICE).sum(), 1)
+            water_count = water.sum() / max((beam.truth_class == CLASS_OPEN_WATER).sum(), 1)
+            assert thick_count >= water_count
+
+    def test_high_confidence_photons_are_mostly_signal(self, beam):
+        high = beam.signal_conf >= 4
+        assert beam.is_signal[high].mean() > 0.8
+
+    def test_very_short_track_still_valid(self, scene):
+        # A sub-metre track has a single laser shot; the beam must still be
+        # well formed (sorted, consistent arrays), just tiny.
+        tiny = TrackSpec(
+            scene.config.origin_x_m + 100, scene.config.origin_y_m + 100, 0.0, 0.5
+        )
+        beam = simulate_beam(scene, tiny, config=ATL03SimulatorConfig(), rng=0)
+        assert beam.n_photons >= 0
+        assert beam.along_track_m.shape == beam.height_m.shape
+
+
+class TestSimulateGranule:
+    def test_beam_count_and_names(self, granule):
+        assert len(granule.beams) == 1
+        assert "gt1r" in granule.beams
+
+    def test_multiple_beams_are_distinct(self):
+        scene = generate_scene(SceneConfig(width_m=9_000.0, height_m=9_000.0, seed=5))
+        granule = simulate_granule(scene, n_beams=2, track_length_m=4_000.0, rng=3)
+        assert granule.beam_names == ("gt1r", "gt2r")
+        a, b = granule.beam("gt1r"), granule.beam("gt2r")
+        assert a.n_photons != b.n_photons or not np.array_equal(a.height_m[:50], b.height_m[:50])
+
+    def test_invalid_beam_count_rejected(self, scene):
+        with pytest.raises(ValueError):
+            simulate_granule(scene, n_beams=0)
+
+    def test_granule_id_and_time_preserved(self, granule):
+        assert granule.granule_id.startswith("ATL03_")
+        assert granule.acquisition_time.year == 2019

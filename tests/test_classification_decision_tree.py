@@ -1,0 +1,84 @@
+"""Tests for the decision-tree baseline classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classification.decision_tree import DecisionTreeClassifier, DecisionTreeConfig
+from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE, CLASS_THIN_ICE
+from repro.resampling.features import FEATURE_NAMES, extract_features
+
+
+def _raw_feature_matrix(segments):
+    features = extract_features(segments)
+    return np.column_stack([features[name] for name in FEATURE_NAMES])
+
+
+class TestDecisionTreeConfig:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            DecisionTreeConfig(water_height_max_m=0.3, thin_ice_height_max_m=0.2)
+
+    def test_positive_spreads_required(self):
+        with pytest.raises(ValueError):
+            DecisionTreeConfig(water_std_max_m=0.0)
+
+
+class TestDecisionTreeClassifier:
+    def test_synthetic_three_surface_problem(self, rng):
+        """Hand-built segments with the expected height/rate signatures."""
+        n = 300
+        X = np.zeros((n, 6))
+        labels = np.zeros(n, dtype=np.int8)
+        # Thick ice: high, rough, bright.
+        X[:100, 0] = rng.normal(0.5, 0.05, 100)
+        X[:100, 1] = 0.1
+        X[:100, 2] = 12
+        labels[:100] = CLASS_THICK_ICE
+        # Thin ice: slightly above water, moderate rate.
+        X[100:200, 0] = rng.normal(0.12, 0.02, 100)
+        X[100:200, 1] = 0.06
+        X[100:200, 2] = 7
+        labels[100:200] = CLASS_THIN_ICE
+        # Open water: at reference level, very smooth, few photons.
+        X[200:, 0] = rng.normal(0.0, 0.01, 100)
+        X[200:, 1] = 0.02
+        X[200:, 2] = 1
+        labels[200:] = CLASS_OPEN_WATER
+
+        tree = DecisionTreeClassifier()
+        predictions = tree.fit_predict(X, labels)
+        accuracy = (predictions == labels).mean()
+        assert accuracy > 0.9
+
+    def test_reasonable_accuracy_on_simulated_beam(self, segments):
+        valid = segments.valid_mask() & (segments.truth_class >= 0)
+        X = _raw_feature_matrix(segments)[valid]
+        truth = segments.truth_class[valid]
+        tree = DecisionTreeClassifier()
+        predictions = tree.fit_predict(X, truth)
+        assert (predictions == truth).mean() > 0.7
+
+    def test_unsupervised_fit_also_works(self, segments):
+        valid = segments.valid_mask()
+        X = _raw_feature_matrix(segments)[valid]
+        predictions = DecisionTreeClassifier().fit_predict(X)
+        assert set(np.unique(predictions)).issubset({0, 1, 2})
+
+    def test_predict_without_fit_self_fits(self, segments):
+        X = _raw_feature_matrix(segments)[segments.valid_mask()]
+        predictions = DecisionTreeClassifier().predict(X)
+        assert predictions.shape == (X.shape[0],)
+
+    def test_wrong_feature_count_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().predict(np.zeros((5, 4)))
+
+    def test_all_nan_heights_rejected(self):
+        X = np.full((5, 6), np.nan)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X)
+
+    def test_label_length_mismatch_rejected(self, segments):
+        X = _raw_feature_matrix(segments)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, np.zeros(3, dtype=np.int8))

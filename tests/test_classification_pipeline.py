@@ -1,0 +1,100 @@
+"""Tests for classifier training and the Fig. 3 inference pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.classification.pipeline import InferencePipeline, train_classifier
+from repro.config import LSTMConfig, MLPConfig, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def quick_training():
+    return TrainingConfig(learning_rate=0.003, batch_size=32, epochs=3)
+
+
+@pytest.fixture(scope="module")
+def trained_mlp(labeled_segments, quick_training):
+    segments, labels = labeled_segments
+    return train_classifier(segments, labels, kind="mlp", training=quick_training, epochs=3, rng=0)
+
+
+@pytest.fixture(scope="module")
+def trained_lstm(labeled_segments, quick_training):
+    segments, labels = labeled_segments
+    return train_classifier(segments, labels, kind="lstm", training=quick_training, epochs=3, rng=0)
+
+
+class TestTrainClassifier:
+    def test_mlp_reaches_reasonable_accuracy(self, trained_mlp):
+        assert trained_mlp.accuracy > 0.7
+        assert trained_mlp.kind == "mlp"
+        assert trained_mlp.sequence_length == 1
+
+    def test_lstm_reaches_reasonable_accuracy(self, trained_lstm):
+        assert trained_lstm.accuracy > 0.75
+        assert trained_lstm.sequence_length == 5
+
+    def test_report_contains_all_metrics(self, trained_lstm):
+        row = trained_lstm.report.as_row("LSTM")
+        for key in ("Accuracy", "Precision", "Recall", "F1 score"):
+            assert 0.0 <= row[key] <= 100.0
+
+    def test_history_length_matches_epochs(self, trained_mlp):
+        assert trained_mlp.history.n_epochs == 3
+
+    def test_unlabeled_segments_excluded(self, labeled_segments, quick_training):
+        segments, labels = labeled_segments
+        partial = labels.copy()
+        partial[::2] = -1  # drop half the labels
+        clf = train_classifier(segments, partial, kind="mlp", training=quick_training, epochs=1, rng=1)
+        assert clf.accuracy > 0.4
+
+    def test_invalid_kind_rejected(self, labeled_segments):
+        segments, labels = labeled_segments
+        with pytest.raises(ValueError):
+            train_classifier(segments, labels, kind="cnn")
+
+    def test_label_length_mismatch_rejected(self, labeled_segments):
+        segments, labels = labeled_segments
+        with pytest.raises(ValueError):
+            train_classifier(segments, labels[:-1])
+
+    def test_too_few_labels_rejected(self, labeled_segments):
+        segments, labels = labeled_segments
+        empty = np.full(segments.n_segments, -1, dtype=np.int8)
+        with pytest.raises(ValueError):
+            train_classifier(segments, empty)
+
+
+class TestInferencePipeline:
+    def test_classify_beam_labels_every_segment(self, trained_mlp, beam):
+        pipeline = InferencePipeline(trained_mlp)
+        track = pipeline.classify_beam(beam)
+        assert track.n_segments == track.segments.n_segments
+        assert track.probabilities.shape == (track.n_segments, 3)
+        np.testing.assert_allclose(track.probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_classification_agrees_with_truth(self, trained_lstm, beam):
+        pipeline = InferencePipeline(trained_lstm)
+        track = pipeline.classify_beam(beam)
+        truth = track.segments.truth_class
+        valid = truth >= 0
+        accuracy = (track.labels[valid] == truth[valid]).mean()
+        assert accuracy > 0.8
+
+    def test_lstm_denser_product_than_atl07_comparison(self, trained_lstm, beam):
+        from repro.resampling.photon_agg import aggregate_photons
+
+        pipeline = InferencePipeline(trained_lstm)
+        track = pipeline.classify_beam(beam)
+        atl07_style = aggregate_photons(beam, photons_per_segment=150)
+        assert track.n_segments > atl07_style.n_segments * 10
+
+    def test_classify_granule_covers_all_beams(self, trained_mlp, granule):
+        pipeline = InferencePipeline(trained_mlp)
+        result = pipeline.classify_granule(granule)
+        assert set(result) == set(granule.beam_names)
+
+    def test_class_fractions_sum_to_one(self, trained_mlp, beam):
+        track = InferencePipeline(trained_mlp).classify_beam(beam)
+        assert sum(track.class_fractions().values()) == pytest.approx(1.0)

@@ -1,0 +1,108 @@
+"""Tests for the configuration constants and parameter containers."""
+
+import pytest
+
+from repro import config
+from repro.config import (
+    ClusterConfig,
+    LSTMConfig,
+    MLPConfig,
+    SeaSurfaceConfig,
+    TrainingConfig,
+)
+
+
+class TestConstants:
+    def test_ross_sea_extent_matches_paper(self):
+        assert config.ROSS_SEA_LON_MIN == -180.0
+        assert config.ROSS_SEA_LON_MAX == -140.0
+        assert config.ROSS_SEA_LAT_MIN == -78.0
+        assert config.ROSS_SEA_LAT_MAX == -70.0
+
+    def test_projection_epsg(self):
+        assert config.EPSG_ANTARCTIC_POLAR_STEREO == 3976
+
+    def test_resample_window_is_two_metres(self):
+        assert config.RESAMPLE_WINDOW_M == 2.0
+
+    def test_atl07_aggregation_is_150_photons(self):
+        assert config.ATL07_PHOTON_AGGREGATION == 150
+
+    def test_class_labels_are_distinct(self):
+        labels = {config.CLASS_THICK_ICE, config.CLASS_THIN_ICE, config.CLASS_OPEN_WATER}
+        assert len(labels) == 3
+        assert config.CLASS_UNLABELED not in labels
+
+    def test_class_names_cover_all_classes(self):
+        assert len(config.CLASS_NAMES) == config.N_CLASSES
+
+    def test_sea_surface_window_geometry(self):
+        assert config.SEA_SURFACE_WINDOW_LENGTH_M == 10_000.0
+        assert config.SEA_SURFACE_WINDOW_OVERLAP_M == 5_000.0
+        assert config.SEA_SURFACE_WINDOW_RADIUS_M * 2 == config.SEA_SURFACE_WINDOW_LENGTH_M
+
+
+class TestTrainingConfig:
+    def test_paper_defaults(self):
+        cfg = TrainingConfig()
+        assert cfg.learning_rate == pytest.approx(0.003)
+        assert cfg.batch_size == 32
+        assert cfg.epochs == 20
+        assert cfg.dropout == pytest.approx(0.2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 0.0},
+            {"learning_rate": -1.0},
+            {"batch_size": 0},
+            {"epochs": 0},
+            {"dropout": 1.0},
+            {"dropout": -0.1},
+            {"validation_fraction": 0.0},
+            {"validation_fraction": 1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainingConfig(**kwargs)
+
+
+class TestLSTMConfig:
+    def test_paper_architecture(self):
+        cfg = LSTMConfig()
+        assert cfg.lstm_units == 16
+        assert cfg.sequence_length == 5
+        assert cfg.n_features == 6
+        assert cfg.dense_units == (32, 96, 32, 16, 112, 48, 64)
+        assert cfg.n_classes == 3
+
+    def test_even_sequence_length_rejected(self):
+        with pytest.raises(ValueError):
+            LSTMConfig(sequence_length=4)
+
+    def test_nonpositive_units_rejected(self):
+        with pytest.raises(ValueError):
+            LSTMConfig(lstm_units=0)
+
+
+class TestMLPConfig:
+    def test_paper_architecture(self):
+        cfg = MLPConfig()
+        assert cfg.hidden_units == (32,)
+        assert cfg.n_features == 6
+
+
+class TestClusterConfigs:
+    def test_cluster_grid_matches_table(self):
+        cfg = ClusterConfig()
+        assert cfg.executor_grid == (1, 2, 4)
+        assert cfg.cores_grid == (1, 2, 4)
+
+    def test_sea_surface_overlap_must_be_smaller_than_length(self):
+        with pytest.raises(ValueError):
+            SeaSurfaceConfig(window_length_m=1000.0, window_overlap_m=1000.0)
+
+    def test_sea_surface_min_segments_positive(self):
+        with pytest.raises(ValueError):
+            SeaSurfaceConfig(min_open_water_segments=0)

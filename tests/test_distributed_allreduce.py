@@ -1,0 +1,95 @@
+"""Tests for the ring and tree all-reduce collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.allreduce import ring_allreduce, ring_allreduce_average, tree_allreduce
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 4, 7, 8])
+    def test_matches_direct_sum(self, rng, n_ranks):
+        buffers = [rng.normal(size=37) for _ in range(n_ranks)]
+        expected = np.sum(buffers, axis=0)
+        results = ring_allreduce(buffers)
+        assert len(results) == n_ranks
+        for out in results:
+            np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_multidimensional_buffers(self, rng):
+        buffers = [rng.normal(size=(4, 5)) for _ in range(3)]
+        expected = np.sum(buffers, axis=0)
+        for out in ring_allreduce(buffers):
+            np.testing.assert_allclose(out, expected)
+            assert out.shape == (4, 5)
+
+    def test_buffer_smaller_than_rank_count(self, rng):
+        # 8 ranks but only 3 elements: some chunks are empty.
+        buffers = [rng.normal(size=3) for _ in range(8)]
+        expected = np.sum(buffers, axis=0)
+        for out in ring_allreduce(buffers):
+            np.testing.assert_allclose(out, expected)
+
+    def test_inputs_not_mutated(self, rng):
+        buffers = [rng.normal(size=10) for _ in range(4)]
+        copies = [b.copy() for b in buffers]
+        ring_allreduce(buffers)
+        for original, copy in zip(buffers, copies):
+            np.testing.assert_array_equal(original, copy)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([np.zeros(3), np.zeros(4)])
+
+    def test_empty_rank_list_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+
+    @given(
+        n_ranks=st.integers(min_value=1, max_value=6),
+        size=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_equals_sum(self, n_ranks, size, seed):
+        rng = np.random.default_rng(seed)
+        buffers = [rng.normal(size=size) for _ in range(n_ranks)]
+        expected = np.sum(buffers, axis=0)
+        for out in ring_allreduce(buffers):
+            np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+class TestRingAllreduceAverage:
+    def test_averages_gradient_lists(self, rng):
+        n_ranks, shapes = 4, [(3, 2), (5,)]
+        rank_grads = [[rng.normal(size=s) for s in shapes] for _ in range(n_ranks)]
+        averaged = ring_allreduce_average(rank_grads)
+        for k, shape in enumerate(shapes):
+            expected = np.mean([rank_grads[r][k] for r in range(n_ranks)], axis=0)
+            for r in range(n_ranks):
+                np.testing.assert_allclose(averaged[r][k], expected, atol=1e-12)
+
+    def test_single_rank_is_identity(self, rng):
+        grads = [[rng.normal(size=4)]]
+        averaged = ring_allreduce_average(grads)
+        np.testing.assert_allclose(averaged[0][0], grads[0][0])
+
+    def test_inconsistent_parameter_counts_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ring_allreduce_average([[np.zeros(2)], [np.zeros(2), np.zeros(2)]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_average([])
+
+
+class TestTreeAllreduce:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 5, 8])
+    def test_matches_ring(self, rng, n_ranks):
+        buffers = [rng.normal(size=11) for _ in range(n_ranks)]
+        ring = ring_allreduce(buffers)
+        tree = tree_allreduce(buffers)
+        for r_out, t_out in zip(ring, tree):
+            np.testing.assert_allclose(r_out, t_out, atol=1e-12)

@@ -1,0 +1,130 @@
+"""Tests for the synchronous data-parallel trainer and its timing model."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.ddp import DDPTimingModel, DistributedTrainer
+from repro.ml.dataset import Dataset
+from repro.ml.layers import Dense, ELU, Softmax
+from repro.ml.losses import CategoricalCrossEntropy
+from repro.ml.model import Sequential
+from repro.ml.optimizers import SGD
+
+
+def _model_builder(rng=None):
+    """A small deterministic model without dropout (so replicas are exact)."""
+    seed = 0
+    return Sequential(
+        [Dense(4, 8, rng=seed), ELU(), Dense(8, 3, rng=seed + 1), Softmax()],
+        n_classes=3,
+    ).compile(optimizer=SGD(learning_rate=0.05), loss=CategoricalCrossEntropy())
+
+
+def _toy_dataset(rng, n=256):
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] > 0).astype(int) + (X[:, 1] > 0.5).astype(int)
+    return Dataset(X, y)
+
+
+class TestDistributedTrainer:
+    def test_replicas_stay_synchronised(self, rng):
+        trainer = DistributedTrainer(_model_builder, n_gpus=4, seed=0)
+        trainer.train(_toy_dataset(rng), epochs=2, batch_size=16, shuffle=False)
+        reference = trainer.replicas[0].get_weights()
+        for replica in trainer.replicas[1:]:
+            for a, b in zip(reference, replica.get_weights()):
+                np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_multi_gpu_matches_single_gpu_with_global_batch(self, rng):
+        """2 ranks x batch 8 must equal 1 rank x batch 16 when sharding is
+        deterministic and shuffling is off (gradient averaging over the same
+        global batch)."""
+        data = _toy_dataset(rng, n=64)
+        single = DistributedTrainer(_model_builder, n_gpus=1, seed=0)
+        single.train(data, epochs=1, batch_size=16, shuffle=False)
+
+        # Build the equivalent interleaved dataset for 2 shards of batch 8:
+        # shard r takes samples r::2, so the global step-0 batch is samples
+        # {0..15} — the same 16 samples the single run used.
+        double = DistributedTrainer(_model_builder, n_gpus=2, seed=0)
+        double.train(data, epochs=1, batch_size=8, shuffle=False)
+
+        for a, b in zip(single.model.get_weights(), double.model.get_weights()):
+            np.testing.assert_allclose(a, b, atol=1e-8)
+
+    def test_training_learns(self, rng):
+        trainer = DistributedTrainer(_model_builder, n_gpus=2, seed=1)
+        result = trainer.train(_toy_dataset(rng, 300), epochs=6, batch_size=16)
+        assert result.history.accuracy[-1] > 0.6
+        assert result.history.loss[-1] < result.history.loss[0]
+
+    def test_validation_metrics(self, rng):
+        trainer = DistributedTrainer(_model_builder, n_gpus=2, seed=2)
+        result = trainer.train(
+            _toy_dataset(rng, 128), epochs=2, batch_size=16, validation=_toy_dataset(rng, 64)
+        )
+        assert len(result.history.val_accuracy) == 2
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            DistributedTrainer(_model_builder, n_gpus=0)
+        trainer = DistributedTrainer(_model_builder, n_gpus=1)
+        with pytest.raises(ValueError):
+            trainer.train(_toy_dataset(rng), epochs=0)
+        with pytest.raises(RuntimeError):
+            DistributedTrainer(_model_builder, n_gpus=1).model
+
+
+class TestDDPTimingModel:
+    def test_epoch_time_decreases_with_gpus(self):
+        model = DDPTimingModel()
+        times = [model.epoch_seconds(14.0, n, 50_000, 100) for n in (1, 2, 4, 8)]
+        assert times[0] > times[1] > times[2] > times[3]
+
+    def test_speedup_is_sublinear(self):
+        model = DDPTimingModel()
+        t1 = model.epoch_seconds(14.0, 1, 50_000, 100)
+        t8 = model.epoch_seconds(14.0, 8, 50_000, 12)
+        assert 5.0 < t1 / t8 < 8.0
+
+    def test_allreduce_cost_zero_for_single_gpu(self):
+        assert DDPTimingModel().allreduce_seconds_per_step(1, 1_000_000) == 0.0
+
+    def test_allreduce_cost_grows_with_parameters(self):
+        model = DDPTimingModel()
+        assert model.allreduce_seconds_per_step(4, 10_000_000) > model.allreduce_seconds_per_step(4, 1_000)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DDPTimingModel(input_pipeline_fraction=1.0)
+        with pytest.raises(ValueError):
+            DDPTimingModel(allreduce_bandwidth_gb_s=0.0)
+        with pytest.raises(ValueError):
+            DDPTimingModel().epoch_seconds(0.0, 2, 100, 10)
+
+
+class TestScalingTable:
+    def test_reproduces_table4_shape(self):
+        trainer = DistributedTrainer(_model_builder, n_gpus=1)
+        rows = trainer.scaling_table(
+            single_gpu_total_s=280.72, n_samples=3222, epochs=20, batch_size=32,
+            n_parameters=50_000,
+        )
+        assert [r.n_gpus for r in rows] == [1, 2, 4, 6, 8]
+        assert rows[0].speedup == pytest.approx(1.0)
+        # Paper: 1.96x at 2 GPUs, 7.25x at 8 GPUs.
+        assert rows[1].speedup == pytest.approx(1.96, abs=0.15)
+        assert rows[-1].speedup == pytest.approx(7.25, abs=0.6)
+        # Throughput grows monotonically.
+        throughput = [r.samples_per_second for r in rows]
+        assert all(b > a for a, b in zip(throughput, throughput[1:]))
+
+    def test_total_time_matches_baseline(self):
+        trainer = DistributedTrainer(_model_builder, n_gpus=1)
+        rows = trainer.scaling_table(280.72, 3222, n_parameters=50_000)
+        assert rows[0].total_time_s == pytest.approx(280.72, rel=0.02)
+
+    def test_invalid_baseline_rejected(self):
+        trainer = DistributedTrainer(_model_builder, n_gpus=1)
+        with pytest.raises(ValueError):
+            trainer.scaling_table(0.0, 100)

@@ -1,0 +1,68 @@
+"""Tests for speedup bookkeeping and scaling laws."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.speedup import (
+    SpeedupTable,
+    amdahl_speedup,
+    gustafson_speedup,
+    parallel_efficiency,
+)
+
+
+class TestScalingLaws:
+    def test_amdahl_limits(self):
+        assert amdahl_speedup(1, 0.1) == pytest.approx(1.0)
+        assert amdahl_speedup(10**6, 0.1) == pytest.approx(10.0, rel=1e-3)
+
+    def test_amdahl_fully_parallel(self):
+        np.testing.assert_allclose(amdahl_speedup(np.array([1, 2, 8]), 0.0), [1, 2, 8])
+
+    def test_gustafson_linear_when_fully_parallel(self):
+        np.testing.assert_allclose(gustafson_speedup(np.array([1, 4, 16]), 0.0), [1, 4, 16])
+
+    def test_gustafson_above_amdahl(self):
+        n = np.array([2, 4, 8, 16])
+        assert np.all(gustafson_speedup(n, 0.2) >= amdahl_speedup(n, 0.2))
+
+    def test_parallel_efficiency(self):
+        assert parallel_efficiency(4.0, 8) == pytest.approx(0.5)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(4, 1.5)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0, 0.5)
+        with pytest.raises(ValueError):
+            gustafson_speedup(-1, 0.2)
+        with pytest.raises(ValueError):
+            parallel_efficiency(1.0, 0)
+
+
+class TestSpeedupTable:
+    def test_rows_and_speedups(self):
+        table = SpeedupTable("demo")
+        table.add("1x1", 1, 100.0)
+        table.add("2x2", 4, 30.0)
+        table.add("4x4", 16, 10.0)
+        speedups = table.speedups()
+        np.testing.assert_allclose(speedups, [1.0, 100 / 30, 10.0])
+        rows = table.rows()
+        assert rows[2]["speedup"] == 10.0
+        assert rows[1]["workers"] == 4
+
+    def test_efficiency_column(self):
+        table = SpeedupTable("demo")
+        table.add("serial", 1, 50.0)
+        table.add("parallel", 10, 10.0)
+        np.testing.assert_allclose(table.efficiencies(), [1.0, 0.5])
+
+    def test_invalid_measurements_rejected(self):
+        table = SpeedupTable("demo")
+        with pytest.raises(ValueError):
+            table.add("bad", 0, 1.0)
+        with pytest.raises(ValueError):
+            table.add("bad", 1, 0.0)
+        with pytest.raises(ValueError):
+            table.speedups()

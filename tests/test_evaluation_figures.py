@@ -1,0 +1,104 @@
+"""Tests for figure regeneration (confusion matrix, scaling curves, comparisons)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.figures import (
+    figure4_confusion_matrix,
+    figure5_training_scaling,
+    figure6_7_classification_comparison,
+    figure8_9_sea_surface_comparison,
+    figure10_11_freeboard_comparison,
+)
+from repro.surface.scene import SceneConfig
+from repro.workflow.end_to_end import ExperimentConfig, run_end_to_end
+
+
+@pytest.fixture(scope="module")
+def outputs():
+    config = ExperimentConfig(
+        scene=SceneConfig(width_m=10_000.0, height_m=10_000.0, open_water_fraction=0.14,
+                          thin_ice_fraction=0.16, thick_ice_fraction=0.70, n_leads=10),
+        epochs=3,
+        seed=17,
+    )
+    return run_end_to_end(config)
+
+
+class TestFigure4:
+    def test_confusion_matrix_structure(self, outputs):
+        fig = figure4_confusion_matrix(outputs.classifier)
+        cm = np.array(fig["confusion_counts"])
+        assert cm.shape == (3, 3)
+        norm = np.array(fig["confusion_normalized"])
+        rows_with_support = cm.sum(axis=1) > 0
+        np.testing.assert_allclose(norm[rows_with_support].sum(axis=1), 1.0)
+        assert fig["overall_accuracy_percent"] > 50.0
+
+    def test_per_class_accuracy_thick_ice_highest(self, outputs):
+        """Thick ice dominates the training data, so (like the paper's
+        Fig. 4: 98.4 % vs 73.8 % vs 60.3 %) it should be the best classified."""
+        fig = figure4_confusion_matrix(outputs.classifier)
+        per_class = fig["per_class_accuracy_percent"]
+        assert per_class[0] >= max(per_class[1:]) - 15.0
+
+
+class TestFigure5:
+    def test_series_lengths_match(self):
+        fig = figure5_training_scaling()
+        n = len(fig["n_gpus"])
+        for key in ("speedup", "total_time_s", "samples_per_second", "time_per_epoch_s", "ideal_speedup"):
+            assert len(fig[key]) == n
+
+    def test_speedup_below_ideal(self):
+        fig = figure5_training_scaling()
+        assert all(s <= i + 1e-9 for s, i in zip(fig["speedup"], fig["ideal_speedup"]))
+
+    def test_total_time_decreases(self):
+        fig = figure5_training_scaling()
+        times = fig["total_time_s"]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+
+class TestFigures6And7:
+    def test_density_ratio_far_above_one(self, outputs):
+        comparison = figure6_7_classification_comparison(outputs)
+        assert comparison.density_ratio > 5.0
+        assert comparison.atl03_labels.shape == comparison.atl03_along_m.shape
+
+    def test_class_fractions_present_for_both_products(self, outputs):
+        fractions = figure6_7_classification_comparison(outputs).class_fractions()
+        assert set(fractions) == {"atl03", "atl07"}
+        assert sum(fractions["atl03"].values()) == pytest.approx(1.0)
+
+
+class TestFigures8And9:
+    def test_all_four_methods_present(self, outputs):
+        fig = figure8_9_sea_surface_comparison(outputs)
+        assert set(fig["methods"]) == {"minimum", "average", "nearest_minimum", "nasa"}
+        for series in fig["methods"].values():
+            assert len(series["centers_m"]) == len(series["heights_m"])
+
+    def test_difference_vs_atl07_reported(self, outputs):
+        fig = figure8_9_sea_surface_comparison(outputs)
+        assert np.isfinite(fig["mean_abs_difference_vs_atl07_m"])
+        assert fig["mean_abs_difference_vs_atl07_m"] < 0.6
+
+    def test_smoothness_reported_per_method(self, outputs):
+        fig = figure8_9_sea_surface_comparison(outputs)
+        assert set(fig["smoothness_m"]) == {"minimum", "average", "nearest_minimum", "nasa"}
+
+
+class TestFigures10And11:
+    def test_distributions_normalised(self, outputs):
+        fig = figure10_11_freeboard_comparison(outputs)
+        assert np.isclose(sum(fig["atl03_distribution"]), 1.0, atol=1e-6)
+        assert np.isclose(sum(fig["atl10_distribution"]), 1.0, atol=1e-6)
+
+    def test_atl03_denser_than_atl10(self, outputs):
+        fig = figure10_11_freeboard_comparison(outputs)
+        assert fig["comparison"]["density_ratio"] > 5.0
+
+    def test_atl07_segments_are_coarse(self, outputs):
+        fig = figure10_11_freeboard_comparison(outputs)
+        assert fig["atl07_mean_segment_length_m"] > 10.0

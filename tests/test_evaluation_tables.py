@@ -1,0 +1,83 @@
+"""Tests for table regeneration and report formatting."""
+
+import pytest
+
+from repro.evaluation.report import format_markdown_table, format_table
+from repro.evaluation.tables import (
+    regenerate_table1,
+    regenerate_table2,
+    regenerate_table4,
+    regenerate_table5,
+)
+
+
+class TestTable1:
+    def test_eight_rows_with_expected_columns(self):
+        rows = regenerate_table1()
+        assert len(rows) == 8
+        assert {"index", "is2_time", "s2_time", "time_difference_min", "shift_m"} <= set(rows[0])
+
+    def test_all_within_two_hours(self):
+        assert all(row["time_difference_min"] < 120 for row in regenerate_table1())
+
+
+class TestTable2:
+    def test_shape_and_speedups(self):
+        rows = regenerate_table2()
+        assert len(rows) == 9
+        first, last = rows[0], rows[-1]
+        assert first["Speedup Load"] == pytest.approx(1.0)
+        assert first["Load Time (s)"] == pytest.approx(108.0, rel=0.01)
+        # Paper: 9.0x load and 16.25x reduce at 4 executors x 4 cores.
+        assert last["Speedup Load"] == pytest.approx(9.0, abs=1.0)
+        assert last["Speedup Reduce"] == pytest.approx(16.25, abs=2.5)
+
+    def test_reduce_time_monotone_in_slots(self):
+        rows = regenerate_table2()
+        by_slots = sorted(rows, key=lambda r: r["Executors"] * r["Cores"])
+        times = [r["Reduce Time (s)"] for r in by_slots]
+        assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+
+
+class TestTable4:
+    def test_gpu_counts_and_speedup(self):
+        rows = regenerate_table4()
+        assert [r["No. of GPUs"] for r in rows] == [1, 2, 4, 6, 8]
+        assert rows[0]["Time (s)"] == pytest.approx(280.72, rel=0.02)
+        assert rows[-1]["Speedup"] == pytest.approx(7.25, abs=0.6)
+
+    def test_throughput_increases(self):
+        rows = regenerate_table4()
+        data_rates = [r["Data/s"] for r in rows]
+        assert all(b > a for a, b in zip(data_rates, data_rates[1:]))
+
+
+class TestTable5:
+    def test_shape_and_speedups(self):
+        rows = regenerate_table5()
+        assert len(rows) == 9
+        assert rows[0]["Load Time (s)"] == pytest.approx(111.0, rel=0.01)
+        assert rows[-1]["Speedup Load"] == pytest.approx(8.54, abs=1.0)
+        assert rows[-1]["Speedup Reduce"] == pytest.approx(15.68, abs=2.5)
+
+
+class TestReportFormatting:
+    def test_format_table_aligns_columns(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_markdown_table(self):
+        rows = [{"model": "LSTM", "acc": 96.56}]
+        text = format_markdown_table(rows, title="Table III")
+        assert "| model | acc |" in text
+        assert "| LSTM | 96.56 |" in text
+
+    def test_markdown_empty(self):
+        assert "_(no rows)_" in format_markdown_table([])

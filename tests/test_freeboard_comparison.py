@@ -1,0 +1,78 @@
+"""Tests for the ATL03-vs-baseline freeboard comparison utilities."""
+
+import numpy as np
+import pytest
+
+from repro.freeboard.comparison import compare_freeboards, point_density
+from repro.freeboard.freeboard import compute_freeboard
+from repro.products.atl07 import generate_atl07
+from repro.products.atl10 import generate_atl10
+
+
+class TestPointDensity:
+    def test_uniform_samples(self):
+        along = np.arange(0.0, 10_000.0, 2.0)
+        assert point_density(along) == pytest.approx(500.2, rel=0.01)
+
+    def test_explicit_track_length(self):
+        along = np.array([0.0, 100.0])
+        assert point_density(along, track_length_m=1_000.0) == pytest.approx(2.0)
+
+    def test_empty_input(self):
+        assert point_density(np.array([])) == 0.0
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            point_density(np.array([0.0, 1.0]), track_length_m=0.0)
+
+
+class TestCompareFreeboards:
+    @pytest.fixture(scope="class")
+    def comparison(self, segments, beam):
+        atl03 = compute_freeboard(segments, segments.truth_class)
+        atl07 = generate_atl07(beam)
+        atl10 = generate_atl10(atl07)
+        return compare_freeboards(
+            atl03, atl10.along_track_m, atl10.freeboard_m, baseline_sea_surface_m=atl10.sea_surface_m
+        ), atl03, atl10
+
+    def test_atl03_product_is_denser(self, comparison):
+        result, _, _ = comparison
+        assert result.density_ratio > 5.0
+        assert result.atl03_points_per_km > result.baseline_points_per_km
+
+    def test_mean_freeboards_same_order_of_magnitude(self, comparison):
+        result, _, _ = comparison
+        assert 0.0 < result.baseline_mean_freeboard_m < 1.5
+        assert 0.0 < result.atl03_mean_freeboard_m < 1.5
+        # The fixture track is lead-poor, so the ATL07 baseline's diluted
+        # open-water segments overestimate the sea surface and underestimate
+        # freeboard relative to the 2 m product — the direction the paper
+        # argues for.  Only the order of magnitude is asserted here; the
+        # lead-rich benchmark scenes give much closer agreement.
+        ratio = result.atl03_mean_freeboard_m / result.baseline_mean_freeboard_m
+        assert 0.2 < ratio < 5.0
+        assert result.atl03_mean_freeboard_m >= result.baseline_mean_freeboard_m
+
+    def test_sea_surface_difference_bounded(self, comparison):
+        """The paper reports ~0.1 m agreement on its lead-rich tracks; on this
+        lead-poor fixture track the ATL07 dilution effect dominates, so only a
+        coarse bound is asserted (the Fig. 8/9 benchmark checks the lead-rich
+        case)."""
+        result, _, _ = comparison
+        assert result.sea_surface_mean_abs_difference_m < 0.6
+
+    def test_as_dict_keys(self, comparison):
+        result, _, _ = comparison
+        d = result.as_dict()
+        assert "density_ratio" in d and "atl03_mode_freeboard_m" in d
+
+    def test_length_mismatch_rejected(self, comparison):
+        _, atl03, atl10 = comparison
+        with pytest.raises(ValueError):
+            compare_freeboards(atl03, atl10.along_track_m, atl10.freeboard_m[:-1])
+
+    def test_without_baseline_sea_surface(self, comparison):
+        _, atl03, atl10 = comparison
+        result = compare_freeboards(atl03, atl10.along_track_m, atl10.freeboard_m)
+        assert np.isnan(result.sea_surface_mean_abs_difference_m)

@@ -1,0 +1,80 @@
+"""Tests for the freeboard computation over classified segments."""
+
+import numpy as np
+import pytest
+
+from repro.config import CLASS_OPEN_WATER, SeaSurfaceConfig
+from repro.freeboard.freeboard import compute_freeboard
+
+
+class TestComputeFreeboard:
+    @pytest.fixture(scope="class")
+    def result(self, segments):
+        return compute_freeboard(segments, segments.truth_class)
+
+    def test_one_freeboard_per_segment(self, result, segments):
+        assert result.n_segments == segments.n_segments
+        assert result.freeboard_m.shape == (segments.n_segments,)
+
+    def test_open_water_has_zero_freeboard(self, result):
+        water = result.labels == CLASS_OPEN_WATER
+        assert np.all(result.freeboard_m[water] == 0.0)
+
+    def test_freeboards_non_negative_when_clipped(self, result):
+        finite = np.isfinite(result.freeboard_m)
+        assert np.all(result.freeboard_m[finite] >= 0.0)
+
+    def test_unclipped_freeboards_can_be_negative(self, segments):
+        result = compute_freeboard(segments, segments.truth_class, clip_negative=False)
+        finite = np.isfinite(result.freeboard_m)
+        # Noise makes at least a few ice segments dip below the reference.
+        assert result.freeboard_m[finite].min() < 0.05
+
+    def test_freeboard_close_to_truth(self, result, segments, scene):
+        """The retrieved freeboard should track the scene's true freeboard."""
+        truth = scene.freeboard(segments.x_m, segments.y_m)
+        ice = result.ice_mask()
+        error = result.freeboard_m[ice] - truth[ice]
+        # Mean bias within ~25 cm and correlation with the truth.
+        assert abs(np.nanmean(error)) < 0.3
+        valid = np.isfinite(error)
+        corr = np.corrcoef(result.freeboard_m[ice][valid], truth[ice][valid])[0, 1]
+        assert corr > 0.5
+
+    def test_sea_surface_close_to_truth(self, result, segments, scene):
+        truth_sl = scene.sea_level(segments.x_m, segments.y_m)
+        mae = np.nanmean(np.abs(result.sea_surface_m - truth_sl))
+        assert mae < 0.3
+
+    def test_mean_freeboard_in_physical_range(self, result):
+        assert 0.0 < result.mean_freeboard_m() < 1.5
+
+    def test_distribution_normalised(self, result):
+        centres, density = result.distribution(bin_width_m=0.05)
+        assert density.sum() == pytest.approx(1.0, abs=1e-6)
+        assert centres.shape == density.shape
+
+    def test_distribution_invalid_bins_rejected(self, result):
+        with pytest.raises(ValueError):
+            result.distribution(bin_width_m=0.0)
+
+    def test_all_four_methods_supported(self, segments):
+        for method in ("minimum", "average", "nearest_minimum", "nasa"):
+            result = compute_freeboard(segments, segments.truth_class, method=method)
+            assert np.isfinite(result.freeboard_m[result.ice_mask()]).all()
+
+    def test_minimum_method_gives_higher_freeboard_than_average(self, segments):
+        """The minimum-elevation sea surface sits lower, inflating freeboard —
+        the behaviour the paper's Fig. 8 comparison illustrates."""
+        fb_min = compute_freeboard(segments, segments.truth_class, method="minimum")
+        fb_avg = compute_freeboard(segments, segments.truth_class, method="average")
+        assert fb_min.mean_freeboard_m() >= fb_avg.mean_freeboard_m() - 1e-6
+
+    def test_label_length_mismatch_rejected(self, segments):
+        with pytest.raises(ValueError):
+            compute_freeboard(segments, segments.truth_class[:-1])
+
+    def test_custom_window_config(self, segments):
+        config = SeaSurfaceConfig(window_length_m=4_000.0, window_overlap_m=2_000.0)
+        result = compute_freeboard(segments, segments.truth_class, config=config)
+        assert result.sea_surface.n_windows > 1

@@ -1,0 +1,80 @@
+"""Tests for sea-surface window interpolation and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.freeboard.interpolation import interpolate_missing_windows, sea_surface_at
+from repro.freeboard.sea_surface import SeaSurfaceEstimate, WindowSeaSurface
+
+
+def _estimate(heights, centers=None, errors=None):
+    if centers is None:
+        centers = np.arange(len(heights)) * 5_000.0 + 5_000.0
+    if errors is None:
+        errors = [0.05 if np.isfinite(h) else np.nan for h in heights]
+    windows = [
+        WindowSeaSurface(
+            center_m=c, start_m=c - 5_000.0, stop_m=c + 5_000.0,
+            height_m=h, error_m=e, n_open_water=0 if np.isnan(h) else 5,
+        )
+        for c, h, e in zip(centers, heights, errors)
+    ]
+    return SeaSurfaceEstimate(method="nasa", windows=windows)
+
+
+class TestInterpolateMissingWindows:
+    def test_linear_interpolation_between_anchors(self):
+        estimate = _estimate([0.0, np.nan, 0.2])
+        filled = interpolate_missing_windows(estimate)
+        assert filled.heights_m[1] == pytest.approx(0.1)
+        assert filled.windows[1].interpolated
+        assert not filled.windows[0].interpolated
+
+    def test_constant_extrapolation_at_edges(self):
+        estimate = _estimate([np.nan, 0.1, np.nan])
+        filled = interpolate_missing_windows(estimate)
+        assert filled.heights_m[0] == pytest.approx(0.1)
+        assert filled.heights_m[2] == pytest.approx(0.1)
+
+    def test_no_missing_windows_returns_same_estimate(self):
+        estimate = _estimate([0.0, 0.1])
+        assert interpolate_missing_windows(estimate) is estimate
+
+    def test_interpolated_errors_inflated(self):
+        estimate = _estimate([0.0, np.nan, 0.2])
+        filled = interpolate_missing_windows(estimate)
+        assert filled.errors_m[1] > np.nanmean([0.05, 0.05])
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ValueError, match="no leads"):
+            interpolate_missing_windows(_estimate([np.nan, np.nan]))
+
+    def test_original_not_mutated(self):
+        estimate = _estimate([0.0, np.nan, 0.2])
+        interpolate_missing_windows(estimate)
+        assert np.isnan(estimate.heights_m[1])
+
+
+class TestSeaSurfaceAt:
+    def test_interpolates_between_window_centres(self):
+        estimate = _estimate([0.0, 0.2])
+        # Centres are at 5 km and 10 km.
+        value = sea_surface_at(estimate, np.array([7_500.0]))
+        assert value[0] == pytest.approx(0.1)
+
+    def test_clamps_outside_range(self):
+        estimate = _estimate([0.1, 0.3])
+        values = sea_surface_at(estimate, np.array([0.0, 50_000.0]))
+        assert values[0] == pytest.approx(0.1)
+        assert values[1] == pytest.approx(0.3)
+
+    def test_skips_nan_windows(self):
+        estimate = _estimate([0.0, np.nan, 0.2])
+        value = sea_surface_at(estimate, np.array([10_000.0]))
+        # The NaN middle window is ignored; interpolation runs between the
+        # valid anchors at 5 km and 15 km.
+        assert value[0] == pytest.approx(0.1)
+
+    def test_no_valid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            sea_surface_at(_estimate([np.nan]), np.array([0.0]))

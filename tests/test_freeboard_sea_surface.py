@@ -1,0 +1,155 @@
+"""Tests for local sea-surface estimation (four methods, NASA equations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE, SeaSurfaceConfig
+from repro.freeboard.sea_surface import (
+    SEA_SURFACE_METHODS,
+    estimate_sea_surface,
+    nasa_lead_height,
+    nasa_reference_height,
+)
+
+
+def _synthetic_track(rng, n=6000, spacing=2.0, sea_level=0.05, freeboard=0.4, water_fraction=0.1):
+    """A classified track with known sea level and ice freeboard."""
+    along = np.arange(n) * spacing
+    labels = np.full(n, CLASS_THICK_ICE, dtype=np.int8)
+    water_idx = rng.choice(n, int(n * water_fraction), replace=False)
+    labels[water_idx] = CLASS_OPEN_WATER
+    heights = np.where(labels == CLASS_OPEN_WATER, sea_level, sea_level + freeboard)
+    heights = heights + rng.normal(0, 0.03, n)
+    errors = np.full(n, 0.05)
+    return along, heights, errors, labels
+
+
+class TestNASAEquations:
+    def test_lead_height_between_min_and_mean(self, rng):
+        h = rng.normal(0.0, 0.1, 30)
+        sigma = np.full(30, 0.1)
+        lead_h, lead_e = nasa_lead_height(h, sigma)
+        assert h.min() - 1e-9 <= lead_h <= h.mean() + 1e-9
+        assert lead_e > 0
+
+    def test_identical_heights_give_that_height(self):
+        h = np.full(10, 0.07)
+        lead_h, _ = nasa_lead_height(h, np.full(10, 0.1))
+        assert lead_h == pytest.approx(0.07)
+
+    def test_single_candidate(self):
+        lead_h, lead_e = nasa_lead_height(np.array([0.12]), np.array([0.05]))
+        assert lead_h == pytest.approx(0.12)
+        assert lead_e == pytest.approx(0.05)
+
+    def test_reference_height_is_inverse_variance_weighted(self):
+        heights = np.array([0.0, 1.0])
+        errors = np.array([0.01, 1.0])  # first lead far more certain
+        ref, err = nasa_reference_height(heights, errors)
+        assert ref < 0.01
+        assert err <= 0.01 + 1e-9
+
+    def test_equal_errors_give_mean(self):
+        ref, _ = nasa_reference_height(np.array([0.0, 0.2]), np.array([0.1, 0.1]))
+        assert ref == pytest.approx(0.1)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            nasa_lead_height(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            nasa_reference_height(np.array([]), np.array([]))
+
+    def test_negative_errors_rejected(self):
+        with pytest.raises(ValueError):
+            nasa_lead_height(np.array([0.1]), np.array([-0.1]))
+
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_lead_height_bracketed(self, n, seed):
+        rng = np.random.default_rng(seed)
+        h = rng.normal(0, 0.2, n)
+        sigma = rng.uniform(0.02, 0.2, n)
+        lead_h, _ = nasa_lead_height(h, sigma)
+        assert h.min() - 1e-9 <= lead_h <= h.max() + 1e-9
+
+
+class TestEstimateSeaSurface:
+    @pytest.mark.parametrize("method", SEA_SURFACE_METHODS)
+    def test_recovers_known_sea_level(self, rng, method):
+        along, heights, errors, labels = _synthetic_track(rng, sea_level=0.05)
+        estimate = estimate_sea_surface(along, heights, errors, labels, method=method)
+        valid = estimate.valid_mask()
+        assert valid.any()
+        recovered = estimate.heights_m[valid]
+        # All methods should land within ~10 cm of the true 5 cm sea level
+        # (the minimum method is biased low, the average is nearly exact).
+        assert np.all(np.abs(recovered - 0.05) < 0.12)
+
+    def test_average_more_accurate_than_minimum(self, rng):
+        along, heights, errors, labels = _synthetic_track(rng)
+        avg = estimate_sea_surface(along, heights, errors, labels, method="average")
+        minimum = estimate_sea_surface(along, heights, errors, labels, method="minimum")
+        err_avg = np.abs(avg.heights_m[avg.valid_mask()] - 0.05).mean()
+        err_min = np.abs(minimum.heights_m[minimum.valid_mask()] - 0.05).mean()
+        assert err_avg <= err_min
+
+    def test_windows_cover_track(self, rng):
+        along, heights, errors, labels = _synthetic_track(rng, n=12000)
+        estimate = estimate_sea_surface(along, heights, errors, labels, method="nasa")
+        assert estimate.windows[0].start_m <= along.min()
+        assert estimate.windows[-1].stop_m >= along.max()
+        # 5 km steps over a 24 km track: at least 4 windows.
+        assert estimate.n_windows >= 4
+
+    def test_windows_without_water_are_nan(self, rng):
+        along, heights, errors, labels = _synthetic_track(rng, n=10000)
+        # Remove all open water from the second half of the track.
+        half = along > along.max() / 2
+        labels = labels.copy()
+        labels[half] = CLASS_THICK_ICE
+        estimate = estimate_sea_surface(
+            along, heights, errors, labels, method="nasa", fallback_lowest_quantile=None
+        )
+        assert np.isnan(estimate.heights_m).any()
+        assert np.isfinite(estimate.heights_m).any()
+
+    def test_fallback_used_when_no_water_classified(self, rng):
+        along, heights, errors, labels = _synthetic_track(rng)
+        no_water = np.full_like(labels, CLASS_THICK_ICE)
+        estimate = estimate_sea_surface(along, heights, errors, no_water, method="average")
+        # The lowest-quantile fallback anchors at least one window.
+        assert np.isfinite(estimate.heights_m).any()
+
+    def test_outlier_rejection_protects_minimum_method(self, rng):
+        along, heights, errors, labels = _synthetic_track(rng)
+        # Inject one absurd outlier in a water segment (stray background photon).
+        water_positions = np.flatnonzero(labels == CLASS_OPEN_WATER)
+        heights = heights.copy()
+        heights[water_positions[0]] = -8.0
+        estimate = estimate_sea_surface(along, heights, errors, labels, method="minimum")
+        assert np.all(estimate.heights_m[estimate.valid_mask()] > -1.0)
+
+    def test_smoothness_metric(self, rng):
+        along, heights, errors, labels = _synthetic_track(rng, n=15000)
+        estimate = estimate_sea_surface(along, heights, errors, labels, method="nasa")
+        assert estimate.smoothness() >= 0.0
+
+    def test_unknown_method_rejected(self, rng):
+        along, heights, errors, labels = _synthetic_track(rng, n=100)
+        with pytest.raises(ValueError):
+            estimate_sea_surface(along, heights, errors, labels, method="median")
+
+    def test_empty_track_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_sea_surface(np.array([]), np.array([]), np.array([]), np.array([], dtype=np.int8))
+
+    def test_window_errors_positive(self, rng):
+        along, heights, errors, labels = _synthetic_track(rng)
+        estimate = estimate_sea_surface(along, heights, errors, labels, method="nasa")
+        valid = estimate.valid_mask()
+        assert np.all(estimate.errors_m[valid] > 0)

@@ -1,0 +1,106 @@
+"""Tests for sea-ice thickness estimation from freeboard (paper's future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.freeboard.freeboard import compute_freeboard
+from repro.freeboard.thickness import (
+    DENSITY_ICE,
+    DENSITY_WATER,
+    one_layer_method,
+    thickness_from_freeboard,
+)
+
+
+class TestThicknessFromFreeboard:
+    def test_zero_freeboard_gives_zero_thickness(self):
+        result = thickness_from_freeboard(np.zeros(5))
+        np.testing.assert_allclose(result.thickness_m, 0.0)
+
+    def test_snow_free_scaling_factor(self):
+        # With no snow, hi = rho_w / (rho_w - rho_i) * hf  (factor ~9.4).
+        result = thickness_from_freeboard(np.array([0.3]), snow_depth_m=0.0)
+        factor = DENSITY_WATER / (DENSITY_WATER - DENSITY_ICE)
+        assert result.thickness_m[0] == pytest.approx(0.3 * factor)
+        assert 8.0 < factor < 11.0
+
+    def test_snow_reduces_thickness(self):
+        bare = thickness_from_freeboard(np.array([0.4]), snow_depth_m=0.0)
+        snowy = thickness_from_freeboard(np.array([0.4]), snow_depth_m=0.1)
+        assert snowy.thickness_m[0] < bare.thickness_m[0]
+
+    def test_snow_clipped_to_freeboard(self):
+        result = thickness_from_freeboard(np.array([0.1]), snow_depth_m=0.5)
+        assert result.snow_depth_m[0] == pytest.approx(0.1)
+        assert result.thickness_m[0] >= 0.0
+
+    def test_nan_freeboard_propagates(self):
+        result = thickness_from_freeboard(np.array([np.nan, 0.2]))
+        assert np.isnan(result.thickness_m[0])
+        assert np.isfinite(result.thickness_m[1])
+
+    def test_uncertainty_positive_and_grows_with_freeboard_error(self):
+        tight = thickness_from_freeboard(np.array([0.3]), freeboard_error_m=0.01)
+        loose = thickness_from_freeboard(np.array([0.3]), freeboard_error_m=0.1)
+        assert loose.uncertainty_m[0] > tight.uncertainty_m[0] > 0.0
+
+    def test_invalid_densities_rejected(self):
+        with pytest.raises(ValueError):
+            thickness_from_freeboard(np.array([0.2]), rho_ice=1100.0)
+        with pytest.raises(ValueError):
+            thickness_from_freeboard(np.array([0.2]), rho_snow=2000.0)
+
+    def test_negative_snow_rejected(self):
+        with pytest.raises(ValueError):
+            thickness_from_freeboard(np.array([0.2]), snow_depth_m=-0.1)
+
+    @given(
+        hf=st.floats(min_value=0.0, max_value=1.0),
+        snow=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_thickness_non_negative_and_monotone(self, hf, snow):
+        result = thickness_from_freeboard(np.array([hf]), snow_depth_m=snow)
+        assert result.thickness_m[0] >= 0.0
+        thicker = thickness_from_freeboard(np.array([hf + 0.1]), snow_depth_m=snow)
+        assert thicker.thickness_m[0] >= result.thickness_m[0]
+
+
+class TestOneLayerMethod:
+    def test_reduces_to_snow_free_case_at_zero_fraction(self):
+        hf = np.array([0.25])
+        olm = one_layer_method(hf, snow_fraction=0.0)
+        standard = thickness_from_freeboard(hf, snow_depth_m=0.0)
+        np.testing.assert_allclose(olm.thickness_m, standard.thickness_m)
+
+    def test_more_snow_means_thinner_ice(self):
+        hf = np.array([0.4])
+        low = one_layer_method(hf, snow_fraction=0.2)
+        high = one_layer_method(hf, snow_fraction=0.8)
+        assert high.thickness_m[0] < low.thickness_m[0]
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            one_layer_method(np.array([0.2]), snow_fraction=1.5)
+
+    def test_snow_depth_reported(self):
+        result = one_layer_method(np.array([0.4]), snow_fraction=0.5)
+        assert result.snow_depth_m[0] == pytest.approx(0.2)
+
+    def test_uncertainty_scales_with_freeboard_error(self):
+        result = one_layer_method(np.array([0.4]), freeboard_error_m=0.05)
+        # The one-layer coefficient is ~4.7 with the default snow fraction,
+        # so a 5 cm freeboard error maps to >20 cm of thickness uncertainty.
+        assert result.uncertainty_m[0] > 0.2
+
+
+class TestOnPipelineOutput:
+    def test_thickness_from_classified_track(self, segments):
+        freeboard = compute_freeboard(segments, segments.truth_class)
+        result = one_layer_method(freeboard.freeboard_m, snow_fraction=0.6)
+        ice = freeboard.ice_mask()
+        assert np.all(result.thickness_m[ice] >= 0.0)
+        # Antarctic first-year ice: mean thickness of order a metre or two.
+        assert 0.2 < result.mean_thickness_m() < 8.0

@@ -1,0 +1,103 @@
+"""Tests for the geophysical and first-photon-bias corrections."""
+
+import numpy as np
+import pytest
+
+from repro.geodesy.corrections import (
+    apply_geophysical_corrections,
+    first_photon_bias_correction,
+    geoid_undulation,
+    inverted_barometer_correction,
+    ocean_tide_correction,
+)
+
+
+class TestGeoid:
+    def test_ross_sea_undulation_in_plausible_range(self):
+        n = geoid_undulation(np.array([-75.0, -72.0]), np.array([-170.0, -150.0]))
+        assert np.all(n < -45.0)
+        assert np.all(n > -65.0)
+
+    def test_smooth_in_space(self):
+        lat = np.linspace(-78, -70, 100)
+        lon = np.full(100, -160.0)
+        n = geoid_undulation(lat, lon)
+        assert np.max(np.abs(np.diff(n))) < 1.0
+
+
+class TestTideAndBarometer:
+    def test_tide_amplitude_bounded(self):
+        t = np.linspace(0, 48 * 3600, 500)
+        tide = ocean_tide_correction(t, np.full(500, -75.0))
+        assert np.all(np.abs(tide) < 0.5)
+
+    def test_tide_is_periodic_semidiurnal(self):
+        t = np.array([0.0])
+        tide_now = ocean_tide_correction(t, np.array([-75.0]))
+        tide_later = ocean_tide_correction(t + 12.42 * 3600, np.array([-75.0]))
+        # One full M2 period later the M2 term repeats; only the small K1 term differs.
+        assert abs(tide_now[0] - tide_later[0]) < 0.1
+
+    def test_inverted_barometer_sign(self):
+        # Low pressure raises sea level (positive correction).
+        assert inverted_barometer_correction(np.array([990.0]))[0] > 0
+        assert inverted_barometer_correction(np.array([1030.0]))[0] < 0
+        assert inverted_barometer_correction(np.array([1013.25]))[0] == pytest.approx(0.0)
+
+    def test_inverted_barometer_slope(self):
+        low = inverted_barometer_correction(np.array([1000.0]))[0]
+        high = inverted_barometer_correction(np.array([1010.0]))[0]
+        assert (low - high) == pytest.approx(10 * 0.009948, abs=1e-9)
+
+
+class TestApplyCorrections:
+    def test_output_shapes_and_consistency(self, rng):
+        n = 50
+        height = rng.normal(-55.0, 0.3, n)
+        lat = rng.uniform(-78, -70, n)
+        lon = rng.uniform(-180, -140, n)
+        t = rng.uniform(0, 3600, n)
+        corrected, corr = apply_geophysical_corrections(height, lat, lon, t)
+        assert corrected.shape == (n,)
+        np.testing.assert_allclose(corrected, height - corr.total())
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            apply_geophysical_corrections(
+                np.zeros(3), np.zeros(2), np.zeros(3), np.zeros(3)
+            )
+
+    def test_corrections_remove_geoid_scale(self, rng):
+        # Ellipsoidal heights near the geoid (-55 m) should end up near zero.
+        n = 20
+        lat = rng.uniform(-78, -70, n)
+        lon = rng.uniform(-180, -140, n)
+        height = geoid_undulation(lat, lon) + 0.3
+        corrected, _ = apply_geophysical_corrections(height, lat, lon, np.zeros(n))
+        assert np.all(np.abs(corrected) < 1.0)
+
+
+class TestFirstPhotonBias:
+    def test_bias_lowers_heights(self):
+        heights = np.zeros(10)
+        corrected = first_photon_bias_correction(heights, photon_rate_per_shot=4.0)
+        assert np.all(corrected <= 0.0)
+
+    def test_bias_grows_with_rate(self):
+        h = np.zeros(1)
+        weak = first_photon_bias_correction(h, 0.5)[0]
+        strong = first_photon_bias_correction(h, 8.0)[0]
+        assert strong < weak  # stronger returns are corrected downward more
+
+    def test_zero_rate_no_bias(self):
+        h = np.array([1.0, 2.0])
+        corrected = first_photon_bias_correction(h, 0.0)
+        np.testing.assert_allclose(corrected, h)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            first_photon_bias_correction(np.zeros(2), -1.0)
+
+    def test_bias_bounded_by_pulse_width(self):
+        corrected = first_photon_bias_correction(np.zeros(5), 100.0, pulse_width_ns=1.5)
+        assert np.all(np.abs(corrected) <= 0.5 * 1.5 * 0.15 + 1e-12)

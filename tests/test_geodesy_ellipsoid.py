@@ -1,0 +1,73 @@
+"""Tests for the WGS84 ellipsoid model."""
+
+import numpy as np
+import pytest
+
+from repro.geodesy.ellipsoid import WGS84, Ellipsoid
+
+
+class TestEllipsoidDefinition:
+    def test_wgs84_constants(self):
+        assert WGS84.a == pytest.approx(6_378_137.0)
+        assert WGS84.f == pytest.approx(1.0 / 298.257223563)
+        assert WGS84.b == pytest.approx(6_356_752.314245, abs=1e-3)
+        assert WGS84.e2 == pytest.approx(0.00669437999014, abs=1e-12)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Ellipsoid(a=-1.0, f=0.0)
+        with pytest.raises(ValueError):
+            Ellipsoid(a=6.4e6, f=1.5)
+
+    def test_sphere_has_equal_axes(self):
+        sphere = Ellipsoid(a=1000.0, f=0.0)
+        assert sphere.b == pytest.approx(1000.0)
+        assert sphere.e == 0.0
+
+
+class TestRadiiOfCurvature:
+    def test_prime_vertical_radius_at_equator_and_pole(self):
+        # N(0) = a, N(90 deg) = a / sqrt(1 - e^2).
+        n_eq = WGS84.prime_vertical_radius(np.array([0.0]))
+        n_pole = WGS84.prime_vertical_radius(np.array([np.pi / 2]))
+        assert n_eq[0] == pytest.approx(WGS84.a)
+        assert n_pole[0] == pytest.approx(WGS84.a / np.sqrt(1 - WGS84.e2))
+
+    def test_meridional_radius_smaller_at_equator(self):
+        m_eq = WGS84.meridional_radius(np.array([0.0]))[0]
+        m_pole = WGS84.meridional_radius(np.array([np.pi / 2]))[0]
+        assert m_eq < m_pole
+
+
+class TestGeodeticToECEF:
+    def test_equator_prime_meridian(self):
+        x, y, z = WGS84.geodetic_to_ecef(0.0, 0.0, 0.0)
+        assert x == pytest.approx(WGS84.a)
+        assert y == pytest.approx(0.0, abs=1e-6)
+        assert z == pytest.approx(0.0, abs=1e-6)
+
+    def test_south_pole(self):
+        x, y, z = WGS84.geodetic_to_ecef(-90.0, 0.0, 0.0)
+        assert x == pytest.approx(0.0, abs=1e-6)
+        assert z == pytest.approx(-WGS84.b, abs=1e-3)
+
+    def test_height_adds_along_normal(self):
+        x0, y0, z0 = WGS84.geodetic_to_ecef(-75.0, -160.0, 0.0)
+        x1, y1, z1 = WGS84.geodetic_to_ecef(-75.0, -160.0, 100.0)
+        displacement = np.sqrt((x1 - x0) ** 2 + (y1 - y0) ** 2 + (z1 - z0) ** 2)
+        assert displacement == pytest.approx(100.0, abs=1e-6)
+
+
+class TestSurfaceDistance:
+    def test_zero_for_identical_points(self):
+        d = WGS84.surface_distance(-75.0, -170.0, -75.0, -170.0)
+        assert d == pytest.approx(0.0, abs=1e-9)
+
+    def test_one_degree_latitude_about_111km(self):
+        d = WGS84.surface_distance(-75.0, -170.0, -74.0, -170.0)
+        assert 109_000 < d < 113_000
+
+    def test_symmetry(self):
+        d1 = WGS84.surface_distance(-75.0, -170.0, -74.5, -169.0)
+        d2 = WGS84.surface_distance(-74.5, -169.0, -75.0, -170.0)
+        assert d1 == pytest.approx(d2)

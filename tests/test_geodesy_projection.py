@@ -1,0 +1,94 @@
+"""Tests for the Antarctic polar stereographic projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geodesy.projection import PolarStereographic, antarctic_polar_stereographic
+
+
+@pytest.fixture(scope="module")
+def proj():
+    return antarctic_polar_stereographic()
+
+
+class TestForward:
+    def test_south_pole_maps_to_origin(self, proj):
+        x, y = proj.forward(-90.0, 0.0)
+        assert abs(x) < 1e-6
+        assert abs(y) < 1e-6
+
+    def test_central_meridian_maps_to_positive_y_axis(self, proj):
+        # In the south polar aspect, a point on the central meridian north of
+        # the pole projects onto the +y axis (grid north).
+        x, y = proj.forward(-75.0, 0.0)
+        assert abs(x) < 1e-6
+        assert y > 0
+
+    def test_ross_sea_point_magnitude(self, proj):
+        # A point at -75 latitude should project to a radius of roughly
+        # 15 degrees of latitude from the pole (~1670 km), scaled by k.
+        x, y = proj.forward(-75.0, -170.0)
+        radius = np.hypot(x, y)
+        assert 1_500_000 < radius < 1_800_000
+
+    def test_latitude_out_of_range_rejected(self, proj):
+        with pytest.raises(ValueError):
+            proj.forward(95.0, 0.0)
+
+    def test_standard_parallel_cannot_be_zero(self):
+        with pytest.raises(ValueError):
+            PolarStereographic(standard_parallel_deg=0.0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "lat,lon",
+        [(-70.0, -180.0), (-78.0, -140.0), (-75.0, -160.0), (-71.5, -155.3), (-89.9, 10.0)],
+    )
+    def test_inverse_recovers_geodetic(self, proj, lat, lon):
+        x, y = proj.forward(lat, lon)
+        lat2, lon2 = proj.inverse(x, y)
+        assert lat2 == pytest.approx(lat, abs=1e-9)
+        assert abs(((lon2 - lon) + 180.0) % 360.0 - 180.0) < 1e-8
+
+    def test_vectorised_round_trip(self, proj, rng):
+        lat = rng.uniform(-78.0, -70.0, 200)
+        lon = rng.uniform(-180.0, -140.0, 200)
+        x, y = proj.forward(lat, lon)
+        lat2, lon2 = proj.inverse(x, y)
+        np.testing.assert_allclose(lat2, lat, atol=1e-9)
+        np.testing.assert_allclose(lon2, lon, atol=1e-8)
+
+    @given(
+        lat=st.floats(min_value=-85.0, max_value=-60.0),
+        lon=st.floats(min_value=-180.0, max_value=180.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip(self, lat, lon):
+        proj = antarctic_polar_stereographic()
+        x, y = proj.forward(lat, lon)
+        lat2, lon2 = proj.inverse(x, y)
+        assert lat2 == pytest.approx(lat, abs=1e-8)
+        assert abs(((lon2 - lon) + 180.0) % 360.0 - 180.0) < 1e-7
+
+
+class TestScale:
+    def test_true_scale_at_standard_parallel(self, proj):
+        k = proj.scale_factor(np.array([-70.0]))
+        assert k[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_scale_below_one_toward_pole(self, proj):
+        k = proj.scale_factor(np.array([-80.0]))
+        assert k[0] < 1.0
+
+    def test_local_distance_preserved_near_standard_parallel(self, proj):
+        # Two points 1 km apart on the ground near -70 latitude should map to
+        # nearly 1 km apart in the projection (k ~= 1).
+        lat = -70.0
+        dlat = 1_000.0 / 111_000.0
+        x1, y1 = proj.forward(lat, -170.0)
+        x2, y2 = proj.forward(lat + dlat, -170.0)
+        d = np.hypot(x2 - x1, y2 - y1)
+        assert d == pytest.approx(1_000.0, rel=0.01)

@@ -1,0 +1,69 @@
+"""Tests for the S2 -> IS2 label transfer."""
+
+import numpy as np
+import pytest
+
+from repro.config import CLASS_UNLABELED
+from repro.labeling.autolabel import auto_label_segments, overlay_labels
+
+
+class TestOverlayLabels:
+    def test_labels_match_class_map(self, s2_image, s2_segmentation):
+        # Query pixel centres directly: labels must equal the class map.
+        rows = np.array([5, 50, 200])
+        cols = np.array([7, 80, 300])
+        x = s2_image.origin_x_m + (cols + 0.5) * s2_image.pixel_size_m
+        y = s2_image.origin_y_m + (rows + 0.5) * s2_image.pixel_size_m
+        result = overlay_labels(s2_image, s2_segmentation, x, y)
+        np.testing.assert_array_equal(result.labels, s2_segmentation.class_map[rows, cols])
+        assert result.in_image.all()
+
+    def test_points_outside_image_are_unlabeled(self, s2_image, s2_segmentation):
+        x = np.array([s2_image.origin_x_m - 1_000.0])
+        y = np.array([s2_image.origin_y_m - 1_000.0])
+        result = overlay_labels(s2_image, s2_segmentation, x, y)
+        assert result.labels[0] == CLASS_UNLABELED
+        assert not result.in_image[0]
+        assert result.n_labeled == 0
+
+    def test_nan_coordinates_are_unlabeled(self, s2_image, s2_segmentation):
+        result = overlay_labels(
+            s2_image, s2_segmentation, np.array([np.nan]), np.array([np.nan])
+        )
+        assert result.labels[0] == CLASS_UNLABELED
+
+    def test_cloud_flags_propagated(self, s2_image, s2_segmentation):
+        if not s2_segmentation.cloud_mask.any():
+            pytest.skip("no clouds detected in this scene")
+        rows, cols = np.nonzero(s2_segmentation.cloud_mask)
+        x = s2_image.origin_x_m + (cols[:5] + 0.5) * s2_image.pixel_size_m
+        y = s2_image.origin_y_m + (rows[:5] + 0.5) * s2_image.pixel_size_m
+        result = overlay_labels(s2_image, s2_segmentation, x, y)
+        assert result.cloudy.all()
+
+    def test_mismatched_shapes_rejected(self, s2_image, s2_segmentation):
+        with pytest.raises(ValueError):
+            overlay_labels(s2_image, s2_segmentation, np.zeros(3), np.zeros(4))
+
+
+class TestAutoLabelSegments:
+    def test_labels_one_per_segment(self, segments, s2_image, s2_segmentation):
+        result = auto_label_segments(segments, s2_image, s2_segmentation)
+        assert result.n_segments == segments.n_segments
+
+    def test_accuracy_against_truth_without_drift(self, segments, s2_image, s2_segmentation):
+        result = auto_label_segments(segments, s2_image, s2_segmentation)
+        valid = (result.labels != CLASS_UNLABELED) & (segments.truth_class >= 0)
+        acc = (result.labels[valid] == segments.truth_class[valid]).mean()
+        # Perfectly aligned overlay: most labels should match the simulator truth.
+        assert acc > 0.75
+
+    def test_label_fractions_sum_to_one(self, segments, s2_image, s2_segmentation):
+        result = auto_label_segments(segments, s2_image, s2_segmentation)
+        fractions = result.label_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_label_fractions_empty_when_all_outside(self, s2_image, s2_segmentation, segments):
+        shifted = s2_image.shifted(1e7, 1e7)  # move the image far away
+        result = auto_label_segments(segments, shifted, s2_segmentation)
+        assert result.label_fractions() == {}

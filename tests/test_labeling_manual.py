@@ -1,0 +1,99 @@
+"""Tests for the transition/cloud label-correction stage."""
+
+import numpy as np
+import pytest
+
+from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE, CLASS_THIN_ICE, CLASS_UNLABELED
+from repro.labeling.autolabel import AutoLabelResult, auto_label_segments
+from repro.labeling.manual import correct_labels, transition_mask
+
+
+class TestTransitionMask:
+    def test_flags_neighbourhood_of_changes(self):
+        labels = np.array([0, 0, 0, 1, 1, 1, 1, 1, 1, 1], dtype=np.int8)
+        mask = transition_mask(labels, halo=2)
+        assert mask[1:5].all()
+        assert not mask[8:].any()
+
+    def test_no_transitions_no_flags(self):
+        labels = np.zeros(10, dtype=np.int8)
+        assert not transition_mask(labels, halo=3).any()
+
+    def test_unlabeled_does_not_create_transition(self):
+        labels = np.array([0, -1, 0, 0, 0], dtype=np.int8)
+        assert not transition_mask(labels, halo=1).any()
+
+    def test_halo_zero_flags_nothing_before_change(self):
+        labels = np.array([0, 1], dtype=np.int8)
+        mask = transition_mask(labels, halo=0)
+        assert not mask.any()
+
+    def test_short_and_invalid_inputs(self):
+        assert transition_mask(np.array([0], dtype=np.int8)).shape == (1,)
+        with pytest.raises(ValueError):
+            transition_mask(np.zeros((2, 2), dtype=np.int8))
+        with pytest.raises(ValueError):
+            transition_mask(np.zeros(3, dtype=np.int8), halo=-1)
+
+
+class TestCorrectLabels:
+    def test_improves_or_preserves_accuracy(self, segments, s2_image, s2_segmentation):
+        auto = auto_label_segments(segments, s2_image, s2_segmentation)
+        corrected, report = correct_labels(segments, auto)
+        truth = segments.truth_class
+        valid_auto = (auto.labels >= 0) & (truth >= 0)
+        valid_corr = (corrected >= 0) & (truth >= 0)
+        acc_auto = (auto.labels[valid_auto] == truth[valid_auto]).mean()
+        acc_corr = (corrected[valid_corr] == truth[valid_corr]).mean()
+        assert acc_corr >= acc_auto - 0.01
+        assert report.n_flagged_transition >= 0
+
+    def test_cloudy_segments_are_touched(self, segments, s2_image, s2_segmentation):
+        auto = auto_label_segments(segments, s2_image, s2_segmentation)
+        if not (auto.cloudy | auto.shadowed).any():
+            pytest.skip("no cloud/shadow flags in this scene")
+        corrected, report = correct_labels(segments, auto)
+        assert report.n_flagged_cloud > 0
+
+    def test_relabelling_uses_elevation(self, segments):
+        # Construct an auto-label result where a genuinely low, smooth segment
+        # is wrongly labelled thick ice inside a flagged (cloudy) region.
+        n = segments.n_segments
+        labels = np.full(n, CLASS_THICK_ICE, dtype=np.int8)
+        cloudy = np.zeros(n, dtype=bool)
+        heights = segments.height_mean_m
+        finite = np.isfinite(heights)
+        low = np.argmin(np.where(finite, heights, np.inf))
+        cloudy[low] = True
+        auto = AutoLabelResult(
+            labels=labels, in_image=np.ones(n, dtype=bool), cloudy=cloudy,
+            shadowed=np.zeros(n, dtype=bool),
+        )
+        corrected, report = correct_labels(segments, auto)
+        if segments.n_photons[low] >= 2 and segments.height_std_m[low] <= 0.12:
+            assert corrected[low] == CLASS_OPEN_WATER
+            assert report.n_relabelled >= 1
+
+    def test_unjudgeable_flagged_segments_dropped(self, segments, s2_image, s2_segmentation):
+        auto = auto_label_segments(segments, s2_image, s2_segmentation)
+        empty = segments.n_photons == 0
+        if not empty.any():
+            pytest.skip("no empty segments in this beam")
+        # Force-flag an empty segment: it cannot be judged and must be dropped.
+        auto.cloudy[np.flatnonzero(empty)[0]] = True
+        corrected, report = correct_labels(segments, auto)
+        assert corrected[np.flatnonzero(empty)[0]] == CLASS_UNLABELED
+
+    def test_length_mismatch_rejected(self, segments, s2_image, s2_segmentation):
+        auto = auto_label_segments(segments, s2_image, s2_segmentation)
+        short = AutoLabelResult(
+            labels=auto.labels[:-1], in_image=auto.in_image[:-1],
+            cloudy=auto.cloudy[:-1], shadowed=auto.shadowed[:-1],
+        )
+        with pytest.raises(ValueError):
+            correct_labels(segments, short)
+
+    def test_invalid_quantiles_rejected(self, segments, s2_image, s2_segmentation):
+        auto = auto_label_segments(segments, s2_image, s2_segmentation)
+        with pytest.raises(ValueError):
+            correct_labels(segments, auto, water_height_quantile=0.8, thick_height_quantile=0.5)

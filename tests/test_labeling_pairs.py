@@ -1,0 +1,87 @@
+"""Tests for the coincident-pair catalogue (Table I)."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.labeling.pairs import TABLE_I_PAIRS, CoincidentPair, find_coincident_pairs, table_i_rows
+
+
+class TestTableIPairs:
+    def test_eight_pairs(self):
+        assert len(TABLE_I_PAIRS) == 8
+
+    def test_all_pairs_within_two_hours(self):
+        for pair in TABLE_I_PAIRS:
+            assert pair.time_difference_minutes < 120.0
+
+    def test_known_time_differences(self):
+        # Spot-check against the paper's Table I values.
+        assert TABLE_I_PAIRS[0].time_difference_minutes == pytest.approx(9.55, abs=0.1)
+        assert TABLE_I_PAIRS[2].time_difference_minutes == pytest.approx(35.9, abs=0.1)
+        assert TABLE_I_PAIRS[7].time_difference_minutes == pytest.approx(24.75, abs=0.1)
+
+    def test_shift_vectors_match_direction(self):
+        nw_pair = TABLE_I_PAIRS[0]  # 550 m NW
+        dx, dy = nw_pair.shift_vector_m
+        assert dx < 0 and dy > 0
+        assert (dx**2 + dy**2) ** 0.5 == pytest.approx(550.0)
+        zero_pair = TABLE_I_PAIRS[1]
+        assert zero_pair.shift_vector_m == (0.0, 0.0)
+
+    def test_drift_speed_plausible(self):
+        # Sea ice drift of hundreds of metres over tens of minutes:
+        # below ~1 km/h (17 m/min).
+        for pair in TABLE_I_PAIRS:
+            assert pair.implied_drift_speed_m_per_min < 60.0
+
+    def test_invalid_pair_rejected(self):
+        t = datetime(2019, 11, 3, tzinfo=timezone.utc)
+        with pytest.raises(ValueError):
+            CoincidentPair(1, t, t, -5.0, "N")
+        with pytest.raises(ValueError):
+            CoincidentPair(1, t, t, 100.0, "NNW")
+
+    def test_table_rows_printable(self):
+        rows = table_i_rows()
+        assert len(rows) == 8
+        assert rows[0]["shift_direction"] == "NW"
+        assert rows[1]["shift_m"] == 0.0
+
+
+class TestFindCoincidentPairs:
+    def _times(self, *minutes):
+        base = datetime(2019, 11, 4, 19, 0, 0, tzinfo=timezone.utc)
+        return [base + timedelta(minutes=m) for m in minutes]
+
+    def test_matches_nearest_within_window(self):
+        is2 = self._times(0, 100, 300)
+        s2 = self._times(10, 95, 500)
+        matches = find_coincident_pairs(is2, s2, max_minutes=80)
+        assert (0, 0, 10.0) in [(m[0], m[1], round(m[2], 1)) for m in matches]
+        assert (1, 1, 5.0) in [(m[0], m[1], round(m[2], 1)) for m in matches]
+        # The third IS2 pass has no S2 partner within 80 minutes.
+        assert all(m[0] != 2 for m in matches)
+
+    def test_empty_s2_archive(self):
+        assert find_coincident_pairs(self._times(0, 1), [], max_minutes=80) == []
+
+    def test_one_s2_can_serve_multiple_is2(self):
+        is2 = self._times(0, 30)
+        s2 = self._times(15)
+        matches = find_coincident_pairs(is2, s2, max_minutes=80)
+        assert len(matches) == 2
+        assert all(m[1] == 0 for m in matches)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            find_coincident_pairs(self._times(0), self._times(1), max_minutes=0.0)
+
+    def test_table_i_is_reproduced_by_the_matcher(self):
+        is2 = [p.is2_time for p in TABLE_I_PAIRS]
+        s2 = [p.s2_time for p in TABLE_I_PAIRS]
+        matches = find_coincident_pairs(is2, s2, max_minutes=80)
+        assert len(matches) == 8
+        for i, j, dt in matches:
+            assert i == j
+            assert dt == pytest.approx(TABLE_I_PAIRS[i].time_difference_minutes, abs=0.05)

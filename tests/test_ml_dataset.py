@@ -1,0 +1,116 @@
+"""Tests for dataset utilities: one-hot, splitting, batching, sharding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.dataset import Dataset, one_hot, train_test_split
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), 3)
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestTrainTestSplit:
+    def test_sizes_and_disjointness(self, rng):
+        X = rng.normal(size=(100, 4))
+        y = rng.integers(0, 3, 100)
+        X_tr, y_tr, X_te, y_te = train_test_split(X, y, test_fraction=0.2, rng=0)
+        assert len(X_tr) + len(X_te) == 100
+        assert len(X_te) == pytest.approx(20, abs=3)
+        assert X_tr.shape[1] == 4
+
+    def test_stratification_preserves_rare_class(self, rng):
+        y = np.array([0] * 95 + [2] * 5)
+        X = rng.normal(size=(100, 2))
+        _, y_tr, _, y_te = train_test_split(X, y, test_fraction=0.2, stratify=True, rng=1)
+        assert (y_te == 2).sum() >= 1
+        assert (y_tr == 2).sum() >= 1
+
+    def test_non_stratified_split(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.integers(0, 2, 50)
+        X_tr, y_tr, X_te, y_te = train_test_split(X, y, test_fraction=0.3, stratify=False, rng=2)
+        assert len(X_te) == 15
+
+    def test_invalid_arguments(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(X, np.zeros(9, dtype=int), test_fraction=0.2)
+
+
+class TestDataset:
+    def test_length_and_features(self, rng):
+        ds = Dataset(rng.normal(size=(20, 6)), rng.integers(0, 3, 20))
+        assert len(ds) == 20
+        assert ds.n_features == 6
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(rng.normal(size=(5, 2)), np.zeros(4))
+
+    def test_batches_cover_everything_in_order(self, rng):
+        X = np.arange(25, dtype=float).reshape(25, 1)
+        ds = Dataset(X, np.zeros(25, dtype=int))
+        batches = list(ds.batches(batch_size=10))
+        assert [len(b[0]) for b in batches] == [10, 10, 5]
+        np.testing.assert_array_equal(np.concatenate([b[0] for b in batches]), X)
+
+    def test_invalid_batch_size(self, rng):
+        ds = Dataset(rng.normal(size=(5, 2)), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            list(ds.batches(0))
+
+    def test_shuffled_is_permutation(self, rng):
+        X = np.arange(30, dtype=float).reshape(30, 1)
+        ds = Dataset(X, np.arange(30))
+        shuffled = ds.shuffled(rng=3)
+        assert not np.array_equal(shuffled.X, X)
+        np.testing.assert_array_equal(np.sort(shuffled.X, axis=0), X)
+        # Labels stay paired with their features.
+        np.testing.assert_array_equal(shuffled.X[:, 0].astype(int), shuffled.y)
+
+    def test_shards_are_disjoint_and_complete(self, rng):
+        ds = Dataset(rng.normal(size=(103, 2)), np.arange(103))
+        shards = [ds.shard(r, 4) for r in range(4)]
+        all_labels = np.sort(np.concatenate([s.y for s in shards]))
+        np.testing.assert_array_equal(all_labels, np.arange(103))
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_argument_validation(self, rng):
+        ds = Dataset(rng.normal(size=(10, 2)), np.zeros(10, dtype=int))
+        with pytest.raises(ValueError):
+            ds.shard(4, 4)
+        with pytest.raises(ValueError):
+            ds.shard(0, 0)
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((6, 1)), np.array([0, 0, 1, 2, 2, 2]))
+        np.testing.assert_array_equal(ds.class_counts(3), [2, 1, 3])
+
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        world=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_sharding_partitions_dataset(self, n, world):
+        ds = Dataset(np.zeros((n, 1)), np.arange(n))
+        shards = [ds.shard(r, world) for r in range(world)]
+        assert sum(len(s) for s in shards) == n

@@ -1,0 +1,180 @@
+"""Tests for the feed-forward layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Dense, Dropout, ELU, Flatten, ReLU, Softmax
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of scalar function ``f`` w.r.t. array ``x``."""
+    grad = np.zeros_like(x, dtype=float)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape_and_value(self):
+        layer = Dense(3, 2, rng=0)
+        layer.W[...] = np.arange(6).reshape(3, 2)
+        layer.b[...] = np.array([1.0, -1.0])
+        x = np.array([[1.0, 2.0, 3.0]])
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, x @ layer.W + layer.b)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Dense(4, 3, rng=1)
+        x = rng.normal(size=(5, 4))
+        upstream = rng.normal(size=(5, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        grad_analytic = None
+        layer.forward(x)
+        grad_analytic = layer.backward(upstream)
+        grad_numeric = numerical_gradient(loss, x)
+        np.testing.assert_allclose(grad_analytic, grad_numeric, atol=1e-5)
+
+    def test_parameter_gradients_match_numerical(self, rng):
+        layer = Dense(3, 2, rng=2)
+        x = rng.normal(size=(4, 3))
+        upstream = rng.normal(size=(4, 2))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        layer.forward(x)
+        layer.backward(upstream)
+        dW_numeric = numerical_gradient(loss, layer.W)
+        db_numeric = numerical_gradient(loss, layer.b)
+        np.testing.assert_allclose(layer.grads[0], dW_numeric, atol=1e-5)
+        np.testing.assert_allclose(layer.grads[1], db_numeric, atol=1e-5)
+
+    def test_wrong_input_shape_rejected(self):
+        layer = Dense(3, 2, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 4)))
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, rng=0).backward(np.zeros((1, 2)))
+
+    def test_weight_get_set_round_trip(self):
+        layer = Dense(3, 2, rng=0)
+        weights = layer.get_weights()
+        weights[0][...] = 7.0
+        layer.set_weights(weights)
+        assert np.all(layer.W == 7.0)
+        with pytest.raises(ValueError):
+            layer.set_weights([np.zeros((2, 2)), np.zeros(2)])
+        with pytest.raises(ValueError):
+            layer.set_weights([np.zeros((3, 2))])
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0, 2)
+
+
+class TestActivations:
+    def test_elu_values(self):
+        layer = ELU(alpha=1.0)
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(out, [[np.exp(-1) - 1, 0.0, 2.0]])
+
+    def test_elu_gradient_matches_numerical(self, rng):
+        layer = ELU()
+        x = rng.normal(size=(4, 5))
+        upstream = rng.normal(size=(4, 5))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        layer.forward(x)
+        grad = layer.backward(upstream)
+        np.testing.assert_allclose(grad, numerical_gradient(loss, x), atol=1e-6)
+
+    def test_elu_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ELU(alpha=0.0)
+
+    def test_relu_values_and_gradient(self, rng):
+        layer = ReLU()
+        x = np.array([[-2.0, 0.5]])
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, [[0.0, 0.5]])
+        grad = layer.backward(np.array([[3.0, 3.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 3.0]])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        layer = Softmax()
+        out = layer.forward(rng.normal(size=(6, 4)) * 10)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+        assert np.all(out > 0)
+
+    def test_softmax_numerical_stability(self):
+        out = Softmax().forward(np.array([[1000.0, 1000.0, 1000.0]]))
+        np.testing.assert_allclose(out, [[1 / 3, 1 / 3, 1 / 3]])
+
+    def test_softmax_full_jacobian_gradient(self, rng):
+        layer = Softmax(fused_with_loss=False)
+        x = rng.normal(size=(3, 4))
+        upstream = rng.normal(size=(3, 4))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        layer.forward(x)
+        grad = layer.backward(upstream)
+        np.testing.assert_allclose(grad, numerical_gradient(loss, x), atol=1e-6)
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(0.5, rng=0)
+        x = rng.normal(size=(10, 4))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_preserves_expectation(self):
+        layer = Dropout(0.3, rng=0)
+        x = np.ones((2000, 10))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=1)
+        x = np.ones((50, 4))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_zero_rate_is_identity_even_in_training(self, rng):
+        layer = Dropout(0.0)
+        x = rng.normal(size=(5, 3))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.2)
+
+
+class TestFlatten:
+    def test_round_trip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(4, 5, 6))
+        out = layer.forward(x)
+        assert out.shape == (4, 30)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)

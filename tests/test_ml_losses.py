@@ -1,0 +1,125 @@
+"""Tests for the loss functions and their fused-softmax gradients."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Softmax
+from repro.ml.losses import CategoricalCrossEntropy, FocalLoss, class_balanced_alpha
+
+
+def _random_problem(rng, n=8, k=3):
+    logits = rng.normal(size=(n, k))
+    probs = Softmax().forward(logits)
+    labels = rng.integers(0, k, n)
+    targets = np.zeros((n, k))
+    targets[np.arange(n), labels] = 1.0
+    return logits, probs, targets
+
+
+def numerical_logit_gradient(loss_fn, logits, targets, eps=1e-6):
+    grad = np.zeros_like(logits)
+    softmax = Softmax()
+    it = np.nditer(logits, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = logits[idx]
+        logits[idx] = orig + eps
+        f_plus = loss_fn(softmax.forward(logits), targets)
+        logits[idx] = orig - eps
+        f_minus = loss_fn(softmax.forward(logits), targets)
+        logits[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestCategoricalCrossEntropy:
+    def test_perfect_prediction_near_zero_loss(self):
+        targets = np.eye(3)
+        probs = np.clip(targets, 1e-7, 1.0)
+        assert CategoricalCrossEntropy()(probs, targets) < 1e-5
+
+    def test_uniform_prediction_loss_is_log_k(self):
+        targets = np.eye(4)
+        probs = np.full((4, 4), 0.25)
+        assert CategoricalCrossEntropy()(probs, targets) == pytest.approx(np.log(4), abs=1e-6)
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = CategoricalCrossEntropy()
+        logits, probs, targets = _random_problem(rng)
+        analytic = loss.gradient(probs, targets)
+        numeric = numerical_logit_gradient(loss, logits, targets)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_class_weights_scale_loss(self, rng):
+        _, probs, targets = _random_problem(rng)
+        unweighted = CategoricalCrossEntropy()(probs, targets)
+        doubled = CategoricalCrossEntropy(class_weights=np.full(3, 2.0))(probs, targets)
+        assert doubled == pytest.approx(2 * unweighted)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalCrossEntropy()(np.zeros((2, 3)), np.zeros((3, 3)))
+
+
+class TestFocalLoss:
+    def test_gamma_zero_equals_cross_entropy(self, rng):
+        _, probs, targets = _random_problem(rng)
+        focal = FocalLoss(gamma=0.0)(probs, targets)
+        ce = CategoricalCrossEntropy()(probs, targets)
+        assert focal == pytest.approx(ce, rel=1e-6)
+
+    def test_down_weights_easy_examples(self):
+        targets = np.array([[1.0, 0.0]])
+        easy = np.array([[0.95, 0.05]])
+        hard = np.array([[0.55, 0.45]])
+        focal = FocalLoss(gamma=2.0)
+        ce = CategoricalCrossEntropy()
+        # The focal loss reduces the easy example's contribution much more
+        # than the hard example's.
+        assert focal(easy, targets) / ce(easy, targets) < focal(hard, targets) / ce(hard, targets)
+
+    @pytest.mark.parametrize("gamma", [0.5, 1.0, 2.0])
+    def test_gradient_matches_numerical(self, rng, gamma):
+        loss = FocalLoss(gamma=gamma)
+        logits, probs, targets = _random_problem(rng)
+        analytic = loss.gradient(probs, targets)
+        numeric = numerical_logit_gradient(loss, logits, targets)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_alpha_weights_gradient_matches_numerical(self, rng):
+        alpha = np.array([0.5, 1.0, 2.0])
+        loss = FocalLoss(gamma=2.0, alpha=alpha)
+        logits, probs, targets = _random_problem(rng)
+        analytic = loss.gradient(probs, targets)
+        numeric = numerical_logit_gradient(loss, logits, targets)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            FocalLoss(gamma=-1.0)
+
+    def test_wrong_alpha_length_rejected(self, rng):
+        _, probs, targets = _random_problem(rng)
+        with pytest.raises(ValueError):
+            FocalLoss(alpha=np.ones(5))(probs, targets)
+
+
+class TestClassBalancedAlpha:
+    def test_rare_classes_get_higher_weight(self):
+        labels = np.array([0] * 90 + [1] * 9 + [2] * 1)
+        alpha = class_balanced_alpha(labels, 3)
+        assert alpha[2] > alpha[1] > alpha[0]
+        assert alpha.mean() == pytest.approx(1.0)
+
+    def test_unlabeled_entries_ignored(self):
+        labels = np.array([0, 0, 1, -1, -1])
+        alpha = class_balanced_alpha(labels, 3)
+        assert alpha.shape == (3,)
+        assert np.all(np.isfinite(alpha))
+
+    def test_missing_class_does_not_blow_up(self):
+        labels = np.array([0, 0, 1, 1])
+        alpha = class_balanced_alpha(labels, 3)
+        assert np.all(np.isfinite(alpha))
+        assert np.all(alpha > 0)

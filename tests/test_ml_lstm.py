@@ -1,0 +1,128 @@
+"""Tests for the LSTM layer, including full BPTT gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lstm import LSTM
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x, dtype=float)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLSTMForward:
+    def test_output_shape_last_state(self, rng):
+        layer = LSTM(n_inputs=6, n_units=8, rng=0)
+        x = rng.normal(size=(4, 5, 6))
+        out = layer.forward(x)
+        assert out.shape == (4, 8)
+
+    def test_output_shape_sequences(self, rng):
+        layer = LSTM(n_inputs=3, n_units=4, return_sequences=True, rng=0)
+        x = rng.normal(size=(2, 7, 3))
+        out = layer.forward(x)
+        assert out.shape == (2, 7, 4)
+
+    def test_wrong_input_shape_rejected(self, rng):
+        layer = LSTM(n_inputs=6, n_units=4, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(4, 6)))
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(4, 5, 7)))
+
+    def test_deterministic_given_weights(self, rng):
+        a = LSTM(6, 4, rng=3)
+        b = LSTM(6, 4, rng=3)
+        x = rng.normal(size=(2, 5, 6))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_longer_history_changes_output(self, rng):
+        """The final state must depend on early time steps (memory works)."""
+        layer = LSTM(2, 3, rng=1)
+        x = rng.normal(size=(1, 6, 2))
+        out1 = layer.forward(x)
+        x_modified = x.copy()
+        x_modified[0, 0, :] += 2.0  # change only the first time step
+        out2 = layer.forward(x_modified)
+        assert not np.allclose(out1, out2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LSTM(0, 4)
+        with pytest.raises(ValueError):
+            LSTM(4, 4, activation="sigmoid")
+
+
+class TestLSTMBackward:
+    @pytest.mark.parametrize("activation", ["elu", "tanh"])
+    def test_input_gradient_matches_numerical(self, rng, activation):
+        layer = LSTM(n_inputs=3, n_units=4, activation=activation, rng=2)
+        x = rng.normal(size=(2, 4, 3))
+        upstream = rng.normal(size=(2, 4))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        layer.forward(x)
+        grad = layer.backward(upstream)
+        np.testing.assert_allclose(grad, numerical_gradient(loss, x), atol=1e-5)
+
+    def test_parameter_gradients_match_numerical(self, rng):
+        layer = LSTM(n_inputs=2, n_units=3, rng=4)
+        x = rng.normal(size=(3, 3, 2))
+        upstream = rng.normal(size=(3, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        layer.forward(x)
+        layer.backward(upstream)
+        for param, grad, name in zip(layer.params, layer.grads, ("W", "U", "b")):
+            numeric = numerical_gradient(loss, param)
+            np.testing.assert_allclose(grad, numeric, atol=2e-5, err_msg=name)
+
+    def test_sequence_gradient_matches_numerical(self, rng):
+        layer = LSTM(n_inputs=2, n_units=2, return_sequences=True, rng=5)
+        x = rng.normal(size=(2, 3, 2))
+        upstream = rng.normal(size=(2, 3, 2))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        layer.forward(x)
+        grad = layer.backward(upstream)
+        np.testing.assert_allclose(grad, numerical_gradient(loss, x), atol=1e-5)
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            LSTM(2, 2, rng=0).backward(np.zeros((1, 2)))
+
+    def test_gradient_shape_mismatch_rejected(self, rng):
+        layer = LSTM(2, 3, rng=0)
+        layer.forward(rng.normal(size=(2, 4, 2)))
+        with pytest.raises(ValueError):
+            layer.backward(np.zeros((2, 4)))
+
+
+class TestLSTMParameters:
+    def test_parameter_count(self):
+        layer = LSTM(n_inputs=6, n_units=16)
+        # 4 gates: W (6x64) + U (16x64) + b (64)
+        assert layer.n_parameters == 6 * 64 + 16 * 64 + 64
+
+    def test_forget_gate_bias_initialised_to_one(self):
+        layer = LSTM(3, 5)
+        np.testing.assert_allclose(layer.b[:5], 1.0)
+        np.testing.assert_allclose(layer.b[5:], 0.0)

@@ -1,0 +1,117 @@
+"""Tests for the classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+
+class TestConfusionMatrix:
+    def test_simple_case(self):
+        y_true = np.array([0, 0, 1, 1, 2, 2])
+        y_pred = np.array([0, 1, 1, 1, 2, 0])
+        cm = confusion_matrix(y_true, y_pred, n_classes=3)
+        expected = np.array([[1, 1, 0], [0, 2, 0], [1, 0, 1]])
+        np.testing.assert_array_equal(cm, expected)
+
+    def test_total_equals_sample_count(self, rng):
+        y_true = rng.integers(0, 3, 100)
+        y_pred = rng.integers(0, 3, 100)
+        assert confusion_matrix(y_true, y_pred, 3).sum() == 100
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([-1, 0]), np.array([0, 0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+
+
+class TestScores:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 1, 0])
+        assert accuracy_score(y, y) == 1.0
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_known_binary_values(self):
+        y_true = np.array([0, 0, 0, 0, 1, 1])
+        y_pred = np.array([0, 0, 1, 1, 1, 0])
+        # Class 0: P=2/3, R=2/4; class 1: P=1/3, R=1/2.
+        assert precision_score(y_true, y_pred, average="macro") == pytest.approx((2 / 3 + 1 / 3) / 2)
+        assert recall_score(y_true, y_pred, average="macro") == pytest.approx(0.5)
+
+    def test_micro_average_equals_accuracy(self, rng):
+        y_true = rng.integers(0, 3, 200)
+        y_pred = rng.integers(0, 3, 200)
+        assert precision_score(y_true, y_pred, average="micro") == pytest.approx(
+            accuracy_score(y_true, y_pred)
+        )
+
+    def test_weighted_average_respects_support(self):
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.array([0] * 90 + [0] * 10)  # class 1 always missed
+        weighted = recall_score(y_true, y_pred, average="weighted")
+        macro = recall_score(y_true, y_pred, average="macro")
+        assert weighted == pytest.approx(0.9)
+        assert macro == pytest.approx(0.5)
+
+    def test_unknown_average_rejected(self):
+        y = np.array([0, 1])
+        with pytest.raises(ValueError):
+            f1_score(y, y, average="median")
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+
+    @given(
+        n=st.integers(min_value=5, max_value=100),
+        k=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_scores_bounded(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, k, n)
+        y_pred = rng.integers(0, k, n)
+        for score in (accuracy_score, precision_score, recall_score, f1_score):
+            value = score(y_true, y_pred)
+            assert 0.0 <= value <= 1.0
+
+
+class TestClassificationReport:
+    def test_report_fields(self, rng):
+        y_true = rng.integers(0, 3, 300)
+        y_pred = y_true.copy()
+        flip = rng.random(300) < 0.1
+        y_pred[flip] = (y_pred[flip] + 1) % 3
+        report = classification_report(y_true, y_pred, n_classes=3)
+        assert report.accuracy == pytest.approx(1.0 - flip.mean(), abs=1e-9)
+        assert len(report.per_class_accuracy) == 3
+        assert report.confusion.shape == (3, 3)
+
+    def test_as_row_formats_percent(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        report = classification_report(y, y, n_classes=3)
+        row = report.as_row("LSTM")
+        assert row["Model"] == "LSTM"
+        assert row["Accuracy"] == 100.0
+
+    def test_normalized_confusion_rows_sum_to_one(self, rng):
+        y_true = rng.integers(0, 3, 150)
+        y_pred = rng.integers(0, 3, 150)
+        report = classification_report(y_true, y_pred, n_classes=3)
+        norm = report.normalized_confusion()
+        np.testing.assert_allclose(norm.sum(axis=1), 1.0)

@@ -1,0 +1,150 @@
+"""Tests for the Sequential model: training loop, gradients, persistence hooks."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dataset import Dataset
+from repro.ml.layers import Dense, ELU, Softmax
+from repro.ml.losses import CategoricalCrossEntropy, FocalLoss
+from repro.ml.model import Sequential
+from repro.ml.optimizers import Adam, SGD
+
+
+def _toy_problem(rng, n=300):
+    """A linearly separable 3-class problem in 2 features."""
+    X = rng.normal(size=(n, 2))
+    y = np.zeros(n, dtype=int)
+    y[X[:, 0] + X[:, 1] > 0.7] = 1
+    y[X[:, 0] - X[:, 1] > 0.7] = 2
+    return Dataset(X, y)
+
+
+def _small_model(rng=0):
+    return Sequential(
+        [Dense(2, 16, rng=rng), ELU(), Dense(16, 3, rng=rng), Softmax()],
+        n_classes=3,
+    ).compile(optimizer=Adam(learning_rate=0.01), loss=CategoricalCrossEntropy())
+
+
+class TestSequentialBasics:
+    def test_requires_layers_and_classes(self):
+        with pytest.raises(ValueError):
+            Sequential([], n_classes=3)
+        with pytest.raises(ValueError):
+            Sequential([Dense(2, 2, rng=0)], n_classes=1)
+
+    def test_parameter_count(self):
+        model = _small_model()
+        assert model.n_parameters == (2 * 16 + 16) + (16 * 3 + 3)
+
+    def test_forward_output_is_probability(self, rng):
+        model = _small_model()
+        probs = model.predict_proba(rng.normal(size=(10, 2)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_training_required_before_fit(self, rng):
+        model = Sequential([Dense(2, 3, rng=0), Softmax()], n_classes=3)
+        with pytest.raises(RuntimeError):
+            model.compute_gradients(rng.normal(size=(4, 2)), np.zeros(4, dtype=int))
+
+    def test_get_set_weights_round_trip(self, rng):
+        a = _small_model(rng=0)
+        b = _small_model(rng=1)
+        X = rng.normal(size=(5, 2))
+        assert not np.allclose(a.predict_proba(X), b.predict_proba(X))
+        b.set_weights(a.get_weights())
+        np.testing.assert_allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_set_weights_shape_check(self):
+        model = _small_model()
+        weights = model.get_weights()
+        with pytest.raises(ValueError):
+            model.set_weights(weights[:-1])
+        weights[0] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.set_weights(weights)
+
+    def test_summary_mentions_layers(self):
+        text = _small_model().summary()
+        assert "Dense" in text and "parameters" in text
+
+
+class TestTraining:
+    def test_fit_reduces_loss_and_learns(self, rng):
+        data = _toy_problem(rng)
+        model = _small_model()
+        history = model.fit(data, epochs=15, batch_size=32, rng=0)
+        assert history.loss[-1] < history.loss[0]
+        assert history.accuracy[-1] > 0.85
+
+    def test_validation_metrics_recorded(self, rng):
+        data = _toy_problem(rng, n=200)
+        val = _toy_problem(rng, n=80)
+        model = _small_model()
+        history = model.fit(data, epochs=3, batch_size=16, validation=val, rng=1)
+        assert len(history.val_loss) == 3
+        assert len(history.val_accuracy) == 3
+        assert len(history.epoch_seconds) == 3
+
+    def test_train_batch_equals_compute_plus_apply(self, rng):
+        data = _toy_problem(rng, n=64)
+        a = _small_model(rng=5)
+        b = _small_model(rng=5)
+        b.set_weights(a.get_weights())
+        X, y = data.X[:32], data.y[:32]
+        a.train_batch(X, y)
+        loss, grads = b.compute_gradients(X, y)
+        b.apply_gradients(grads)
+        for pa, pb in zip(a.params, b.params):
+            np.testing.assert_allclose(pa, pb)
+
+    def test_gradients_match_numerical_through_full_model(self, rng):
+        model = Sequential(
+            [Dense(3, 4, rng=2), ELU(), Dense(4, 3, rng=3), Softmax()], n_classes=3
+        ).compile(optimizer=SGD(0.1), loss=FocalLoss(gamma=2.0))
+        X = rng.normal(size=(6, 3))
+        y = rng.integers(0, 3, 6)
+        _, grads = model.compute_gradients(X, y, training=False)
+
+        from repro.ml.dataset import one_hot
+
+        targets = one_hot(y, 3)
+        eps = 1e-6
+        # Check a sample of parameters in the first Dense layer.
+        W = model.layers[0].W
+        numeric = np.zeros(5)
+        analytic = np.zeros(5)
+        flat_idx = np.random.default_rng(0).choice(W.size, 5, replace=False)
+        for k, idx in enumerate(flat_idx):
+            i, j = np.unravel_index(idx, W.shape)
+            orig = W[i, j]
+            W[i, j] = orig + eps
+            up = model.loss(model.forward(X), targets)
+            W[i, j] = orig - eps
+            down = model.loss(model.forward(X), targets)
+            W[i, j] = orig
+            numeric[k] = (up - down) / (2 * eps)
+            analytic[k] = grads[0][i, j]
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_invalid_epochs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            _small_model().fit(_toy_problem(rng, 50), epochs=0)
+
+    def test_apply_gradients_length_check(self, rng):
+        model = _small_model()
+        with pytest.raises(ValueError):
+            model.apply_gradients([np.zeros((2, 16))])
+
+    def test_evaluate_returns_loss_and_accuracy(self, rng):
+        data = _toy_problem(rng, 100)
+        model = _small_model()
+        loss, acc = model.evaluate(data)
+        assert loss > 0
+        assert 0.0 <= acc <= 1.0
+
+    def test_predict_returns_labels_in_range(self, rng):
+        model = _small_model()
+        labels = model.predict(rng.normal(size=(40, 2)))
+        assert labels.shape == (40,)
+        assert labels.min() >= 0 and labels.max() <= 2

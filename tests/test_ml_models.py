@@ -1,0 +1,90 @@
+"""Tests for the paper's LSTM and MLP classifier architectures."""
+
+import numpy as np
+import pytest
+
+from repro.config import LSTMConfig, MLPConfig, TrainingConfig
+from repro.ml.dataset import Dataset
+from repro.ml.layers import Dense, Dropout
+from repro.ml.lstm import LSTM
+from repro.ml.models import build_lstm_classifier, build_mlp_classifier
+
+
+class TestLSTMClassifier:
+    def test_architecture_matches_paper(self):
+        model = build_lstm_classifier(rng=0)
+        lstm_layers = [l for l in model.layers if isinstance(l, LSTM)]
+        dense_layers = [l for l in model.layers if isinstance(l, Dense)]
+        dropouts = [l for l in model.layers if isinstance(l, Dropout)]
+        assert len(lstm_layers) == 1
+        assert lstm_layers[0].n_units == 16
+        assert lstm_layers[0].activation == "elu"
+        # Seven hidden dense layers plus the softmax head.
+        assert [d.W.shape[1] for d in dense_layers] == [32, 96, 32, 16, 112, 48, 64, 3]
+        assert len(dropouts) == 1 and dropouts[0].rate == pytest.approx(0.2)
+
+    def test_expects_sequence_input(self, rng):
+        model = build_lstm_classifier(rng=0)
+        probs = model.predict_proba(rng.normal(size=(8, 5, 6)))
+        assert probs.shape == (8, 3)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_compiled_with_adam_and_focal_loss(self):
+        from repro.ml.losses import FocalLoss
+        from repro.ml.optimizers import Adam
+
+        model = build_lstm_classifier(training=TrainingConfig())
+        assert isinstance(model.optimizer, Adam)
+        assert model.optimizer.learning_rate == pytest.approx(0.003)
+        assert isinstance(model.loss, FocalLoss)
+
+    def test_deterministic_in_seed(self, rng):
+        x = rng.normal(size=(4, 5, 6))
+        a = build_lstm_classifier(rng=3).predict_proba(x)
+        b = build_lstm_classifier(rng=3).predict_proba(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_learns_a_sequence_pattern(self, rng):
+        """The LSTM must learn a pattern defined by the sequence centre value."""
+        n = 400
+        X = rng.normal(size=(n, 5, 6))
+        # Class depends on the centre step's first feature (like elevation).
+        centre = X[:, 2, 0]
+        y = np.digitize(centre, [-0.5, 0.5])
+        cfg = LSTMConfig(dense_units=(16,), dropout=0.0)
+        model = build_lstm_classifier(cfg, TrainingConfig(learning_rate=0.01), rng=1)
+        model.fit(Dataset(X, y), epochs=12, batch_size=32, rng=2)
+        acc = (model.predict(X) == y).mean()
+        assert acc > 0.75
+
+
+class TestMLPClassifier:
+    def test_architecture_matches_paper(self):
+        model = build_mlp_classifier(rng=0)
+        dense_layers = [l for l in model.layers if isinstance(l, Dense)]
+        assert [d.W.shape[1] for d in dense_layers] == [32, 3]
+        assert dense_layers[0].W.shape[0] == 6
+
+    def test_flat_feature_input(self, rng):
+        model = build_mlp_classifier(rng=0)
+        probs = model.predict_proba(rng.normal(size=(10, 6)))
+        assert probs.shape == (10, 3)
+
+    def test_learns_threshold_pattern(self, rng):
+        n = 500
+        X = rng.normal(size=(n, 6))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])
+        model = build_mlp_classifier(
+            MLPConfig(dropout=0.0), TrainingConfig(learning_rate=0.01), rng=4
+        )
+        model.fit(Dataset(X, y), epochs=20, batch_size=32, rng=5)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_class_weights_accepted(self):
+        model = build_mlp_classifier(class_weights=np.array([1.0, 2.0, 3.0]))
+        assert model.loss.alpha is not None
+
+    def test_lstm_has_more_parameters_than_mlp(self):
+        lstm = build_lstm_classifier(rng=0)
+        mlp = build_mlp_classifier(rng=0)
+        assert lstm.n_parameters > mlp.n_parameters

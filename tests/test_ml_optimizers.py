@@ -1,0 +1,100 @@
+"""Tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.optimizers import SGD, Adam
+
+
+def _quadratic_problem(start):
+    """Minimise f(x) = 0.5 * ||x||^2 whose gradient is x itself."""
+    params = [np.array(start, dtype=float)]
+
+    def grads():
+        return [params[0].copy()]
+
+    return params, grads
+
+
+class TestSGD:
+    def test_step_moves_against_gradient(self):
+        params, grads = _quadratic_problem([4.0, -2.0])
+        SGD(learning_rate=0.1).step(params, grads())
+        np.testing.assert_allclose(params[0], [3.6, -1.8])
+
+    def test_converges_on_quadratic(self):
+        params, grads = _quadratic_problem([5.0, 5.0])
+        opt = SGD(learning_rate=0.2)
+        for _ in range(100):
+            opt.step(params, grads())
+        assert np.linalg.norm(params[0]) < 1e-4
+
+    def test_momentum_accelerates(self):
+        params_plain, grads_plain = _quadratic_problem([5.0])
+        params_mom, grads_mom = _quadratic_problem([5.0])
+        plain = SGD(learning_rate=0.05)
+        mom = SGD(learning_rate=0.05, momentum=0.9)
+        for _ in range(20):
+            plain.step(params_plain, grads_plain())
+            mom.step(params_mom, grads_mom())
+        assert abs(params_mom[0][0]) < abs(params_plain[0][0])
+
+    def test_reset_clears_velocity(self):
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        params, grads = _quadratic_problem([1.0])
+        opt.step(params, grads())
+        opt.reset()
+        assert opt._velocity is None
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD().step([np.zeros(2)], [np.zeros(2), np.zeros(2)])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        params, grads = _quadratic_problem([3.0, -4.0])
+        opt = Adam(learning_rate=0.05)
+        for _ in range(500):
+            opt.step(params, grads())
+        assert np.linalg.norm(params[0]) < 1e-3
+
+    def test_first_step_size_close_to_learning_rate(self):
+        # With bias correction, the first Adam step has magnitude ~lr.
+        params = [np.array([1.0])]
+        opt = Adam(learning_rate=0.01)
+        opt.step(params, [np.array([123.0])])
+        assert abs(params[0][0] - 1.0) == pytest.approx(0.01, rel=1e-3)
+
+    def test_updates_in_place(self):
+        params = [np.zeros(3)]
+        ref = params[0]
+        Adam().step(params, [np.ones(3)])
+        assert params[0] is ref
+
+    def test_reset(self):
+        opt = Adam()
+        params, grads = _quadratic_problem([1.0])
+        opt.step(params, grads())
+        opt.reset()
+        assert opt._m is None and opt._t == 0
+
+    def test_state_rebuilt_when_param_count_changes(self):
+        opt = Adam()
+        opt.step([np.zeros(2)], [np.ones(2)])
+        # A different parameter list (e.g. a new model) must not crash.
+        opt.step([np.zeros(3), np.zeros(1)], [np.ones(3), np.ones(1)])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=-0.1)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(epsilon=0.0)
+        with pytest.raises(ValueError):
+            Adam().step([np.zeros(2)], [])

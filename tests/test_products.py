@@ -1,0 +1,74 @@
+"""Tests for the emulated ATL07 / ATL10 baseline products."""
+
+import numpy as np
+import pytest
+
+from repro.config import CLASS_OPEN_WATER
+from repro.products.atl07 import generate_atl07
+from repro.products.atl10 import generate_atl10
+
+
+@pytest.fixture(scope="module")
+def atl07(beam):
+    return generate_atl07(beam)
+
+
+@pytest.fixture(scope="module")
+def atl10(atl07):
+    return generate_atl10(atl07)
+
+
+class TestATL07:
+    def test_segment_geometry(self, atl07):
+        assert atl07.n_segments > 10
+        # 150-photon segments over mostly bright ice: tens of metres each.
+        assert 10.0 < atl07.mean_segment_length_m() < 500.0
+        assert np.all(np.diff(atl07.along_track_m) > 0)
+
+    def test_classification_agrees_with_truth(self, atl07):
+        accuracy = (atl07.surface_class == atl07.truth_class).mean()
+        assert accuracy > 0.6
+
+    def test_sea_surface_is_low_relative_to_heights(self, atl07):
+        # The sea surface must sit at or below the bulk of the segment heights.
+        assert np.median(atl07.sea_surface_m) < np.median(atl07.height_m)
+
+    def test_points_per_km_far_below_2m_product(self, atl07):
+        # 2 m segments give 500 points/km; the ATL07 baseline gives a few tens.
+        assert atl07.points_per_km() < 120.0
+
+    def test_custom_aggregation_count(self, beam):
+        coarse = generate_atl07(beam, photons_per_segment=300)
+        fine = generate_atl07(beam, photons_per_segment=75)
+        assert fine.n_segments > coarse.n_segments
+
+    def test_too_few_photons_rejected(self, beam):
+        tiny = beam.select(np.arange(beam.n_photons) < 50)
+        with pytest.raises(ValueError):
+            generate_atl07(tiny)
+
+
+class TestATL10:
+    def test_only_ice_segments_present(self, atl10):
+        assert np.all(atl10.surface_class != CLASS_OPEN_WATER)
+
+    def test_freeboards_non_negative_and_physical(self, atl10):
+        assert np.all(atl10.freeboard_m >= 0.0)
+        assert atl10.mean_freeboard_m() < 2.0
+
+    def test_freeboard_is_height_minus_sea_surface(self, atl07, atl10):
+        ice = atl07.surface_class != CLASS_OPEN_WATER
+        expected = np.clip(atl07.height_m[ice] - atl07.sea_surface_m[ice], 0.0, None)
+        np.testing.assert_allclose(atl10.freeboard_m, expected)
+
+    def test_distribution_normalised(self, atl10):
+        centres, density = atl10.distribution()
+        assert density.sum() == pytest.approx(1.0, abs=1e-6)
+        with pytest.raises(ValueError):
+            atl10.distribution(bin_width_m=-1.0)
+
+    def test_unclipped_option(self, atl07):
+        atl10_raw = generate_atl10(atl07, clip_negative=False)
+        # Without clipping some segments may dip below zero; either way the
+        # values must be finite.
+        assert np.isfinite(atl10_raw.freeboard_m).all()

@@ -1,0 +1,87 @@
+"""Tests for per-segment feature extraction and sequence construction."""
+
+import numpy as np
+import pytest
+
+from repro.resampling.features import (
+    FEATURE_NAMES,
+    extract_features,
+    feature_matrix,
+    sequence_windows,
+)
+
+
+class TestExtractFeatures:
+    def test_six_features_defined(self, segments):
+        features = extract_features(segments)
+        assert set(features) == set(FEATURE_NAMES)
+        for name in FEATURE_NAMES:
+            assert features[name].shape == (segments.n_segments,)
+
+    def test_all_finite(self, segments):
+        features = extract_features(segments)
+        for name, values in features.items():
+            assert np.all(np.isfinite(values)), name
+
+    def test_change_features_are_differences(self, segments):
+        features = extract_features(segments)
+        rate = np.nan_to_num(segments.photon_rate, nan=0.0)
+        expected_mid = 0.5 * (rate[2:] - rate[:-2])
+        np.testing.assert_allclose(features["photon_rate_change"][1:-1], expected_mid)
+
+
+class TestFeatureMatrix:
+    def test_normalised_matrix_statistics(self, segments):
+        X, (mean, std) = feature_matrix(segments, normalize=True)
+        assert X.shape == (segments.n_segments, 6)
+        np.testing.assert_allclose(X.mean(axis=0), 0.0, atol=1e-9)
+        # Columns with non-zero variance are standardised to unit variance.
+        col_std = X.std(axis=0)
+        assert np.all((np.abs(col_std - 1.0) < 1e-6) | (col_std < 1e-12))
+
+    def test_raw_matrix_passthrough(self, segments):
+        X, (mean, std) = feature_matrix(segments, normalize=False)
+        np.testing.assert_allclose(mean, 0.0)
+        np.testing.assert_allclose(std, 1.0)
+
+    def test_reusing_stats_matches_training_scaling(self, segments):
+        X1, stats = feature_matrix(segments, normalize=True)
+        X2, _ = feature_matrix(segments, normalize=True, stats=stats)
+        np.testing.assert_allclose(X1, X2)
+
+    def test_bad_stats_shape_rejected(self, segments):
+        with pytest.raises(ValueError):
+            feature_matrix(segments, normalize=True, stats=(np.zeros(3), np.ones(3)))
+
+
+class TestSequenceWindows:
+    def test_shape(self):
+        X = np.arange(20, dtype=float).reshape(10, 2)
+        seqs = sequence_windows(X, sequence_length=5)
+        assert seqs.shape == (10, 5, 2)
+
+    def test_centre_element_is_the_segment(self):
+        X = np.arange(30, dtype=float).reshape(15, 2)
+        seqs = sequence_windows(X, sequence_length=5)
+        np.testing.assert_allclose(seqs[:, 2, :], X)
+
+    def test_interior_window_contains_neighbours(self):
+        X = np.arange(20, dtype=float).reshape(10, 2)
+        seqs = sequence_windows(X, sequence_length=5)
+        np.testing.assert_allclose(seqs[5], X[3:8])
+
+    def test_edges_are_padded_with_nearest(self):
+        X = np.arange(10, dtype=float).reshape(5, 2)
+        seqs = sequence_windows(X, sequence_length=5)
+        np.testing.assert_allclose(seqs[0, 0], X[0])
+        np.testing.assert_allclose(seqs[0, 1], X[0])
+        np.testing.assert_allclose(seqs[-1, -1], X[-1])
+
+    def test_invalid_arguments_rejected(self):
+        X = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            sequence_windows(X, sequence_length=4)
+        with pytest.raises(ValueError):
+            sequence_windows(X, sequence_length=-1)
+        with pytest.raises(ValueError):
+            sequence_windows(np.zeros(4), sequence_length=3)

@@ -1,0 +1,63 @@
+"""Tests for the 150-photon aggregation (ATL07-style baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.resampling.photon_agg import aggregate_photons
+from repro.resampling.window import resample_fixed_window
+
+
+class TestAggregatePhotons:
+    def test_every_segment_has_exactly_n_photons(self, beam):
+        segments = aggregate_photons(beam, photons_per_segment=150)
+        assert np.all(segments.n_photons == 150)
+
+    def test_segment_count_matches_photon_budget(self, beam):
+        n_signal = int((beam.signal_conf >= 3).sum())
+        segments = aggregate_photons(beam, photons_per_segment=150)
+        assert segments.n_segments == n_signal // 150
+
+    def test_variable_segment_lengths(self, beam):
+        segments = aggregate_photons(beam, photons_per_segment=150)
+        assert segments.length_m.min() > 0.0
+        # Over bright ice with ~4 photons/shot a 150-photon segment spans
+        # roughly 25-40 m; over water it stretches much longer.
+        assert segments.length_m.max() > segments.length_m.min()
+
+    def test_resolution_much_coarser_than_2m_windows(self, beam):
+        agg = aggregate_photons(beam, photons_per_segment=150)
+        fine = resample_fixed_window(beam, window_length_m=2.0)
+        assert agg.mean_length_m() > 10.0
+        assert fine.n_segments > agg.n_segments * 10
+
+    def test_centres_are_monotonic(self, beam):
+        segments = aggregate_photons(beam, photons_per_segment=150)
+        assert np.all(np.diff(segments.center_along_track_m) > 0)
+
+    def test_majority_truth_class(self, beam):
+        segments = aggregate_photons(beam, photons_per_segment=150)
+        assert np.all(segments.truth_class >= 0)
+        assert np.all(segments.truth_class <= 2)
+
+    def test_small_photon_count(self, beam):
+        segments = aggregate_photons(beam, photons_per_segment=10)
+        assert segments.photons_per_segment == 10
+        assert segments.n_segments > 0
+
+    def test_too_few_photons_yields_empty_product(self, beam):
+        tiny = beam.select(np.arange(beam.n_photons) < 20)
+        segments = aggregate_photons(tiny, photons_per_segment=150)
+        assert segments.n_segments == 0
+        assert segments.mean_length_m() == 0.0
+
+    def test_invalid_count_rejected(self, beam):
+        with pytest.raises(ValueError):
+            aggregate_photons(beam, photons_per_segment=0)
+
+    def test_height_statistics_match_reference(self, beam):
+        segments = aggregate_photons(beam, photons_per_segment=100)
+        signal = beam.select(beam.signal_conf >= 3)
+        first = signal.height_m[:100]
+        assert segments.height_mean_m[0] == pytest.approx(first.mean())
+        assert segments.height_std_m[0] == pytest.approx(first.std())
+        assert segments.height_min_m[0] == pytest.approx(first.min())

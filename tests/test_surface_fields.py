@@ -1,0 +1,111 @@
+"""Tests for the random-field helpers behind the scene generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.surface.fields import add_linear_leads, gaussian_random_field, smooth_threshold_classes
+
+
+class TestGaussianRandomField:
+    def test_shape_and_normalisation(self):
+        field = gaussian_random_field((64, 80), 8.0, rng=0)
+        assert field.shape == (64, 80)
+        assert abs(field.mean()) < 1e-8
+        assert field.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_deterministic_in_seed(self):
+        a = gaussian_random_field((32, 32), 4.0, rng=7)
+        b = gaussian_random_field((32, 32), 4.0, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_larger_correlation_is_smoother(self):
+        rough = gaussian_random_field((128, 128), 2.0, rng=1)
+        smooth = gaussian_random_field((128, 128), 20.0, rng=1)
+        # Mean squared nearest-neighbour difference is smaller for the
+        # longer correlation length.
+        assert np.mean(np.diff(smooth, axis=0) ** 2) < np.mean(np.diff(rough, axis=0) ** 2)
+
+    @pytest.mark.parametrize("shape", [(0, 10), (10, 0)])
+    def test_empty_shape_rejected(self, shape):
+        with pytest.raises(ValueError):
+            gaussian_random_field(shape, 4.0)
+
+    def test_nonpositive_correlation_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((8, 8), 0.0)
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((8, 8, 8), 2.0)  # type: ignore[arg-type]
+
+
+class TestSmoothThresholdClasses:
+    def test_fractions_respected(self):
+        field = gaussian_random_field((200, 200), 5.0, rng=3)
+        classes = smooth_threshold_classes(field, (0.1, 0.2, 0.7))
+        fractions = np.bincount(classes.ravel(), minlength=3) / classes.size
+        assert fractions[0] == pytest.approx(0.1, abs=0.02)
+        assert fractions[1] == pytest.approx(0.2, abs=0.02)
+        assert fractions[2] == pytest.approx(0.7, abs=0.02)
+
+    def test_class_order_follows_field_values(self):
+        field = np.linspace(0, 1, 100).reshape(10, 10)
+        classes = smooth_threshold_classes(field, (0.5, 0.5))
+        assert classes.ravel()[0] == 0
+        assert classes.ravel()[-1] == 1
+
+    def test_unnormalised_fractions_are_normalised(self):
+        field = gaussian_random_field((50, 50), 3.0, rng=4)
+        a = smooth_threshold_classes(field, (1.0, 1.0))
+        b = smooth_threshold_classes(field, (0.5, 0.5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_fractions_rejected(self):
+        field = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            smooth_threshold_classes(field, ())
+        with pytest.raises(ValueError):
+            smooth_threshold_classes(field, (-0.1, 1.1))
+        with pytest.raises(ValueError):
+            smooth_threshold_classes(field, (0.0, 0.0))
+
+    @given(
+        n_classes=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_all_classes_within_range(self, n_classes, seed):
+        field = gaussian_random_field((40, 40), 4.0, rng=seed)
+        fractions = tuple(1.0 / n_classes for _ in range(n_classes))
+        classes = smooth_threshold_classes(field, fractions)
+        assert classes.min() >= 0
+        assert classes.max() <= n_classes - 1
+
+
+class TestAddLinearLeads:
+    def test_leads_add_target_class(self):
+        base = np.zeros((100, 100), dtype=np.int8)
+        out = add_linear_leads(base, n_leads=5, lead_class=2, width_px=3, rng=0)
+        assert (out == 2).any()
+        # The input is not modified.
+        assert not (base == 2).any()
+
+    def test_zero_leads_is_identity(self):
+        base = np.ones((20, 20), dtype=np.int8)
+        out = add_linear_leads(base, 0, 2, 3, rng=0)
+        np.testing.assert_array_equal(out, base)
+
+    def test_lead_pixels_are_narrow(self):
+        base = np.zeros((200, 200), dtype=np.int8)
+        out = add_linear_leads(base, n_leads=1, lead_class=1, width_px=2, rng=5)
+        # A single 2-pixel-wide lead across a 200x200 grid covers a small fraction.
+        assert 0 < (out == 1).mean() < 0.05
+
+    def test_invalid_arguments_rejected(self):
+        base = np.zeros((10, 10), dtype=np.int8)
+        with pytest.raises(ValueError):
+            add_linear_leads(base, -1, 1, 1)
+        with pytest.raises(ValueError):
+            add_linear_leads(base, 1, 1, 0)

@@ -1,0 +1,98 @@
+"""Tests for the synthetic Ross Sea ice scene."""
+
+import numpy as np
+import pytest
+
+from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE, CLASS_THIN_ICE
+from repro.surface.scene import IceScene, SceneConfig, generate_scene
+
+
+class TestSceneConfig:
+    def test_grid_size(self):
+        cfg = SceneConfig(width_m=5_000.0, height_m=2_500.0, pixel_size_m=10.0)
+        assert cfg.nx == 500
+        assert cfg.ny == 250
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            SceneConfig(thick_ice_fraction=0.5, thin_ice_fraction=0.5, open_water_fraction=0.5)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SceneConfig(thick_ice_fraction=1.2, thin_ice_fraction=-0.1, open_water_fraction=-0.1)
+
+    def test_pixel_size_positive(self):
+        with pytest.raises(ValueError):
+            SceneConfig(pixel_size_m=0.0)
+
+
+class TestGenerateScene:
+    def test_class_fractions_close_to_config(self, scene):
+        fractions = scene.class_fractions()
+        cfg = scene.config
+        assert fractions[CLASS_THICK_ICE] == pytest.approx(cfg.thick_ice_fraction, abs=0.08)
+        # Leads are carved on top of the base field so open water can exceed
+        # its configured fraction slightly, at the expense of the others.
+        assert fractions[CLASS_OPEN_WATER] >= cfg.open_water_fraction * 0.5
+
+    def test_deterministic_in_seed(self):
+        cfg = SceneConfig(width_m=3_000.0, height_m=3_000.0)
+        a = generate_scene(cfg, seed=9)
+        b = generate_scene(cfg, seed=9)
+        np.testing.assert_array_equal(a.class_map, b.class_map)
+        np.testing.assert_array_equal(a.freeboard_map, b.freeboard_map)
+
+    def test_different_seeds_differ(self):
+        cfg = SceneConfig(width_m=3_000.0, height_m=3_000.0)
+        a = generate_scene(cfg, seed=1)
+        b = generate_scene(cfg, seed=2)
+        assert not np.array_equal(a.class_map, b.class_map)
+
+    def test_open_water_has_zero_freeboard(self, scene):
+        water = scene.class_map == CLASS_OPEN_WATER
+        assert np.all(scene.freeboard_map[water] == 0.0)
+
+    def test_freeboard_never_negative(self, scene):
+        assert np.all(scene.freeboard_map >= 0.0)
+
+    def test_thick_ice_higher_than_thin_ice(self, scene):
+        thick = scene.freeboard_map[scene.class_map == CLASS_THICK_ICE]
+        thin = scene.freeboard_map[scene.class_map == CLASS_THIN_ICE]
+        assert thick.mean() > thin.mean()
+
+
+class TestIceSceneQueries:
+    def test_classify_matches_class_map(self, scene):
+        cfg = scene.config
+        # Query the centre of pixel (5, 7).
+        x = cfg.origin_x_m + 7.5 * cfg.pixel_size_m
+        y = cfg.origin_y_m + 5.5 * cfg.pixel_size_m
+        assert scene.classify(np.array([x]), np.array([y]))[0] == scene.class_map[5, 7]
+
+    def test_surface_height_is_sea_level_plus_freeboard(self, scene, rng):
+        x = rng.uniform(*scene.extent[:2], 100)
+        y = rng.uniform(*scene.extent[2:], 100)
+        np.testing.assert_allclose(
+            scene.surface_height(x, y),
+            scene.sea_level(x, y) + scene.freeboard(x, y),
+        )
+
+    def test_sea_level_amplitude_bounded(self, scene, rng):
+        x = rng.uniform(*scene.extent[:2], 500)
+        y = rng.uniform(*scene.extent[2:], 500)
+        sl = scene.sea_level(x, y)
+        cfg = scene.config
+        assert np.all(np.abs(sl - cfg.sea_level_mean_m) <= 1.5 * cfg.sea_level_amplitude_m + 1e-9)
+
+    def test_contains(self, scene):
+        x_min, x_max, y_min, y_max = scene.extent
+        inside = scene.contains(np.array([(x_min + x_max) / 2]), np.array([(y_min + y_max) / 2]))
+        outside = scene.contains(np.array([x_max + 100.0]), np.array([y_min]))
+        assert bool(inside[0]) and not bool(outside[0])
+
+    def test_mismatched_map_shapes_rejected(self, scene):
+        cfg = scene.config
+        with pytest.raises(ValueError):
+            IceScene(cfg, scene.class_map[:-1], scene.freeboard_map, (0, 0.1, 1e4, 0))
+        with pytest.raises(ValueError):
+            IceScene(cfg, scene.class_map, scene.freeboard_map[:, :-1], (0, 0.1, 1e4, 0))

@@ -1,0 +1,74 @@
+"""Tests for track geometry and truth sampling."""
+
+import numpy as np
+import pytest
+
+from repro.surface.track import TrackSpec, generate_track, track_through_scene
+
+
+class TestTrackSpec:
+    def test_direction_is_unit_vector(self):
+        track = TrackSpec(0.0, 0.0, azimuth_deg=30.0, length_m=1000.0)
+        dx, dy = track.direction
+        assert np.hypot(dx, dy) == pytest.approx(1.0)
+
+    def test_points_along_north_track(self):
+        track = TrackSpec(100.0, 200.0, azimuth_deg=0.0, length_m=1000.0)
+        x, y = track.points(np.array([0.0, 500.0, 1000.0]))
+        np.testing.assert_allclose(x, [100.0, 100.0, 100.0])
+        np.testing.assert_allclose(y, [200.0, 700.0, 1200.0])
+
+    def test_points_outside_length_rejected(self):
+        track = TrackSpec(0.0, 0.0, azimuth_deg=0.0, length_m=100.0)
+        with pytest.raises(ValueError):
+            track.points(np.array([150.0]))
+        with pytest.raises(ValueError):
+            track.points(np.array([-1.0]))
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValueError):
+            TrackSpec(0.0, 0.0, 0.0, 0.0)
+
+
+class TestGenerateTrack:
+    def test_track_fits_in_scene(self, scene):
+        track = generate_track(scene, length_m=5_000.0, rng=3)
+        s = np.linspace(0.0, track.length_m, 50)
+        x, y = track.points(s)
+        assert scene.contains(x, y).all()
+
+    def test_track_too_long_rejected(self, scene):
+        with pytest.raises(ValueError):
+            generate_track(scene, length_m=scene.config.height_m * 2.0)
+
+    def test_default_length_is_80_percent_of_scene(self, scene):
+        track = generate_track(scene, rng=1)
+        assert track.length_m == pytest.approx(0.8 * scene.config.height_m)
+
+    def test_deterministic_in_seed(self, scene):
+        a = generate_track(scene, length_m=4_000.0, rng=7)
+        b = generate_track(scene, length_m=4_000.0, rng=7)
+        assert a.start_x_m == b.start_x_m
+        assert a.azimuth_deg == b.azimuth_deg
+
+
+class TestTrackThroughScene:
+    def test_truth_table_fields_and_lengths(self, scene, track):
+        truth = track_through_scene(scene, track, spacing_m=10.0)
+        n = truth["along_track_m"].shape[0]
+        for key in ("x_m", "y_m", "lat_deg", "lon_deg", "surface_class", "freeboard_m", "sea_level_m", "surface_height_m"):
+            assert truth[key].shape[0] == n
+
+    def test_surface_height_consistency(self, scene, track):
+        truth = track_through_scene(scene, track, spacing_m=25.0)
+        np.testing.assert_allclose(
+            truth["surface_height_m"], truth["sea_level_m"] + truth["freeboard_m"]
+        )
+
+    def test_latitudes_are_antarctic(self, scene, track):
+        truth = track_through_scene(scene, track, spacing_m=100.0)
+        assert np.all(truth["lat_deg"] < -60.0)
+
+    def test_spacing_must_be_positive(self, scene, track):
+        with pytest.raises(ValueError):
+            track_through_scene(scene, track, spacing_m=0.0)

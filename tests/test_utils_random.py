@@ -1,0 +1,115 @@
+"""Tests for the deterministic random-number helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.random import (
+    choice_without_replacement,
+    default_rng,
+    derive_rng,
+    spawn_rngs,
+    stratified_indices,
+)
+
+
+class TestDefaultRng:
+    def test_integer_seed_is_deterministic(self):
+        a = default_rng(42).random(5)
+        b = default_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert default_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_same_key_same_stream(self):
+        parent1 = default_rng(7)
+        parent2 = default_rng(7)
+        a = derive_rng(parent1, 3).random(4)
+        b = derive_rng(parent2, 3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        parent = default_rng(7)
+        a = derive_rng(parent, 0).random(4)
+        parent = default_rng(7)
+        b = derive_rng(parent, 1).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rng(default_rng(0), -1)
+
+
+class TestSpawnRngs:
+    def test_deterministic_in_seed(self):
+        a = [g.random() for g in spawn_rngs(5, 3)]
+        b = [g.random() for g in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_streams_are_independent(self):
+        gens = spawn_rngs(5, 4)
+        draws = [g.random(8) for g in gens]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count_gives_empty_list(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestChoiceWithoutReplacement:
+    def test_returns_distinct_indices(self):
+        idx = choice_without_replacement(default_rng(0), 100, 30)
+        assert len(np.unique(idx)) == 30
+        assert idx.min() >= 0 and idx.max() < 100
+
+    def test_oversampling_rejected(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(default_rng(0), 5, 6)
+
+
+class TestStratifiedIndices:
+    def test_split_is_disjoint_and_complete(self):
+        labels = np.array([0] * 50 + [1] * 30 + [2] * 20)
+        train, test = stratified_indices(default_rng(0), labels, 0.2)
+        assert set(train).isdisjoint(set(test))
+        assert len(train) + len(test) == 100
+
+    def test_class_proportions_roughly_preserved(self):
+        labels = np.array([0] * 100 + [1] * 50 + [2] * 10)
+        train, test = stratified_indices(default_rng(0), labels, 0.2)
+        for cls, count in ((0, 100), (1, 50), (2, 10)):
+            n_test = int(np.sum(labels[test] == cls))
+            assert abs(n_test - 0.2 * count) <= 1
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            stratified_indices(default_rng(0), np.array([0, 1]), 1.5)
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(ValueError):
+            stratified_indices(default_rng(0), np.zeros((3, 2), dtype=int), 0.2)
+
+    @given(
+        counts=st.lists(st.integers(min_value=2, max_value=40), min_size=1, max_size=4),
+        fraction=st.floats(min_value=0.1, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_split_partitions_all_indices(self, counts, fraction, seed):
+        labels = np.concatenate([np.full(c, i) for i, c in enumerate(counts)])
+        train, test = stratified_indices(default_rng(seed), labels, fraction)
+        combined = np.sort(np.concatenate([train, test]))
+        np.testing.assert_array_equal(combined, np.arange(labels.size))

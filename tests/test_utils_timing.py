@@ -1,0 +1,104 @@
+"""Tests for the timing utilities used by the map-reduce engine."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch, TimingRecord, time_call, timed
+
+
+class TestTimingRecord:
+    def test_add_and_get(self):
+        rec = TimingRecord()
+        rec.add("load", 1.5)
+        rec.add("load", 0.5)
+        rec.add("map", 0.25)
+        assert rec.get("load") == pytest.approx(2.0)
+        assert rec.get("map") == pytest.approx(0.25)
+        assert rec.get("missing") == 0.0
+        assert rec.counts["load"] == 2
+
+    def test_total(self):
+        rec = TimingRecord()
+        rec.add("a", 1.0)
+        rec.add("b", 2.0)
+        assert rec.total() == pytest.approx(3.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TimingRecord().add("a", -0.1)
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = TimingRecord({"x": 1.0}, {"x": 1})
+        b = TimingRecord({"x": 2.0, "y": 3.0}, {"x": 1, "y": 1})
+        merged = a.merge(b)
+        assert merged.get("x") == pytest.approx(3.0)
+        assert merged.get("y") == pytest.approx(3.0)
+        assert a.get("x") == pytest.approx(1.0)
+
+    def test_as_dict_is_copy(self):
+        rec = TimingRecord({"a": 1.0}, {"a": 1})
+        d = rec.as_dict()
+        d["a"] = 99.0
+        assert rec.get("a") == pytest.approx(1.0)
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        elapsed = sw.stop()
+        assert elapsed >= 0.009
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_accumulates_across_starts(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        first = sw.elapsed
+        sw.start()
+        total = sw.stop()
+        assert total >= first
+
+    def test_reset(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+
+class TestTimedContext:
+    def test_adds_elapsed_to_record(self):
+        rec = TimingRecord()
+        with timed(rec, "stage"):
+            time.sleep(0.005)
+        assert rec.get("stage") >= 0.004
+
+    def test_records_even_when_body_raises(self):
+        rec = TimingRecord()
+        with pytest.raises(RuntimeError):
+            with timed(rec, "stage"):
+                raise RuntimeError("boom")
+        assert rec.get("stage") >= 0.0
+        assert rec.counts["stage"] == 1
+
+
+class TestTimeCall:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0

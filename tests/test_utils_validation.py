@@ -1,0 +1,91 @@
+"""Tests for the input-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    ensure_1d,
+    ensure_2d,
+    ensure_finite,
+    ensure_in_range,
+    ensure_labels,
+    ensure_monotonic,
+    ensure_positive,
+    ensure_same_length,
+)
+
+
+class TestShapeChecks:
+    def test_ensure_1d_accepts_vector(self):
+        arr = ensure_1d(np.arange(5))
+        assert arr.shape == (5,)
+
+    def test_ensure_1d_rejects_matrix(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            ensure_1d(np.zeros((2, 2)), "heights")
+
+    def test_ensure_2d_accepts_matrix(self):
+        assert ensure_2d(np.zeros((3, 4))).shape == (3, 4)
+
+    def test_ensure_2d_rejects_vector(self):
+        with pytest.raises(ValueError, match="two-dimensional"):
+            ensure_2d(np.zeros(3))
+
+    def test_ensure_same_length_ok(self):
+        ensure_same_length(np.zeros(3), np.ones(3))
+
+    def test_ensure_same_length_mismatch_names_in_message(self):
+        with pytest.raises(ValueError, match="lat=2"):
+            ensure_same_length(np.zeros(3), np.zeros(2), names=("lon", "lat"))
+
+
+class TestValueChecks:
+    def test_ensure_finite_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            ensure_finite(np.array([1.0, np.nan]))
+
+    def test_ensure_finite_rejects_inf(self):
+        with pytest.raises(ValueError):
+            ensure_finite(np.array([np.inf]))
+
+    def test_ensure_positive(self):
+        assert ensure_positive(2.5) == 2.5
+        with pytest.raises(ValueError):
+            ensure_positive(0.0)
+        with pytest.raises(ValueError):
+            ensure_positive(-1.0)
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(5.0, 0.0, 10.0) == 5.0
+        with pytest.raises(ValueError):
+            ensure_in_range(11.0, 0.0, 10.0)
+
+    def test_ensure_monotonic_non_decreasing(self):
+        ensure_monotonic(np.array([1.0, 1.0, 2.0]))
+        with pytest.raises(ValueError):
+            ensure_monotonic(np.array([2.0, 1.0]))
+
+    def test_ensure_monotonic_strict(self):
+        with pytest.raises(ValueError):
+            ensure_monotonic(np.array([1.0, 1.0]), strict=True)
+        ensure_monotonic(np.array([1.0, 2.0]), strict=True)
+
+
+class TestLabelChecks:
+    def test_valid_labels_pass(self):
+        labels = ensure_labels(np.array([0, 1, 2, -1], dtype=np.int8), 3)
+        assert labels.shape == (4,)
+
+    def test_out_of_range_labels_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_labels(np.array([0, 3], dtype=np.int64), 3)
+        with pytest.raises(ValueError):
+            ensure_labels(np.array([-2], dtype=np.int64), 3)
+
+    def test_float_labels_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            ensure_labels(np.array([0.0, 1.0]), 3)
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_labels(np.zeros((2, 2), dtype=int), 3)
