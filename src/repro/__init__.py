@@ -18,7 +18,10 @@ provides:
   (:mod:`repro.freeboard`), with emulated ATL07/ATL10 baselines
   (:mod:`repro.products`);
 * end-to-end orchestration and table/figure regeneration
-  (:mod:`repro.workflow`, :mod:`repro.evaluation`).
+  (:mod:`repro.workflow`, :mod:`repro.evaluation`);
+* multi-granule campaigns: scenario grids run in parallel through the whole
+  pipeline with one shared classifier and a resumable on-disk cache
+  (:mod:`repro.campaign`).
 
 Quick start::
 

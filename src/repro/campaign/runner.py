@@ -1,0 +1,372 @@
+"""Campaign orchestration: parallel curation, one shared classifier, fan-out retrieval.
+
+The runner executes the Fig. 1 workflow over a whole granule fleet in three
+stages:
+
+1. **Curation fan-out** — every granule's stage-1 pipeline (scene → ATL03 →
+   S2 → segmentation → drift → resample → auto-label) runs independently.
+   Granules are chunked over a :class:`~repro.distributed.mapreduce.MapReduceEngine`
+   with the ``process`` executor (a ``ProcessPoolExecutor`` under the hood) —
+   the same chunk/map/concatenate idiom as :mod:`repro.labeling.parallel` and
+   :mod:`repro.freeboard.parallel`, lifted from segment level to granule level.
+2. **Pooled training** — one classifier is trained on the labelled segments
+   of *all* granules, concatenated in canonical expansion order.  Training
+   stays on the driver, so campaign results are bit-for-bit independent of
+   worker count and scheduling.
+3. **Retrieval fan-out** — inference, sea-surface detection, freeboard and
+   the ATL07/ATL10 baselines fan back out per granule through the same engine.
+
+Every stage artifact is cached on disk keyed by the campaign fingerprint
+(:mod:`repro.campaign.cache`), so an interrupted or repeated campaign resumes
+from completed granules, and the measured per-stage serial times are routed
+through the :class:`~repro.distributed.cluster.ClusterCostModel` into a
+simulated cluster scaling report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.campaign.cache import CampaignCache
+from repro.campaign.config import CampaignConfig, GranuleSpec
+from repro.campaign.metrics import (
+    CampaignMetrics,
+    CampaignScalingRow,
+    GranuleMetrics,
+    aggregate_metrics,
+    campaign_scaling_table,
+    granule_metrics,
+)
+from repro.classification.pipeline import TrainedClassifier, train_classifier
+from repro.config import ClusterConfig, DEFAULT_CLUSTER
+from repro.distributed.cluster import ClusterCostModel
+from repro.distributed.mapreduce import MapReduceEngine
+from repro.evaluation.report import format_table
+from repro.resampling.window import SegmentArray, concatenate_segments
+from repro.utils.timing import Stopwatch, TimingRecord
+from repro.workflow.end_to_end import (
+    ExperimentData,
+    InferenceProducts,
+    prepare_experiment_data,
+    run_inference_stage,
+)
+
+
+@dataclass
+class CuratedGranule:
+    """Stage-1 output of one granule, ready for pooled training.
+
+    ``groups`` holds the per-beam group ids of the combined segments so
+    pooled training can keep features and LSTM sequences from crossing beam
+    boundaries as well as granule boundaries.
+    """
+
+    granule_id: str
+    data: ExperimentData
+    segments: SegmentArray
+    labels: np.ndarray
+    groups: np.ndarray
+    seconds: float
+
+
+@dataclass
+class GranuleResult:
+    """Final products and metrics of one campaign granule.
+
+    Carries both stage times (``curation_seconds`` from stage 1,
+    ``seconds`` from the retrieval stage) so a fully cached resume can
+    rebuild the scaling report without deserialising the heavy per-granule
+    curated artifacts.
+    """
+
+    granule_id: str
+    scenario: dict[str, Any]
+    seed: int
+    products: InferenceProducts
+    metrics: GranuleMetrics
+    seconds: float
+    curation_seconds: float = 0.0
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produces, in canonical granule order."""
+
+    fingerprint: str
+    granules: list[GranuleResult]
+    classifier: TrainedClassifier
+    metrics: CampaignMetrics
+    timing: TimingRecord
+    scaling: list[CampaignScalingRow]
+    #: Cache keys consulted this run (both empty when caching is disabled).
+    cache_hits: tuple[str, ...] = ()
+    cache_misses: tuple[str, ...] = ()
+
+    @property
+    def n_granules(self) -> int:
+        return len(self.granules)
+
+    def granule(self, granule_id: str) -> GranuleResult:
+        for result in self.granules:
+            if result.granule_id == granule_id:
+                return result
+        raise KeyError(f"no granule {granule_id!r} in this campaign")
+
+    def summary(self) -> str:
+        """Plain-text per-granule and campaign-level summary tables."""
+        per_granule = format_table(
+            [result.metrics.as_row() for result in self.granules],
+            title=f"Campaign {self.fingerprint}: {self.n_granules} granules",
+        )
+        campaign = format_table([self.metrics.as_row()], title="Campaign aggregate")
+        scaling = format_table(
+            [row.as_dict() for row in self.scaling],
+            title="Simulated cluster scaling (calibrated cost model)",
+        )
+        return "\n\n".join([per_granule, campaign, scaling])
+
+
+class _CurateTask:
+    """Picklable map function: curate one chunk of granule specs."""
+
+    def __call__(self, specs: Sequence[GranuleSpec]) -> list[CuratedGranule]:
+        out: list[CuratedGranule] = []
+        for spec in specs:
+            sw = Stopwatch().start()
+            data = prepare_experiment_data(spec.config)
+            segments, labels, groups = data.combined_training_arrays()
+            out.append(
+                CuratedGranule(
+                    granule_id=spec.granule_id,
+                    data=data,
+                    segments=segments,
+                    labels=labels,
+                    groups=groups,
+                    seconds=sw.stop(),
+                )
+            )
+        return out
+
+
+class _RetrieveTask:
+    """Picklable map function: classify + retrieve one chunk of curated granules."""
+
+    def __init__(self, classifier: TrainedClassifier) -> None:
+        self.classifier = classifier
+
+    def __call__(
+        self, items: Sequence[tuple[GranuleSpec, CuratedGranule]]
+    ) -> list[GranuleResult]:
+        out: list[GranuleResult] = []
+        for spec, curated in items:
+            sw = Stopwatch().start()
+            products = run_inference_stage(curated.data, self.classifier, spec.config)
+            metrics = granule_metrics(
+                spec.granule_id, spec.scenario, products.classified, products.freeboard
+            )
+            out.append(
+                GranuleResult(
+                    granule_id=spec.granule_id,
+                    scenario=spec.scenario_dict(),
+                    seed=spec.config.seed,
+                    products=products,
+                    metrics=metrics,
+                    seconds=sw.stop(),
+                    curation_seconds=curated.seconds,
+                )
+            )
+        return out
+
+
+def _flatten(parts: list[list]) -> list:
+    return [item for part in parts for item in part]
+
+
+class CampaignRunner:
+    """Execute a :class:`~repro.campaign.config.CampaignConfig` end to end."""
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        cost_model: ClusterCostModel | None = None,
+        cluster: ClusterConfig = DEFAULT_CLUSTER,
+    ) -> None:
+        self.config = config
+        self.cost_model = cost_model if cost_model is not None else ClusterCostModel()
+        self.cluster = cluster
+        self.fingerprint = config.fingerprint()
+        self.cache: CampaignCache | None = (
+            CampaignCache(config.cache_dir, self.fingerprint)
+            if config.cache_dir is not None
+            else None
+        )
+
+    # -- engine ----------------------------------------------------------------
+
+    def _engine(self, n_items: int) -> MapReduceEngine:
+        """Granule-chunking engine: one partition per worker, capped by items."""
+        executor = self.config.executor if self.config.n_workers > 1 and n_items > 1 else "serial"
+        n_partitions = max(min(self.config.n_workers, n_items), 1)
+        return MapReduceEngine(
+            n_partitions=n_partitions,
+            executor=executor,
+            max_workers=self.config.n_workers,
+        )
+
+    def _fan_out(self, items: list, task) -> list:
+        """Run ``task`` over worker-count chunks of ``items``; order-preserving."""
+        if not items:
+            return []
+        result = self._engine(len(items)).run(lambda: items, task, _flatten)
+        return list(result.value)
+
+    # -- cache helpers ---------------------------------------------------------
+
+    def _cache_load(self, key: str, hits: list[str], misses: list[str]):
+        """Load one artifact, recording the hit/miss; no-op without a cache."""
+        if self.cache is None:
+            return None
+        value = self.cache.load(key)
+        (hits if value is not None else misses).append(key)
+        return value
+
+    def _cache_store(self, key: str, value) -> None:
+        if self.cache is not None:
+            self.cache.store(key, value)
+
+    # -- stages ----------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Run (or resume) the whole campaign and return aggregated results."""
+        specs = self.config.expand()
+        timing = TimingRecord()
+        hits: list[str] = []
+        misses: list[str] = []
+
+        # Probe the cheap artifacts first: the shared classifier bundle and
+        # per-granule results.  They determine which heavy curated artifacts
+        # this run actually needs, so a fully cached resume never
+        # deserialises any raw granule data.
+        bundle = self._cache_load("classifier", hits, misses)
+        if not isinstance(bundle, dict) or "classifier" not in bundle:
+            bundle = None
+        classifier: TrainedClassifier | None = (
+            bundle["classifier"] if bundle is not None else None
+        )
+        training_seconds: float = bundle["training_seconds"] if bundle is not None else 0.0
+
+        results: dict[str, GranuleResult] = {}
+        to_retrieve_specs: list[GranuleSpec] = []
+        for spec in specs:
+            cached = self._cache_load(f"{spec.granule_id}.result", hits, misses)
+            if cached is not None:
+                results[spec.granule_id] = cached
+            else:
+                to_retrieve_specs.append(spec)
+
+        # Stage 1: curation fan-out.  Training needs every granule curated;
+        # with a cached classifier, only granules without a cached result do.
+        sw = Stopwatch().start()
+        needed = specs if classifier is None else to_retrieve_specs
+        needed_ids = {spec.granule_id for spec in needed}
+        curated: dict[str, CuratedGranule] = {}
+        pending: list[GranuleSpec] = []
+        for spec in specs:
+            key = f"{spec.granule_id}.curated"
+            if spec.granule_id in needed_ids:
+                cached = self._cache_load(key, hits, misses)
+                if cached is not None:
+                    curated[spec.granule_id] = cached
+                else:
+                    pending.append(spec)
+            elif self.cache is not None and self.cache.has(key):
+                # Present but not needed this run: count it without reading.
+                hits.append(key)
+        for item in self._fan_out(pending, _CurateTask()):
+            curated[item.granule_id] = item
+            self._cache_store(f"{item.granule_id}.curated", item)
+        timing.add("curation", sw.stop())
+
+        # Stage 2: one classifier on the pooled labelled segments
+        # (driver-side).  Granules are pooled in canonical expansion order;
+        # LSTM sequence windows are grouped per granule so no training
+        # sequence spans two unrelated scenes.
+        sw = Stopwatch().start()
+        if classifier is None:
+            base = self.config.base
+            pooled = [curated[spec.granule_id] for spec in specs]
+            pooled_segments = concatenate_segments(
+                [item.segments for item in pooled], beam_name="campaign"
+            )
+            pooled_labels = np.concatenate([item.labels for item in pooled])
+            # Compose per-beam group ids across granules: offset each
+            # granule's ids so every (granule, beam) track is distinct.
+            group_parts: list[np.ndarray] = []
+            offset = 0
+            for item in pooled:
+                group_parts.append(item.groups + offset)
+                offset += int(item.groups.max()) + 1 if item.groups.size else 0
+            groups = np.concatenate(group_parts)
+            classifier = train_classifier(
+                pooled_segments,
+                pooled_labels,
+                kind=base.model_kind,
+                lstm_config=base.lstm,
+                mlp_config=base.mlp,
+                training=base.training,
+                epochs=base.epochs,
+                rng=self.config.seed,
+                groups=groups,
+            )
+            training_seconds = sw.stop()
+            timing.add("training", training_seconds)
+            self._cache_store(
+                "classifier",
+                {"classifier": classifier, "training_seconds": training_seconds},
+            )
+        else:
+            # Cache hit: the measured fit time comes from the bundle so the
+            # scaling report is identical to the original run's.
+            timing.add("training", sw.stop())
+
+        # Stage 3: inference / freeboard / baseline fan-out.
+        sw = Stopwatch().start()
+        to_retrieve = [
+            (spec, curated[spec.granule_id]) for spec in to_retrieve_specs
+        ]
+        for item in self._fan_out(to_retrieve, _RetrieveTask(classifier)):
+            results[item.granule_id] = item
+            self._cache_store(f"{item.granule_id}.result", item)
+        timing.add("inference", sw.stop())
+
+        # Aggregate + simulated cluster scaling from serial-equivalent times.
+        sw = Stopwatch().start()
+        ordered = [results[spec.granule_id] for spec in specs]
+        metrics = aggregate_metrics([result.metrics for result in ordered])
+        scaling = campaign_scaling_table(
+            curation_serial_s=sum(result.curation_seconds for result in ordered),
+            training_s=training_seconds,
+            inference_serial_s=sum(result.seconds for result in ordered),
+            cost_model=self.cost_model,
+            cluster=self.cluster,
+        )
+        timing.add("aggregation", sw.stop())
+
+        return CampaignResult(
+            fingerprint=self.fingerprint,
+            granules=ordered,
+            classifier=classifier,
+            metrics=metrics,
+            timing=timing,
+            scaling=scaling,
+            cache_hits=tuple(hits),
+            cache_misses=tuple(misses),
+        )
+
+
+def run_campaign(config: CampaignConfig, **kwargs) -> CampaignResult:
+    """Convenience wrapper: ``CampaignRunner(config, **kwargs).run()``."""
+    return CampaignRunner(config, **kwargs).run()

@@ -30,7 +30,12 @@ from repro.ml.losses import class_balanced_alpha
 from repro.ml.metrics import ClassificationReport, classification_report
 from repro.ml.model import Sequential, TrainingHistory
 from repro.ml.models import build_lstm_classifier, build_mlp_classifier
-from repro.resampling.features import FEATURE_NAMES, feature_matrix, sequence_windows
+from repro.resampling.features import (
+    FEATURE_NAMES,
+    feature_matrix,
+    grouped_sequence_windows,
+    sequence_windows,
+)
 from repro.resampling.window import SegmentArray, resample_fixed_window
 from repro.utils.random import default_rng
 
@@ -57,11 +62,12 @@ def _prepare_features(
     kind: str,
     sequence_length: int,
     stats: tuple[np.ndarray, np.ndarray] | None = None,
+    groups: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, tuple[np.ndarray, np.ndarray]]:
     """Feature matrix (or sequence tensor) and filtered labels for training."""
-    X, used_stats = feature_matrix(segments, normalize=True, stats=stats)
+    X, used_stats = feature_matrix(segments, normalize=True, stats=stats, groups=groups)
     if kind == "lstm":
-        X = sequence_windows(X, sequence_length)
+        X = grouped_sequence_windows(X, sequence_length, groups)
     valid = labels >= 0
     return X[valid], labels[valid], used_stats
 
@@ -75,6 +81,7 @@ def train_classifier(
     training: TrainingConfig = DEFAULT_TRAINING,
     epochs: int | None = None,
     rng: np.random.Generator | int | None = None,
+    groups: np.ndarray | None = None,
 ) -> TrainedClassifier:
     """Train the LSTM or MLP classifier on labelled 2 m segments.
 
@@ -89,6 +96,11 @@ def train_classifier(
         ``"lstm"`` or ``"mlp"``.
     epochs:
         Override of ``training.epochs`` (useful for quick tests).
+    groups:
+        Optional per-segment group ids marking contiguous independent tracks
+        (e.g. the granules of a pooled campaign training set).  Along-track
+        change features and LSTM sequences are computed within groups, so
+        neither spans a boundary between unrelated tracks.
 
     Returns
     -------
@@ -104,7 +116,7 @@ def train_classifier(
     rng = default_rng(rng if rng is not None else training.seed)
 
     seq_len = lstm_config.sequence_length if kind == "lstm" else 1
-    X, y, stats = _prepare_features(segments, labels, kind, seq_len)
+    X, y, stats = _prepare_features(segments, labels, kind, seq_len, groups=groups)
     if X.shape[0] < 10:
         raise ValueError("not enough labelled segments to train a classifier")
 

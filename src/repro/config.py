@@ -199,6 +199,35 @@ class SeaSurfaceConfig:
             raise ValueError("min_open_water_segments must be >= 1")
 
 
+# ---------------------------------------------------------------------------
+# Campaign scenario presets
+# ---------------------------------------------------------------------------
+
+#: Season-like surface-composition presets used by the campaign scenario
+#: grid (:mod:`repro.campaign`).  Each maps to the class-fraction fields of
+#: :class:`repro.surface.scene.SceneConfig`; fractions sum to one.  The
+#: ``spring`` preset matches the seed defaults of the paper's November 2019
+#: Ross Sea setting; ``winter`` is consolidated pack ice with few leads;
+#: ``freeze_up`` is a young, lead-rich marginal ice zone.
+SEASON_PRESETS: dict[str, dict[str, float]] = {
+    "winter": {
+        "thick_ice_fraction": 0.86,
+        "thin_ice_fraction": 0.11,
+        "open_water_fraction": 0.03,
+    },
+    "spring": {
+        "thick_ice_fraction": 0.72,
+        "thin_ice_fraction": 0.18,
+        "open_water_fraction": 0.10,
+    },
+    "freeze_up": {
+        "thick_ice_fraction": 0.55,
+        "thin_ice_fraction": 0.28,
+        "open_water_fraction": 0.17,
+    },
+}
+
+
 DEFAULT_TRAINING = TrainingConfig()
 DEFAULT_LSTM = LSTMConfig()
 DEFAULT_MLP = MLPConfig()

@@ -31,7 +31,8 @@ from repro.utils.timing import Stopwatch, TimingRecord
 T = TypeVar("T")
 R = TypeVar("R")
 
-_EXECUTORS = ("serial", "thread", "process")
+#: Executor kinds supported by the engine (shared with the campaign layer).
+EXECUTORS = ("serial", "thread", "process")
 
 
 def partition_indices(n_items: int, n_partitions: int) -> list[np.ndarray]:
@@ -96,8 +97,8 @@ class MapReduceEngine:
     ) -> None:
         if n_partitions <= 0:
             raise ValueError("n_partitions must be positive")
-        if executor not in _EXECUTORS:
-            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.n_partitions = n_partitions

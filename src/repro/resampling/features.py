@@ -35,11 +35,39 @@ def _along_track_change(values: np.ndarray) -> np.ndarray:
     return change
 
 
-def extract_features(segments: SegmentArray, fill_value: float = 0.0) -> dict[str, np.ndarray]:
+def _group_slices(groups: np.ndarray | None, n: int) -> list[slice]:
+    """Contiguous-run slices of ``groups`` (the whole range when None)."""
+    if groups is None:
+        return [slice(0, n)]
+    groups = np.asarray(groups)
+    if groups.ndim != 1 or groups.shape[0] != n:
+        raise ValueError("groups must be one-dimensional with one entry per segment")
+    boundaries = np.concatenate(
+        ([0], np.flatnonzero(np.diff(groups) != 0) + 1, [n])
+    )
+    return [slice(int(a), int(b)) for a, b in zip(boundaries[:-1], boundaries[1:])]
+
+
+def _grouped_change(values: np.ndarray, groups: np.ndarray | None) -> np.ndarray:
+    """Along-track change computed independently within each group."""
+    change = np.empty_like(values, dtype=float)
+    for sl in _group_slices(groups, values.shape[0]):
+        change[sl] = _along_track_change(values[sl])
+    return change
+
+
+def extract_features(
+    segments: SegmentArray,
+    fill_value: float = 0.0,
+    groups: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
     """Compute the six per-segment features as a name -> array mapping.
 
     NaN statistics from empty segments are replaced by ``fill_value`` so the
     feature matrix is always finite (the models cannot ingest NaN).
+    ``groups`` marks contiguous independent tracks (e.g. pooled granules):
+    the along-track *change* features are differenced within each group only,
+    so no feature mixes two unrelated scenes across a pooling boundary.
     """
     height = np.nan_to_num(segments.height_mean_m, nan=fill_value)
     height_std = np.nan_to_num(segments.height_std_m, nan=fill_value)
@@ -51,9 +79,9 @@ def extract_features(segments: SegmentArray, fill_value: float = 0.0) -> dict[st
         "height_mean_m": height,
         "height_std_m": height_std,
         "n_high_conf": n_high_conf,
-        "photon_rate_change": _along_track_change(photon_rate),
+        "photon_rate_change": _grouped_change(photon_rate, groups),
         "background_rate_hz": background,
-        "background_rate_change": _along_track_change(background),
+        "background_rate_change": _grouped_change(background, groups),
     }
 
 
@@ -61,6 +89,7 @@ def feature_matrix(
     segments: SegmentArray,
     normalize: bool = True,
     stats: tuple[np.ndarray, np.ndarray] | None = None,
+    groups: np.ndarray | None = None,
 ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
     """Stack the features into an ``(n_segments, 6)`` matrix.
 
@@ -71,13 +100,16 @@ def feature_matrix(
     stats:
         Optional pre-computed ``(mean, std)`` to reuse for inference-time
         normalisation (so training and inference share the same scaling).
+    groups:
+        Optional contiguous track ids; change features never cross them
+        (see :func:`extract_features`).
 
     Returns
     -------
     (X, (mean, std)):
         The feature matrix and the normalisation statistics used.
     """
-    features = extract_features(segments)
+    features = extract_features(segments, groups=groups)
     X = np.column_stack([features[name] for name in FEATURE_NAMES]).astype(np.float64)
 
     if not normalize:
@@ -118,3 +150,25 @@ def sequence_windows(X: np.ndarray, sequence_length: int = 5) -> np.ndarray:
     # Sliding windows over the padded array, one per original segment.
     windows = np.lib.stride_tricks.sliding_window_view(padded, (sequence_length, X.shape[1]))
     return windows[:n, 0, :, :].copy()
+
+
+def grouped_sequence_windows(
+    X: np.ndarray, sequence_length: int = 5, groups: np.ndarray | None = None
+) -> np.ndarray:
+    """Sequence windows that never span group boundaries.
+
+    ``groups`` assigns each segment to a contiguous block (e.g. one granule
+    of a pooled campaign training set); :func:`sequence_windows` is applied
+    per block with edge padding, so no sequence mixes segments from two
+    different tracks.  With ``groups=None`` this is exactly
+    :func:`sequence_windows`.
+    """
+    if groups is None:
+        return sequence_windows(X, sequence_length)
+    X = np.asarray(X, dtype=float)
+    return np.concatenate(
+        [
+            sequence_windows(X[sl], sequence_length)
+            for sl in _group_slices(groups, X.shape[0])
+        ]
+    )

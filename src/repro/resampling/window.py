@@ -12,6 +12,7 @@ computed with ``np.add.reduceat``-style grouped reductions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -104,6 +105,50 @@ class SegmentArray:
             for name, value in self.__dict__.items()
             if isinstance(value, np.ndarray)
         }
+
+
+def concatenate_segments(
+    arrays: "Sequence[SegmentArray]", beam_name: str | None = None
+) -> SegmentArray:
+    """Concatenate several :class:`SegmentArray`\\ s into one.
+
+    Used to pool beams (and, in the campaign layer, whole granules) for
+    classifier training.  All inputs must have been resampled with the same
+    ``window_length_m`` — mixing resolutions would silently corrupt the
+    photon-rate and sequence features, so a mismatch raises ``ValueError``.
+
+    Parameters
+    ----------
+    arrays:
+        One or more segment arrays, concatenated in the given order.
+    beam_name:
+        Name of the combined array; defaults to the input names joined
+        with ``"+"``.
+    """
+    arrays = list(arrays)
+    if not arrays:
+        raise ValueError("need at least one SegmentArray to concatenate")
+    windows = {float(a.window_length_m) for a in arrays}
+    if len(windows) > 1:
+        per_beam = [(a.beam_name, float(a.window_length_m)) for a in arrays]
+        raise ValueError(
+            "cannot concatenate segments resampled with different window lengths "
+            f"{sorted(windows)} (per beam: {per_beam}); resample every beam with "
+            "the same window_length_m before combining"
+        )
+    name = beam_name if beam_name is not None else "+".join(a.beam_name for a in arrays)
+    if len(arrays) == 1:
+        single = arrays[0]
+        if name == single.beam_name:
+            return single
+        return SegmentArray(
+            beam_name=name, window_length_m=single.window_length_m, **single.as_dict()
+        )
+    fields = {
+        field_name: np.concatenate([a.as_dict()[field_name] for a in arrays])
+        for field_name in arrays[0].as_dict()
+    }
+    return SegmentArray(beam_name=name, window_length_m=arrays[0].window_length_m, **fields)
 
 
 def _grouped_reduce(values: np.ndarray, boundaries: np.ndarray, func: str) -> np.ndarray:

@@ -3,15 +3,19 @@
 from repro.workflow.end_to_end import (
     ExperimentConfig,
     ExperimentData,
+    InferenceProducts,
     PipelineOutputs,
     prepare_experiment_data,
     run_end_to_end,
+    run_inference_stage,
 )
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentData",
+    "InferenceProducts",
     "PipelineOutputs",
     "prepare_experiment_data",
     "run_end_to_end",
+    "run_inference_stage",
 ]

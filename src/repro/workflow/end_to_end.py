@@ -49,7 +49,7 @@ from repro.labeling.autolabel import AutoLabelResult, auto_label_segments
 from repro.labeling.manual import CorrectionReport, correct_labels
 from repro.products.atl07 import ATL07Product, generate_atl07
 from repro.products.atl10 import ATL10Product, generate_atl10
-from repro.resampling.window import SegmentArray, resample_fixed_window
+from repro.resampling.window import SegmentArray, concatenate_segments, resample_fixed_window
 from repro.sentinel2.scene import S2Image, S2SceneConfig, render_scene
 from repro.sentinel2.segmentation import SegmentationConfig, SegmentationResult, segment_image
 from repro.surface.scene import IceScene, SceneConfig, generate_scene
@@ -99,22 +99,36 @@ class ExperimentData:
         """Concatenate all beams' segments and labels for training.
 
         Beams are concatenated in sorted name order; along-track positions are
-        kept per-beam (training only uses features, not positions).
+        kept per-beam (training only uses features, not positions).  All beams
+        must have been resampled with the same ``window_length_m`` — a
+        mismatch raises ``ValueError`` instead of silently mixing resolutions.
         """
+        if set(self.labels) != set(self.segments):
+            raise ValueError(
+                "segments and labels must cover the same beams, got "
+                f"segments={sorted(self.segments)} labels={sorted(self.labels)}"
+            )
         names = sorted(self.segments)
         if len(names) == 1:
             return self.segments[names[0]], self.labels[names[0]]
-        arrays: dict[str, np.ndarray] = {}
-        first = self.segments[names[0]]
-        for field_name, value in first.as_dict().items():
-            arrays[field_name] = np.concatenate(
-                [self.segments[n].as_dict()[field_name] for n in names]
-            )
-        combined = SegmentArray(
-            beam_name="+".join(names), window_length_m=first.window_length_m, **arrays
-        )
+        combined = concatenate_segments([self.segments[n] for n in names])
         labels = np.concatenate([self.labels[n] for n in names])
         return combined, labels
+
+    def combined_training_arrays(self) -> tuple[SegmentArray, np.ndarray, np.ndarray]:
+        """Combined segments and labels plus per-beam group ids.
+
+        The group ids mark each beam as an independent contiguous track so
+        training can keep along-track change features and LSTM sequences from
+        crossing beam boundaries (see ``groups`` in
+        :func:`repro.classification.train_classifier`).
+        """
+        segments, labels = self.combined_segments_and_labels()
+        names = sorted(self.segments)
+        groups = np.repeat(
+            np.arange(len(names)), [self.segments[n].n_segments for n in names]
+        )
+        return segments, labels, groups
 
 
 @dataclass
@@ -187,12 +201,59 @@ def prepare_experiment_data(config: ExperimentConfig | None = None) -> Experimen
     )
 
 
+@dataclass
+class InferenceProducts:
+    """Stage 3+4 products of one granule: classification, freeboard, baselines."""
+
+    classified: dict[str, ClassifiedTrack]
+    freeboard: dict[str, FreeboardResult]
+    atl07: dict[str, ATL07Product]
+    atl10: dict[str, ATL10Product]
+
+
+def run_inference_stage(
+    data: ExperimentData,
+    classifier: TrainedClassifier,
+    config: ExperimentConfig,
+) -> InferenceProducts:
+    """Classify a curated granule and retrieve freeboard + ATL07/ATL10 baselines.
+
+    This is the fan-out half of the workflow: given stage-1 curated data and a
+    trained classifier (possibly shared across many granules — see
+    :mod:`repro.campaign`), it runs inference, sea-surface detection,
+    freeboard and the emulated operational baselines for every beam.
+    """
+    pipeline = InferencePipeline(classifier, window_length_m=config.window_length_m)
+    # The stage-1 segments were resampled with the same window/confidence
+    # parameters, so classify them directly instead of re-resampling photons.
+    classified = {
+        name: pipeline.classify_segments(segments)
+        for name, segments in data.segments.items()
+    }
+
+    freeboard: dict[str, FreeboardResult] = {}
+    atl07: dict[str, ATL07Product] = {}
+    atl10: dict[str, ATL10Product] = {}
+    for name, track in classified.items():
+        freeboard[name] = compute_freeboard(
+            track.segments,
+            track.labels,
+            method=config.sea_surface.method,
+            config=config.sea_surface,
+        )
+        atl07[name] = generate_atl07(data.granule.beam(name), sea_surface_config=config.sea_surface)
+        atl10[name] = generate_atl10(atl07[name])
+    return InferenceProducts(
+        classified=classified, freeboard=freeboard, atl07=atl07, atl10=atl10
+    )
+
+
 def run_end_to_end(config: ExperimentConfig | None = None) -> PipelineOutputs:
     """Run the full Fig. 1 workflow and return every intermediate product."""
     cfg = config if config is not None else ExperimentConfig()
     data = prepare_experiment_data(cfg)
 
-    segments, labels = data.combined_segments_and_labels()
+    segments, labels, groups = data.combined_training_arrays()
     classifier = train_classifier(
         segments,
         labels,
@@ -202,26 +263,15 @@ def run_end_to_end(config: ExperimentConfig | None = None) -> PipelineOutputs:
         training=cfg.training,
         epochs=cfg.epochs,
         rng=cfg.seed,
+        groups=groups,
     )
 
-    pipeline = InferencePipeline(classifier, window_length_m=cfg.window_length_m)
-    classified = pipeline.classify_granule(data.granule)
-
-    freeboard: dict[str, FreeboardResult] = {}
-    atl07: dict[str, ATL07Product] = {}
-    atl10: dict[str, ATL10Product] = {}
-    for name, track in classified.items():
-        freeboard[name] = compute_freeboard(
-            track.segments, track.labels, method=cfg.sea_surface.method, config=cfg.sea_surface
-        )
-        atl07[name] = generate_atl07(data.granule.beam(name), sea_surface_config=cfg.sea_surface)
-        atl10[name] = generate_atl10(atl07[name])
-
+    products = run_inference_stage(data, classifier, cfg)
     return PipelineOutputs(
         data=data,
         classifier=classifier,
-        classified=classified,
-        freeboard=freeboard,
-        atl07=atl07,
-        atl10=atl10,
+        classified=products.classified,
+        freeboard=products.freeboard,
+        atl07=products.atl07,
+        atl10=products.atl10,
     )

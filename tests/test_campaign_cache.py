@@ -1,0 +1,65 @@
+"""Unit tests for the on-disk campaign artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.cache import CampaignCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CampaignCache(tmp_path, "abc123")
+
+
+class TestCampaignCache:
+    def test_roundtrip(self, cache):
+        value = {"x": np.arange(5), "name": "g000"}
+        cache.store("g000.curated", value)
+        loaded = cache.load("g000.curated")
+        assert loaded["name"] == "g000"
+        np.testing.assert_array_equal(loaded["x"], np.arange(5))
+
+    def test_miss_returns_default(self, cache):
+        assert cache.load("nothing") is None
+        assert cache.load("nothing", default=42) == 42
+        assert not cache.has("nothing")
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.store("bad", [1, 2, 3])
+        cache.path("bad").write_bytes(b"not a pickle")
+        assert cache.load("bad", default="miss") == "miss"
+
+    def test_fingerprint_namespacing(self, tmp_path):
+        a = CampaignCache(tmp_path, "aaaa")
+        b = CampaignCache(tmp_path, "bbbb")
+        a.store("k", 1)
+        assert b.load("k") is None
+        assert a.load("k") == 1
+
+    def test_keys_sorted_and_no_temp_leftovers(self, cache):
+        cache.store("b", 2)
+        cache.store("a", 1)
+        assert cache.keys() == ["a", "b"]
+        leftovers = [p for p in cache.dir.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_clear(self, cache):
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.clear() == 2
+        assert cache.keys() == []
+        assert cache.load("a") is None
+
+    def test_invalid_keys_rejected(self, cache):
+        for key in ("", "a/b", ".hidden"):
+            with pytest.raises(ValueError, match="invalid cache key"):
+                cache.path(key)
+
+    def test_empty_fingerprint_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fingerprint"):
+            CampaignCache(tmp_path, "")
+
+    def test_overwrite_replaces_value(self, cache):
+        cache.store("k", "old")
+        cache.store("k", "new")
+        assert cache.load("k") == "new"

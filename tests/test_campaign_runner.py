@@ -1,0 +1,208 @@
+"""Integration tests for the campaign engine.
+
+Covers the acceptance criteria of the campaign layer:
+
+* a 3-granule campaign's pooled training is bit-for-bit identical between
+  serial (``n_workers=1``) and process-parallel (``n_workers=2``) execution;
+* a 6-granule campaign over a 2x3 scenario grid runs end to end with two
+  workers and produces aggregated metrics;
+* a second run with the same config resumes entirely from the on-disk cache,
+  and a partially deleted cache re-runs only the missing granules.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignRunner
+from repro.config import N_CLASSES
+from repro.surface.scene import SceneConfig
+from repro.workflow.end_to_end import ExperimentConfig
+
+#: Small, fast base experiment shared by every campaign test.
+BASE = ExperimentConfig(
+    scene=SceneConfig(
+        width_m=6_000.0,
+        height_m=6_000.0,
+        open_water_fraction=0.12,
+        thin_ice_fraction=0.18,
+        thick_ice_fraction=0.70,
+        n_leads=8,
+    ),
+    epochs=2,
+    model_kind="mlp",
+    drift_m=(120.0, 180.0),
+)
+
+PARITY_GRID = {"cloud_fraction": (0.1, 0.3, 0.5)}
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    config = CampaignConfig(base=BASE, grid=PARITY_GRID, seed=11, n_workers=1)
+    return CampaignRunner(config).run()
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    config = CampaignConfig(
+        base=BASE, grid=PARITY_GRID, seed=11, n_workers=2, executor="process"
+    )
+    return CampaignRunner(config).run()
+
+
+class TestSerialParallelParity:
+    def test_pooled_classifier_is_bit_for_bit_identical(self, serial_result, parallel_result):
+        serial_weights = serial_result.classifier.model.get_weights()
+        parallel_weights = parallel_result.classifier.model.get_weights()
+        assert len(serial_weights) == len(parallel_weights)
+        for sw, pw in zip(serial_weights, parallel_weights):
+            np.testing.assert_array_equal(sw, pw)
+        assert serial_result.classifier.accuracy == parallel_result.classifier.accuracy
+
+    def test_products_identical_per_granule(self, serial_result, parallel_result):
+        assert [g.granule_id for g in serial_result.granules] == [
+            g.granule_id for g in parallel_result.granules
+        ]
+        for s, p in zip(serial_result.granules, parallel_result.granules):
+            for beam in s.products.classified:
+                np.testing.assert_array_equal(
+                    s.products.classified[beam].labels,
+                    p.products.classified[beam].labels,
+                )
+                np.testing.assert_array_equal(
+                    s.products.freeboard[beam].freeboard_m,
+                    p.products.freeboard[beam].freeboard_m,
+                )
+
+    def test_aggregate_metrics_identical(self, serial_result, parallel_result):
+        np.testing.assert_array_equal(
+            serial_result.metrics.confusion, parallel_result.metrics.confusion
+        )
+        assert serial_result.metrics.accuracy == parallel_result.metrics.accuracy
+        assert (
+            serial_result.metrics.mean_freeboard_m
+            == parallel_result.metrics.mean_freeboard_m
+        )
+
+    def test_fingerprints_match_despite_different_workers(
+        self, serial_result, parallel_result
+    ):
+        assert serial_result.fingerprint == parallel_result.fingerprint
+
+    def test_no_cache_means_no_cache_bookkeeping(self, serial_result, parallel_result):
+        for result in (serial_result, parallel_result):
+            assert result.cache_hits == ()
+            assert result.cache_misses == ()
+
+
+# -- 6-granule acceptance campaign (2x3 grid, 2 workers, cached) --------------
+
+ACCEPTANCE_GRID = {
+    "season": ("winter", "freeze_up"),
+    "cloud_fraction": (0.1, 0.25, 0.4),
+}
+
+
+@pytest.fixture(scope="module")
+def acceptance_config(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("campaign-cache")
+    return CampaignConfig(
+        base=BASE,
+        grid=ACCEPTANCE_GRID,
+        seed=5,
+        n_workers=2,
+        executor="process",
+        cache_dir=str(cache_dir),
+    )
+
+
+@pytest.fixture(scope="module")
+def first_run(acceptance_config):
+    return CampaignRunner(acceptance_config).run()
+
+
+class TestSixGranuleCampaign:
+    def test_runs_end_to_end_with_aggregated_metrics(self, first_run):
+        assert first_run.n_granules == 6
+        metrics = first_run.metrics
+        assert metrics.n_granules == 6
+        assert metrics.n_segments == sum(g.metrics.n_segments for g in first_run.granules)
+        assert metrics.confusion.shape == (N_CLASSES, N_CLASSES)
+        assert metrics.confusion.sum() > 0
+        assert 0.0 <= metrics.accuracy <= 1.0
+        assert metrics.n_ice_segments > 0
+        assert metrics.mean_freeboard_m > 0.0
+
+    def test_every_granule_has_products_and_scenario(self, first_run):
+        seasons = set()
+        for granule in first_run.granules:
+            assert granule.products.classified
+            assert set(granule.products.freeboard) == set(granule.products.classified)
+            assert set(granule.products.atl07) == set(granule.products.classified)
+            assert set(granule.products.atl10) == set(granule.products.classified)
+            assert set(granule.scenario) == {"season", "cloud_fraction"}
+            seasons.add(granule.scenario["season"])
+        assert seasons == {"winter", "freeze_up"}
+
+    def test_granule_seeds_are_distinct(self, first_run):
+        seeds = [granule.seed for granule in first_run.granules]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_scaling_report_covers_cluster_grid(self, first_run):
+        rows = first_run.scaling
+        assert len(rows) == 9  # 3 executor values x 3 core values
+        assert rows[0].speedup == pytest.approx(1.0)
+        best = rows[-1]
+        assert best.executors == 4 and best.cores == 4
+        assert best.speedup > 1.0
+        assert best.total_s < rows[0].total_s
+
+    def test_first_run_populates_cache(self, acceptance_config, first_run):
+        assert first_run.cache_hits == ()
+        assert len(first_run.cache_misses) == 13  # 6 curated + classifier + 6 results
+        runner = CampaignRunner(acceptance_config)
+        assert runner.cache is not None
+        assert len(runner.cache.keys()) == 13
+
+    def test_second_run_resumes_entirely_from_cache(self, acceptance_config, first_run):
+        second = CampaignRunner(acceptance_config).run()
+        assert second.cache_misses == ()
+        assert sorted(second.cache_hits) == sorted(first_run.cache_misses)
+        # Resumed results are the cached artifacts: identical outputs.
+        for a, b in zip(first_run.granules, second.granules):
+            assert a.granule_id == b.granule_id
+            for beam in a.products.freeboard:
+                np.testing.assert_array_equal(
+                    a.products.freeboard[beam].freeboard_m,
+                    b.products.freeboard[beam].freeboard_m,
+                )
+        for fw, sw in zip(
+            first_run.classifier.model.get_weights(), second.classifier.model.get_weights()
+        ):
+            np.testing.assert_array_equal(fw, sw)
+        np.testing.assert_array_equal(first_run.metrics.confusion, second.metrics.confusion)
+        # The scaling report is rebuilt from cached stage times, so the
+        # resumed run regenerates the original table exactly.
+        assert second.scaling == first_run.scaling
+
+    def test_partial_cache_reruns_only_missing_granules(self, acceptance_config, first_run):
+        runner = CampaignRunner(acceptance_config)
+        target = first_run.granules[2].granule_id
+        runner.cache.path(f"{target}.curated").unlink()
+        runner.cache.path(f"{target}.result").unlink()
+
+        third = runner.run()
+        assert sorted(third.cache_misses) == sorted(
+            [f"{target}.curated", f"{target}.result"]
+        )
+        # The re-curated granule reproduces the original products exactly
+        # (same derived seed, same cached shared classifier).
+        original = first_run.granule(target)
+        recomputed = third.granule(target)
+        for beam in original.products.freeboard:
+            np.testing.assert_array_equal(
+                original.products.freeboard[beam].freeboard_m,
+                recomputed.products.freeboard[beam].freeboard_m,
+            )

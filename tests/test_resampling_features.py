@@ -7,6 +7,7 @@ from repro.resampling.features import (
     FEATURE_NAMES,
     extract_features,
     feature_matrix,
+    grouped_sequence_windows,
     sequence_windows,
 )
 
@@ -85,3 +86,50 @@ class TestSequenceWindows:
             sequence_windows(X, sequence_length=-1)
         with pytest.raises(ValueError):
             sequence_windows(np.zeros(4), sequence_length=3)
+
+
+class TestGroupedSequenceWindows:
+    def test_no_groups_is_plain_sequence_windows(self):
+        X = np.arange(12, dtype=float).reshape(6, 2)
+        np.testing.assert_array_equal(
+            grouped_sequence_windows(X, 3, None), sequence_windows(X, 3)
+        )
+
+    def test_windows_never_cross_group_boundaries(self):
+        X = np.arange(20, dtype=float).reshape(10, 2)
+        groups = np.array([0, 0, 0, 0, 1, 1, 1, 1, 1, 1])
+        result = grouped_sequence_windows(X, 3, groups)
+        np.testing.assert_array_equal(result[:4], sequence_windows(X[:4], 3))
+        np.testing.assert_array_equal(result[4:], sequence_windows(X[4:], 3))
+        # The last window of group 0 is edge-padded from its own group, not
+        # from the first segment of group 1.
+        np.testing.assert_array_equal(result[3, 2], X[3])
+
+    def test_group_length_must_match(self):
+        with pytest.raises(ValueError, match="one entry per segment"):
+            grouped_sequence_windows(np.zeros((4, 2)), 3, np.array([0, 0, 1]))
+
+
+class TestGroupedFeatures:
+    def test_pooled_features_with_groups_match_per_track_features(self, segments):
+        # Pooling two copies of a track with group ids must yield exactly the
+        # per-track features stacked — i.e. the along-track change features
+        # do not leak across the pooling boundary.
+        from repro.resampling.window import concatenate_segments
+
+        pooled = concatenate_segments([segments, segments])
+        n = segments.n_segments
+        groups = np.repeat([0, 1], n)
+        X_pooled, _ = feature_matrix(pooled, normalize=False, groups=groups)
+        X_single, _ = feature_matrix(segments, normalize=False)
+        np.testing.assert_array_equal(X_pooled, np.vstack([X_single, X_single]))
+
+    def test_without_groups_boundary_features_leak(self, segments):
+        # Sanity check of the test above: omitting groups does mix the
+        # boundary, which is exactly what grouped extraction prevents.
+        from repro.resampling.window import concatenate_segments
+
+        pooled = concatenate_segments([segments, segments])
+        X_pooled, _ = feature_matrix(pooled, normalize=False)
+        X_single, _ = feature_matrix(segments, normalize=False)
+        assert not np.array_equal(X_pooled, np.vstack([X_single, X_single]))

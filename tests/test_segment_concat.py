@@ -1,0 +1,129 @@
+"""Tests for SegmentArray concatenation and its window-length validation."""
+
+import numpy as np
+import pytest
+
+from repro.resampling.window import SegmentArray, concatenate_segments
+from repro.workflow.end_to_end import ExperimentData
+
+
+def make_segments(n: int, beam_name: str = "beam", window_length_m: float = 2.0) -> SegmentArray:
+    arange = np.arange(n, dtype=float)
+    return SegmentArray(
+        beam_name=beam_name,
+        window_length_m=window_length_m,
+        center_along_track_m=arange * window_length_m + window_length_m / 2,
+        start_along_track_m=arange * window_length_m,
+        lat_deg=np.full(n, -72.0),
+        lon_deg=np.full(n, -160.0),
+        x_m=arange,
+        y_m=arange,
+        height_mean_m=np.full(n, 0.3),
+        height_median_m=np.full(n, 0.3),
+        height_std_m=np.full(n, 0.05),
+        height_min_m=np.full(n, 0.1),
+        height_max_m=np.full(n, 0.5),
+        n_photons=np.full(n, 4, dtype=np.int64),
+        n_high_conf=np.full(n, 2, dtype=np.int64),
+        photon_rate=np.full(n, 1.4),
+        background_rate_hz=np.full(n, 1e5),
+        delta_time_s=arange,
+        truth_class=np.zeros(n, dtype=np.int8),
+    )
+
+
+class TestConcatenateSegments:
+    def test_concatenates_in_order(self):
+        a = make_segments(3, "gt1l")
+        b = make_segments(5, "gt2l")
+        combined = concatenate_segments([a, b])
+        assert combined.n_segments == 8
+        assert combined.beam_name == "gt1l+gt2l"
+        assert combined.window_length_m == 2.0
+        np.testing.assert_array_equal(
+            combined.x_m, np.concatenate([a.x_m, b.x_m])
+        )
+
+    def test_explicit_name(self):
+        combined = concatenate_segments(
+            [make_segments(2, "gt1l"), make_segments(2, "gt2l")], beam_name="pooled"
+        )
+        assert combined.beam_name == "pooled"
+
+    def test_single_array_passthrough(self):
+        a = make_segments(4, "gt1l")
+        assert concatenate_segments([a]) is a
+
+    def test_single_array_rename(self):
+        a = make_segments(4, "gt1l")
+        renamed = concatenate_segments([a], beam_name="other")
+        assert renamed.beam_name == "other"
+        assert renamed.n_segments == 4
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            concatenate_segments([])
+
+    def test_mismatched_window_length_raises(self):
+        a = make_segments(3, "gt1l", window_length_m=2.0)
+        b = make_segments(3, "gt2l", window_length_m=4.0)
+        with pytest.raises(ValueError, match="different window lengths"):
+            concatenate_segments([a, b])
+
+
+def _experiment_data(segments, labels) -> ExperimentData:
+    # Only the segments/labels mappings are exercised by
+    # combined_segments_and_labels; the curation products are not needed.
+    return ExperimentData(
+        scene=None,
+        granule=None,
+        image=None,
+        segmentation=None,
+        drift=None,
+        segments=segments,
+        auto_labels={},
+        labels=labels,
+        correction_reports={},
+    )
+
+
+class TestCombinedSegmentsAndLabels:
+    def test_mismatched_beam_window_lengths_raise(self):
+        data = _experiment_data(
+            {"gt1l": make_segments(3, "gt1l", 2.0), "gt2l": make_segments(3, "gt2l", 4.0)},
+            {"gt1l": np.zeros(3, dtype=np.int8), "gt2l": np.zeros(3, dtype=np.int8)},
+        )
+        with pytest.raises(ValueError, match="different window lengths"):
+            data.combined_segments_and_labels()
+
+    def test_mismatched_beam_sets_raise(self):
+        data = _experiment_data(
+            {"gt1l": make_segments(3, "gt1l")},
+            {"gt2l": np.zeros(3, dtype=np.int8)},
+        )
+        with pytest.raises(ValueError, match="same beams"):
+            data.combined_segments_and_labels()
+
+    def test_combines_sorted_beams(self):
+        data = _experiment_data(
+            {"gt2l": make_segments(2, "gt2l"), "gt1l": make_segments(3, "gt1l")},
+            {
+                "gt2l": np.ones(2, dtype=np.int8),
+                "gt1l": np.zeros(3, dtype=np.int8),
+            },
+        )
+        segments, labels = data.combined_segments_and_labels()
+        assert segments.n_segments == 5
+        np.testing.assert_array_equal(labels, [0, 0, 0, 1, 1])
+
+    def test_training_arrays_carry_per_beam_groups(self):
+        data = _experiment_data(
+            {"gt1l": make_segments(3, "gt1l"), "gt2l": make_segments(2, "gt2l")},
+            {
+                "gt1l": np.zeros(3, dtype=np.int8),
+                "gt2l": np.ones(2, dtype=np.int8),
+            },
+        )
+        segments, labels, groups = data.combined_training_arrays()
+        assert segments.n_segments == 5
+        np.testing.assert_array_equal(groups, [0, 0, 0, 1, 1])
