@@ -1,0 +1,158 @@
+"""Reference-vs-vectorized timings for the ``repro.kernels`` hot paths.
+
+Three kernel pairs are timed on deterministic, ATL03-representative inputs:
+
+* **windowed sea-surface estimation** — a 400 km track whose open-water
+  candidates cluster into discrete leads (contiguous 2 m segments), the way
+  sea ice actually fractures; 10 km windows sliding by 5 km, NASA method;
+* **confidence binning** — 400 k photons in along-track order at ~4
+  photons/m over 100 km (20 m bins, ±15 m telemetry band);
+* **LSTM forward/backward** — a pooled campaign minibatch of 8 k sequences
+  of five 2 m segments with six features, 16 units.
+
+Each pair is asserted equivalent (1e-10) before it is timed, so a benchmark
+run doubles as an integration check.  ``benchmarks/check_regression.py``
+turns the emitted ``--benchmark-json`` file into per-kernel speedups and
+compares them against the committed baselines in
+``benchmarks/results/kernel_baselines.json`` (machine-independent: ratios,
+not absolute times).
+
+Run:  python -m pytest benchmarks/bench_kernels.py --benchmark-json=bench.json
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.kernels import confidence as kconf
+from repro.kernels import lstm as klstm
+from repro.kernels import sea_surface as ksea
+
+ROUNDS = dict(rounds=7, iterations=1, warmup_rounds=2)
+
+
+def assert_equivalent(ref, vec, atol=1e-10):
+    for r, v in zip(ref, vec):
+        assert np.allclose(r, v, atol=atol, rtol=0.0, equal_nan=True)
+
+
+# ---------------------------------------------------------------------------
+# Windowed sea-surface estimation (NASA method, clustered leads)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sea_surface_scene():
+    rng = np.random.default_rng(7)
+    track_m = 400_000.0
+    alongs = []
+    pos = rng.uniform(0.0, 1_200.0)
+    while pos < track_m:
+        width = rng.uniform(20.0, 250.0)
+        n = max(int(width / 2.0), 1)
+        alongs.append(pos + np.arange(n) * 2.0 + rng.normal(0.0, 0.2, n))
+        pos += width + rng.exponential(1_200.0)
+    along = np.sort(np.concatenate(alongs))
+    height = rng.normal(0.05, 0.03, along.size)
+    error = np.clip(rng.uniform(0.02, 0.1, along.size), 0.02, None)
+    step, length = 5_000.0, 10_000.0
+    start = float(along.min())
+    n_windows = max(int(np.ceil((float(along.max()) - start) / step)), 1)
+    starts = start + np.arange(n_windows) * step
+    stops = starts + length
+    centers = 0.5 * (starts + stops)
+    args = (along, height, error, starts, stops, centers, "nasa", 3)
+    assert_equivalent(
+        ksea.window_estimates_reference(*args), ksea.window_estimates_vectorized(*args)
+    )
+    return args
+
+
+def test_sea_surface_nasa_reference(benchmark, sea_surface_scene):
+    benchmark.pedantic(ksea.window_estimates_reference, args=sea_surface_scene, **ROUNDS)
+
+
+def test_sea_surface_nasa_vectorized(benchmark, sea_surface_scene):
+    benchmark.pedantic(ksea.window_estimates_vectorized, args=sea_surface_scene, **ROUNDS)
+
+
+# ---------------------------------------------------------------------------
+# ATL03 confidence binning
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def photon_cloud():
+    rng = np.random.default_rng(11)
+    n = 400_000
+    track_m = 100_000.0
+    along = np.sort(rng.uniform(0.0, track_m, n))
+    surface = rng.random(n) < 0.75
+    height = np.where(
+        surface, rng.normal(0.0, 0.2, n), rng.uniform(-15.0, 15.0, n)
+    )
+    n_bins = int(np.ceil((float(along.max()) - float(along.min())) / 20.0))
+    bin_edges = float(along.min()) + np.arange(n_bins + 1) * 20.0
+    args = (along, height, bin_edges, 0.25)
+    ref = kconf.modal_height_per_bin_reference(*args)
+    vec = kconf.modal_height_per_bin_vectorized(*args)
+    assert_equivalent((ref,), (vec,))
+    return args
+
+
+def test_confidence_binning_reference(benchmark, photon_cloud):
+    benchmark.pedantic(kconf.modal_height_per_bin_reference, args=photon_cloud, **ROUNDS)
+
+
+def test_confidence_binning_vectorized(benchmark, photon_cloud):
+    benchmark.pedantic(kconf.modal_height_per_bin_vectorized, args=photon_cloud, **ROUNDS)
+
+
+# ---------------------------------------------------------------------------
+# LSTM forward / backward over a pooled minibatch
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def lstm_batch():
+    rng = np.random.default_rng(3)
+    batch, T, n_in, units = 8_000, 5, 6, 16
+    x = rng.normal(size=(batch, T, n_in))
+    W = rng.normal(size=(n_in, 4 * units)) * 0.3
+    U = rng.normal(size=(units, 4 * units)) * 0.3
+    b = rng.normal(size=4 * units) * 0.1
+    dh_seq = rng.normal(size=(batch, T, units))
+    fwd_args = (x, W, U, b, "elu")
+    ref = klstm.lstm_forward_reference(*fwd_args)
+    vec = klstm.lstm_forward_vectorized(*fwd_args)
+    assert_equivalent(ref, vec)
+    bwd_args = (dh_seq, x, *ref, W, U, "elu")
+    assert_equivalent(
+        klstm.lstm_backward_reference(*bwd_args),
+        klstm.lstm_backward_vectorized(*bwd_args),
+    )
+    return fwd_args, bwd_args
+
+
+def test_lstm_forward_reference(benchmark, lstm_batch):
+    benchmark.pedantic(klstm.lstm_forward_reference, args=lstm_batch[0], **ROUNDS)
+
+
+def test_lstm_forward_vectorized(benchmark, lstm_batch):
+    benchmark.pedantic(klstm.lstm_forward_vectorized, args=lstm_batch[0], **ROUNDS)
+
+
+def test_lstm_backward_reference(benchmark, lstm_batch):
+    benchmark.pedantic(klstm.lstm_backward_reference, args=lstm_batch[1], **ROUNDS)
+
+
+def test_lstm_backward_vectorized(benchmark, lstm_batch):
+    benchmark.pedantic(klstm.lstm_backward_vectorized, args=lstm_batch[1], **ROUNDS)

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Kernel perf-regression gate for CI.
+
+Reads a pytest-benchmark ``--benchmark-json`` file produced by
+``benchmarks/bench_kernels.py``, pairs each ``*_reference`` benchmark with
+its ``*_vectorized`` counterpart, and computes the vectorized speedup as the
+ratio of the per-round *minimum* times (the least noisy statistic on shared
+CI runners).  The speedups — not the absolute times — are compared against
+the committed baselines in ``benchmarks/results/kernel_baselines.json``, so
+the gate is independent of how fast the CI machine happens to be.
+
+The check fails when a kernel's measured speedup
+
+* regresses by more than ``--tolerance`` (default 25 %) relative to its
+  committed baseline — for kernels whose baseline speedup is large enough
+  for a ratio to be stable (>= 2x); near-parity kernels (the LSTM pairs)
+  instead only fail below ``NEAR_PARITY_FLOOR``, because run-to-run BLAS
+  and scheduling noise on a ~1x ratio easily exceeds any tight tolerance —
+  or
+* falls below the kernel's hard floor (the acceptance criterion: >= 3x for
+  the windowed sea-surface and confidence-binning paths).
+
+Usage::
+
+    python -m pytest benchmarks/bench_kernels.py --benchmark-json=bench.json
+    python benchmarks/check_regression.py bench.json
+    python benchmarks/check_regression.py bench.json --update   # refresh baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "results" / "kernel_baselines.json"
+
+#: Hard speedup floors per kernel (acceptance criteria); pairs without an
+#: entry only have to stay within tolerance of their committed baseline.
+SPEEDUP_FLOORS = {
+    "sea_surface_nasa": 3.0,
+    "confidence_binning": 3.0,
+}
+
+#: Baselines below this speedup are treated as near-parity: the relative
+#: tolerance check is replaced by an absolute floor, because noise on a ~1x
+#: ratio dwarfs any tight percentage.
+NEAR_PARITY_BASELINE = 2.0
+NEAR_PARITY_FLOOR = 0.5
+
+REFERENCE_SUFFIX = "_reference"
+VECTORIZED_SUFFIX = "_vectorized"
+
+
+def load_speedups(benchmark_json: Path) -> dict[str, dict[str, float]]:
+    """Pair reference/vectorized benchmarks into per-kernel speedups."""
+    data = json.loads(benchmark_json.read_text())
+    minima: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench["name"]
+        if name.startswith("test_"):
+            name = name[len("test_") :]
+        # The per-round minimum is the least noisy statistic on shared CI
+        # runners; ratios of minima are what the baselines store.
+        minima[name] = float(bench["stats"]["min"])
+
+    speedups: dict[str, dict[str, float]] = {}
+    for name, ref_min in sorted(minima.items()):
+        if not name.endswith(REFERENCE_SUFFIX):
+            continue
+        kernel = name[: -len(REFERENCE_SUFFIX)]
+        vec_min = minima.get(kernel + VECTORIZED_SUFFIX)
+        if vec_min is None or vec_min <= 0:
+            continue
+        speedups[kernel] = {
+            "reference_s": ref_min,
+            "vectorized_s": vec_min,
+            "speedup": ref_min / vec_min,
+        }
+    return speedups
+
+
+def check(
+    speedups: dict[str, dict[str, float]],
+    baselines: dict[str, dict[str, float]],
+    tolerance: float,
+) -> list[str]:
+    failures: list[str] = []
+    for kernel, row in speedups.items():
+        measured = row["speedup"]
+        floor = SPEEDUP_FLOORS.get(kernel)
+        if floor is not None and measured < floor:
+            failures.append(
+                f"{kernel}: speedup {measured:.2f}x below the {floor:.1f}x acceptance floor"
+            )
+        base = baselines.get(kernel, {}).get("speedup")
+        if base is None:
+            continue
+        if base < NEAR_PARITY_BASELINE:
+            if measured < NEAR_PARITY_FLOOR:
+                failures.append(
+                    f"{kernel}: near-parity speedup {measured:.2f}x fell below "
+                    f"the {NEAR_PARITY_FLOOR:.1f}x noise floor"
+                )
+        elif measured < base * (1.0 - tolerance):
+            failures.append(
+                f"{kernel}: speedup {measured:.2f}x regressed more than "
+                f"{tolerance:.0%} from baseline {base:.2f}x"
+            )
+    missing = sorted(set(baselines) - set(speedups))
+    for kernel in missing:
+        failures.append(f"{kernel}: present in baselines but not in this run")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark_json", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline file from this run instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    speedups = load_speedups(args.benchmark_json)
+    if not speedups:
+        print("no reference/vectorized benchmark pairs found", file=sys.stderr)
+        return 2
+
+    width = max(len(k) for k in speedups)
+    print(f"{'kernel':<{width}}  {'reference':>11}  {'vectorized':>11}  {'speedup':>8}")
+    for kernel, row in speedups.items():
+        print(
+            f"{kernel:<{width}}  {row['reference_s'] * 1e3:9.2f}ms  "
+            f"{row['vectorized_s'] * 1e3:9.2f}ms  {row['speedup']:7.2f}x"
+        )
+
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(speedups, indent=2, sort_keys=True) + "\n")
+        print(f"baselines written to {args.baseline}")
+        return 0
+
+    baselines = {}
+    if args.baseline.exists():
+        baselines = json.loads(args.baseline.read_text())
+    failures = check(speedups, baselines, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("kernel speedups within tolerance of committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

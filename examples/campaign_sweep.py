@@ -11,9 +11,13 @@ The campaign is then run a second time with the same configuration to
 demonstrate the fingerprint-keyed on-disk cache: every artifact is reused and
 the re-run completes in a fraction of the original time.
 
-Run:  python examples/campaign_sweep.py
+Run:  python examples/campaign_sweep.py [--quick]
+
+``--quick`` shrinks the sweep to a 1x2 grid with smaller scenes and fewer
+epochs — the CI smoke configuration.
 """
 
+import argparse
 import shutil
 import tempfile
 import time
@@ -24,25 +28,39 @@ from repro.workflow.end_to_end import ExperimentConfig
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small 2-granule sweep (used by the CI smoke step)",
+    )
+    args = parser.parse_args()
+
+    scene_m = 5_000.0 if args.quick else 8_000.0
     base = ExperimentConfig(
         scene=SceneConfig(
-            width_m=8_000.0,
-            height_m=8_000.0,
+            width_m=scene_m,
+            height_m=scene_m,
             open_water_fraction=0.12,
             thin_ice_fraction=0.18,
             thick_ice_fraction=0.70,
             n_leads=8,
         ),
-        epochs=4,
+        epochs=2 if args.quick else 4,
         model_kind="mlp",  # the MLP keeps this demo fast; use "lstm" for the paper's model
+    )
+    grid = (
+        {"cloud_fraction": (0.1, 0.4)}
+        if args.quick
+        else {
+            "season": ("winter", "freeze_up"),
+            "cloud_fraction": (0.1, 0.3, 0.5),
+        }
     )
     cache_dir = tempfile.mkdtemp(prefix="repro-campaign-")
     config = CampaignConfig(
         base=base,
-        grid={
-            "season": ("winter", "freeze_up"),
-            "cloud_fraction": (0.1, 0.3, 0.5),
-        },
+        grid=grid,
         seed=0,
         n_workers=2,
         cache_dir=cache_dir,

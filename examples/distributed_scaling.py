@@ -16,7 +16,6 @@ Run:  python examples/distributed_scaling.py
 
 import numpy as np
 
-from repro.distributed.allreduce import ring_allreduce_average
 from repro.distributed.ddp import DistributedTrainer
 from repro.distributed.mapreduce import MapReduceEngine
 from repro.evaluation.report import format_table

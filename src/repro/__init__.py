@@ -21,7 +21,10 @@ provides:
   (:mod:`repro.workflow`, :mod:`repro.evaluation`);
 * multi-granule campaigns: scenario grids run in parallel through the whole
   pipeline with one shared classifier and a resumable on-disk cache
-  (:mod:`repro.campaign`).
+  (:mod:`repro.campaign`);
+* vectorized hot-path kernels — windowed sea-surface estimation, ATL03
+  confidence binning, LSTM time-stepping — with a reference/vectorized
+  dispatch switch and equivalence-tested backends (:mod:`repro.kernels`).
 
 Quick start::
 
@@ -31,7 +34,7 @@ Quick start::
     print(outputs.classifier.report.as_row("LSTM"))
 """
 
-from repro import config
+from repro import config, kernels
 from repro.config import (
     CLASS_NAMES,
     CLASS_OPEN_WATER,
@@ -45,6 +48,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "config",
+    "kernels",
     "CLASS_NAMES",
     "CLASS_OPEN_WATER",
     "CLASS_THICK_ICE",

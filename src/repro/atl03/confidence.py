@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import confidence as _kernels
 from repro.utils.validation import ensure_1d, ensure_same_length
 
 #: Confidence grades used by the pipeline (subset of ATL03's 0..4 scale).
@@ -31,35 +32,27 @@ def _modal_height_per_bin(
     """Modal photon height for each along-track bin.
 
     Heights are histogrammed at ``height_resolution_m`` inside each bin and
-    the centre of the most populated height cell is returned.  Bins with no
-    photons get NaN.
+    the centre of the most populated height cell (the first such cell on
+    ties) is returned.  Degenerate bins are handled explicitly, in this
+    order:
+
+    * photons with non-finite heights are excluded from surface finding, so
+      a NaN photon can never poison a bin's histogram range;
+    * bins with no (finite) photons get NaN;
+    * a bin with a single photon returns that photon's height directly and
+      never reaches ``np.histogram`` (whose range would be zero-width);
+    * a bin whose total height span is below ``height_resolution_m`` returns
+      the median height — histogramming below the resolution cannot separate
+      a mode.
+
+    The heavy lifting is delegated to :mod:`repro.kernels.confidence`: one
+    ``np.bincount`` over composite ``(bin, height-cell)`` keys under the
+    default vectorized backend, or the original per-bin ``np.histogram``
+    loop under the reference backend.
     """
-    n_bins = bin_edges.shape[0] - 1
-    modal = np.full(n_bins, np.nan)
-    bin_idx = np.searchsorted(bin_edges, along_track_m, side="right") - 1
-    valid = (bin_idx >= 0) & (bin_idx < n_bins)
-    if not valid.any():
-        return modal
-    bin_idx = bin_idx[valid]
-    heights = height_m[valid]
-    order = np.argsort(bin_idx, kind="stable")
-    bin_idx = bin_idx[order]
-    heights = heights[order]
-    boundaries = np.searchsorted(bin_idx, np.arange(n_bins + 1))
-    for b in range(n_bins):
-        lo, hi = boundaries[b], boundaries[b + 1]
-        if hi <= lo:
-            continue
-        h = heights[lo:hi]
-        h_min, h_max = h.min(), h.max()
-        if h_max - h_min < height_resolution_m:
-            modal[b] = float(np.median(h))
-            continue
-        n_cells = max(int(np.ceil((h_max - h_min) / height_resolution_m)), 1)
-        counts, edges = np.histogram(h, bins=n_cells)
-        peak = int(np.argmax(counts))
-        modal[b] = 0.5 * (edges[peak] + edges[peak + 1])
-    return modal
+    return _kernels.modal_height_per_bin(
+        along_track_m, height_m, bin_edges, height_resolution_m
+    )
 
 
 def classify_confidence(
@@ -108,8 +101,12 @@ def classify_confidence(
         np.searchsorted(bin_edges, along, side="right") - 1, 0, n_bins - 1
     )
     local_mode = modal[bin_idx]
-    # Bins that somehow have no modal height fall back to the global median.
-    local_mode = np.where(np.isnan(local_mode), np.median(height), local_mode)
+    # Bins that somehow have no modal height fall back to the global median
+    # of the finite heights (photons with non-finite heights are excluded
+    # from surface finding and always grade as noise).
+    finite = np.isfinite(height)
+    global_median = np.median(height[finite]) if finite.any() else np.nan
+    local_mode = np.where(np.isnan(local_mode), global_median, local_mode)
 
     dist = np.abs(height - local_mode)
     conf = np.full(along.shape, SIGNAL_CONF_NOISE, dtype=np.int8)

@@ -31,7 +31,6 @@ from repro.ml.metrics import ClassificationReport, classification_report
 from repro.ml.model import Sequential, TrainingHistory
 from repro.ml.models import build_lstm_classifier, build_mlp_classifier
 from repro.resampling.features import (
-    FEATURE_NAMES,
     feature_matrix,
     grouped_sequence_windows,
     sequence_windows,
@@ -187,15 +186,48 @@ class InferencePipeline:
         )
         return self.classify_segments(segments)
 
-    def classify_segments(self, segments: SegmentArray) -> ClassifiedTrack:
-        """Classify already-resampled segments."""
+    def _feature_tensor(self, segments: SegmentArray) -> np.ndarray:
+        """Normalised feature matrix (or LSTM sequence tensor) of one track."""
         X, _ = feature_matrix(segments, normalize=True, stats=self.classifier.feature_stats)
         if self.classifier.kind == "lstm":
             X = sequence_windows(X, self.classifier.sequence_length)
-        probs = self.classifier.model.predict_proba(X)
+        return X
+
+    def classify_segments(self, segments: SegmentArray) -> ClassifiedTrack:
+        """Classify already-resampled segments."""
+        probs = self.classifier.model.predict_proba(self._feature_tensor(segments))
         labels = np.argmax(probs, axis=1).astype(np.int8)
         return ClassifiedTrack(segments=segments, labels=labels, probabilities=probs)
 
+    def classify_segments_batched(
+        self, segments_by_name: "dict[str, SegmentArray]"
+    ) -> dict[str, ClassifiedTrack]:
+        """Classify several tracks with one pooled model pass.
+
+        Feature tensors are built per track (sequences never cross track
+        boundaries) and pushed through the model together via
+        :meth:`repro.ml.model.Sequential.predict_batched`, so the LSTM runs
+        one matmul per timestep across *all* tracks' sequences instead of a
+        separate small forward pass per beam.
+        """
+        names = list(segments_by_name)
+        tensors = [self._feature_tensor(segments_by_name[name]) for name in names]
+        probs_list = self.classifier.model.predict_batched(tensors)
+        return {
+            name: ClassifiedTrack(
+                segments=segments_by_name[name],
+                labels=np.argmax(probs, axis=1).astype(np.int8),
+                probabilities=probs,
+            )
+            for name, probs in zip(names, probs_list)
+        }
+
     def classify_granule(self, granule: Granule) -> dict[str, ClassifiedTrack]:
-        """Classify every beam of a granule; returns a beam-name keyed mapping."""
-        return {name: self.classify_beam(beam) for name, beam in granule.beams.items()}
+        """Classify every beam of a granule with one pooled model pass."""
+        segments = {
+            name: resample_fixed_window(
+                beam, window_length_m=self.window_length_m, min_confidence=self.min_confidence
+            )
+            for name, beam in granule.beams.items()
+        }
+        return self.classify_segments_batched(segments)

@@ -12,20 +12,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.classification.pipeline import InferencePipeline, TrainedClassifier
-from repro.config import CLASS_NAMES, DEFAULT_GPU_CLUSTER
-from repro.distributed.ddp import DDPTimingModel, DistributedTrainer
+from repro.classification.pipeline import TrainedClassifier
+from repro.config import CLASS_NAMES
+from repro.distributed.ddp import DDPTimingModel
 from repro.evaluation.tables import (
     PAPER_TABLE4_N_SAMPLES,
     PAPER_TABLE4_SINGLE_GPU_S,
     regenerate_table4,
 )
 from repro.freeboard.comparison import FreeboardComparison, compare_freeboards, point_density
-from repro.freeboard.freeboard import FreeboardResult, compute_freeboard
+from repro.freeboard.freeboard import FreeboardResult
 from repro.freeboard.interpolation import interpolate_missing_windows, sea_surface_at
 from repro.freeboard.sea_surface import SEA_SURFACE_METHODS, estimate_sea_surface
-from repro.products.atl07 import ATL07Product, generate_atl07
-from repro.products.atl10 import ATL10Product, generate_atl10
+from repro.products.atl07 import ATL07Product
+from repro.products.atl10 import ATL10Product
 from repro.workflow.end_to_end import PipelineOutputs
 
 

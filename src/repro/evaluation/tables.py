@@ -10,8 +10,6 @@ locally measured baselines.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.classification.pipeline import TrainedClassifier, train_classifier
 from repro.config import DEFAULT_CLUSTER, DEFAULT_GPU_CLUSTER
 from repro.distributed.cluster import ClusterCostModel, ClusterSimulation

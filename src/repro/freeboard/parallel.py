@@ -15,7 +15,7 @@ import numpy as np
 from repro.config import CLASS_OPEN_WATER, DEFAULT_SEA_SURFACE, SeaSurfaceConfig
 from repro.distributed.mapreduce import MapReduceEngine, MapReduceResult
 from repro.freeboard.freeboard import FreeboardResult
-from repro.freeboard.interpolation import interpolate_missing_windows, sea_surface_at
+from repro.freeboard.interpolation import interpolate_missing_windows
 from repro.freeboard.sea_surface import estimate_sea_surface
 from repro.resampling.window import SegmentArray
 

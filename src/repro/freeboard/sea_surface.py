@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import CLASS_OPEN_WATER, DEFAULT_SEA_SURFACE, SeaSurfaceConfig
+from repro.kernels import sea_surface as _kernels
 from repro.utils.validation import ensure_1d, ensure_same_length
 
 #: Names of the supported estimation methods.
@@ -103,18 +104,7 @@ def nasa_lead_height(
         raise ValueError("a lead needs at least one candidate segment")
     if np.any(sigma < 0):
         raise ValueError("errors must be non-negative")
-    sigma = np.where(sigma > 1e-6, sigma, 1e-6)
-
-    h_min = h.min()
-    w = np.exp(-(((h - h_min) / sigma) ** 2))
-    total = w.sum()
-    if total <= 0:
-        w = np.full(h.shape, 1.0 / h.size)
-    else:
-        w = w / total
-    lead_height = float(np.sum(w * h))
-    lead_error = float(np.sqrt(np.sum(w**2 * sigma**2)))
-    return lead_height, lead_error
+    return _kernels.nasa_lead_height_arrays(h, sigma)
 
 
 def nasa_reference_height(
@@ -130,30 +120,7 @@ def nasa_reference_height(
     ensure_same_length(h, sigma, names=("lead_heights_m", "lead_errors_m"))
     if h.size == 0:
         raise ValueError("a window needs at least one lead")
-    sigma = np.where(sigma > 1e-6, sigma, 1e-6)
-    inv_var = 1.0 / sigma**2
-    a = inv_var / inv_var.sum()
-    ref_height = float(np.sum(a * h))
-    ref_error = float(np.sqrt(np.sum(a**2 * sigma**2)))
-    return ref_height, ref_error
-
-
-def _group_leads(
-    along_m: np.ndarray, max_gap_m: float = 100.0
-) -> list[np.ndarray]:
-    """Group open-water segment indices into leads by along-track proximity.
-
-    Consecutive open-water segments separated by less than ``max_gap_m``
-    belong to the same lead (a physical crack is a contiguous stretch of open
-    water).  Returns a list of index arrays into the input.
-    """
-    if along_m.size == 0:
-        return []
-    order = np.argsort(along_m)
-    sorted_along = along_m[order]
-    breaks = np.flatnonzero(np.diff(sorted_along) > max_gap_m) + 1
-    groups = np.split(order, breaks)
-    return [np.asarray(g) for g in groups]
+    return _kernels.nasa_reference_height_arrays(h, sigma)
 
 
 # ---------------------------------------------------------------------------
@@ -169,28 +136,9 @@ def _window_estimate(
     center_m: float,
 ) -> tuple[float, float]:
     """Sea-surface height and error of one window from its open-water segments."""
-    if method == "minimum":
-        idx = int(np.argmin(heights_m))
-        return float(heights_m[idx]), float(errors_m[idx])
-    if method == "average":
-        return float(heights_m.mean()), float(heights_m.std() / np.sqrt(heights_m.size))
-    if method == "nearest_minimum":
-        # Among the lowest quartile of open-water heights, pick the segment
-        # closest to the window centre.
-        threshold = np.quantile(heights_m, 0.25)
-        candidates = np.flatnonzero(heights_m <= threshold)
-        nearest = candidates[np.argmin(np.abs(along_m[candidates] - center_m))]
-        return float(heights_m[nearest]), float(errors_m[nearest])
-    if method == "nasa":
-        leads = _group_leads(along_m)
-        lead_heights = []
-        lead_errors = []
-        for lead_idx in leads:
-            lh, le = nasa_lead_height(heights_m[lead_idx], errors_m[lead_idx])
-            lead_heights.append(lh)
-            lead_errors.append(le)
-        return nasa_reference_height(np.array(lead_heights), np.array(lead_errors))
-    raise ValueError(f"unknown sea-surface method {method!r}; choose from {SEA_SURFACE_METHODS}")
+    if method not in SEA_SURFACE_METHODS:
+        raise ValueError(f"unknown sea-surface method {method!r}; choose from {SEA_SURFACE_METHODS}")
+    return _kernels.window_estimate_scalar(method, along_m, heights_m, errors_m, center_m)
 
 
 def estimate_sea_surface(
@@ -265,35 +213,35 @@ def estimate_sea_surface(
         water_height = water_height[order]
         water_error = water_error[order]
 
-        windows: list[WindowSeaSurface] = []
-        for i in range(n_windows):
-            w_start = start + i * step
-            w_stop = w_start + config.window_length_m
-            center = 0.5 * (w_start + w_stop)
-            lo = int(np.searchsorted(water_along, w_start, side="left"))
-            hi = int(np.searchsorted(water_along, w_stop, side="right"))
-            w_along = water_along[lo:hi]
-            w_height = water_height[lo:hi]
-            w_error = water_error[lo:hi]
-            # Outlier rejection (the ATBD filters sea-surface candidates):
-            # discard segments far from the window's median water height —
-            # typically empty-ish segments whose "height" is a stray
-            # background photon metres below the surface.
-            if w_height.size:
-                median = np.median(w_height)
-                mad = np.median(np.abs(w_height - median))
-                tolerance = max(3.0 * 1.4826 * mad, 0.25)
-                keep = np.abs(w_height - median) <= tolerance
-                w_along, w_height, w_error = w_along[keep], w_height[keep], w_error[keep]
-            count = int(w_height.size)
-            if count >= config.min_open_water_segments:
-                h, e = _window_estimate(method, w_along, w_height, w_error, center)
-                windows.append(WindowSeaSurface(center, w_start, w_stop, h, e, count))
-            else:
-                windows.append(
-                    WindowSeaSurface(center, w_start, w_stop, np.nan, np.nan, count)
-                )
-        return windows
+        # The window grid; the per-window work (searchsorted bounds, MAD
+        # outlier rejection against the window's median water height, and the
+        # method estimate itself) runs in the kernel layer — vectorized
+        # across all windows at once by default, or one window at a time
+        # under the "reference" backend (see repro.kernels).
+        starts = start + np.arange(n_windows) * step
+        stops = starts + config.window_length_m
+        centers = 0.5 * (starts + stops)
+        heights, errors, counts = _kernels.window_estimates(
+            water_along,
+            water_height,
+            water_error,
+            starts,
+            stops,
+            centers,
+            method,
+            config.min_open_water_segments,
+        )
+        return [
+            WindowSeaSurface(
+                float(centers[i]),
+                float(starts[i]),
+                float(stops[i]),
+                float(heights[i]),
+                float(errors[i]),
+                int(counts[i]),
+            )
+            for i in range(n_windows)
+        ]
 
     water_mask = (lab == CLASS_OPEN_WATER) & np.isfinite(height)
     windows = build_windows(water_mask)

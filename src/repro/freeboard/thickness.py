@@ -29,7 +29,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.validation import ensure_same_length
 
 #: Default densities in kg m^-3 (Kwok et al. 2020 / Xu et al. 2021 values).
 DENSITY_WATER = 1023.9

@@ -1,0 +1,96 @@
+"""Vectorized hot-path kernels with a reference/vectorized dispatch switch.
+
+The three hottest inner loops of the pipeline each have two interchangeable
+implementations in this package:
+
+* :mod:`repro.kernels.sea_surface` — windowed sea-surface estimation
+  (searchsorted-bounded window membership, segmented medians/MAD outlier
+  rejection and the NASA inverse-error weighting across all windows at once);
+* :mod:`repro.kernels.confidence` — ATL03 per-bin modal surface finding
+  (one ``np.bincount`` over composite ``(bin, height-cell)`` keys);
+* :mod:`repro.kernels.lstm` — LSTM forward/backward over a whole minibatch
+  (the input projection and the weight-gradient reductions are single GEMMs
+  over all timesteps instead of one small GEMM per step).
+
+The *reference* implementations are the original per-window / per-bin /
+per-step loops, kept as the ground truth the vectorized kernels are
+equivalence-tested against (``tests/test_kernels_equivalence.py`` asserts
+agreement to 1e-10) and benchmarked against (``benchmarks/bench_kernels.py``).
+
+Backend selection
+-----------------
+
+The active backend is process-global and defaults to ``"vectorized"``; the
+``REPRO_KERNEL_BACKEND`` environment variable overrides the initial value::
+
+    from repro import kernels
+
+    kernels.set_backend("reference")          # sticky switch
+    with kernels.use_backend("vectorized"):   # scoped switch
+        ...
+
+Every kernel entry point also accepts an explicit ``backend=...`` argument
+that bypasses the global switch for that one call.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Names of the available kernel backends.
+KERNEL_BACKENDS = ("vectorized", "reference")
+
+_active_backend = os.environ.get("REPRO_KERNEL_BACKEND", "vectorized")
+if _active_backend not in KERNEL_BACKENDS:
+    raise ValueError(
+        f"REPRO_KERNEL_BACKEND={_active_backend!r} is not one of {KERNEL_BACKENDS}"
+    )
+
+
+def get_backend() -> str:
+    """Name of the currently active kernel backend."""
+    return _active_backend
+
+
+def set_backend(name: str) -> None:
+    """Select the process-global kernel backend (``vectorized`` or ``reference``)."""
+    global _active_backend
+    if name not in KERNEL_BACKENDS:
+        raise ValueError(f"unknown kernel backend {name!r}; choose from {KERNEL_BACKENDS}")
+    _active_backend = name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Context manager that temporarily switches the kernel backend."""
+    previous = get_backend()
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate an explicit ``backend=`` argument, defaulting to the global switch."""
+    if backend is None:
+        return _active_backend
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(f"unknown kernel backend {backend!r}; choose from {KERNEL_BACKENDS}")
+    return backend
+
+
+from repro.kernels import confidence, lstm, sea_surface  # noqa: E402
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "confidence",
+    "get_backend",
+    "lstm",
+    "resolve_backend",
+    "sea_surface",
+    "set_backend",
+    "use_backend",
+]

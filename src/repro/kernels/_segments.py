@@ -1,0 +1,12 @@
+"""Shared segmented-array helpers for the kernel backends."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cumsum0(counts: np.ndarray) -> np.ndarray:
+    """``[0, c0, c0+c1, ...]`` — group offsets from group sizes."""
+    out = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=out[1:])
+    return out

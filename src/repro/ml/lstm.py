@@ -27,25 +27,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import lstm as _kernels
 from repro.ml.layers import Layer
 from repro.utils.random import default_rng
-
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
-
-
-def _elu(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
-    return np.where(x > 0, x, alpha * (np.exp(np.minimum(x, 0.0)) - 1.0))
-
-
-def _elu_grad(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
-    return np.where(x > 0, 1.0, alpha * np.exp(np.minimum(x, 0.0)))
 
 
 class LSTM(Layer):
@@ -82,18 +66,6 @@ class LSTM(Layer):
         self.grads = [np.zeros_like(self.W), np.zeros_like(self.U), np.zeros_like(self.b)]
         self._cache: dict[str, np.ndarray] | None = None
 
-    # -- helpers -------------------------------------------------------------
-
-    def _cell_activation(self, c: np.ndarray) -> np.ndarray:
-        if self.activation == "elu":
-            return _elu(c)
-        return np.tanh(c)
-
-    def _cell_activation_grad(self, c: np.ndarray) -> np.ndarray:
-        if self.activation == "elu":
-            return _elu_grad(c)
-        return 1.0 - np.tanh(c) ** 2
-
     # -- forward / backward ----------------------------------------------------
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -102,29 +74,11 @@ class LSTM(Layer):
             raise ValueError(
                 f"LSTM expected input of shape (batch, time, {self.n_inputs}), got {x.shape}"
             )
-        batch, T, _ = x.shape
-        H = self.n_units
-
-        h = np.zeros((batch, H))
-        c = np.zeros((batch, H))
-        hs = np.zeros((batch, T + 1, H))
-        cs = np.zeros((batch, T + 1, H))
-        gates = np.zeros((batch, T, 4 * H))
-
-        for t in range(T):
-            z = x[:, t, :] @ self.W + h @ self.U + self.b
-            f = _sigmoid(z[:, :H])
-            i = _sigmoid(z[:, H:2 * H])
-            g = np.tanh(z[:, 2 * H:3 * H])
-            o = _sigmoid(z[:, 3 * H:])
-            c = f * c + i * g
-            h = o * self._cell_activation(c)
-            gates[:, t, :H] = f
-            gates[:, t, H:2 * H] = i
-            gates[:, t, 2 * H:3 * H] = g
-            gates[:, t, 3 * H:] = o
-            hs[:, t + 1, :] = h
-            cs[:, t + 1, :] = c
+        # The time recurrence runs in the kernel layer: the vectorized
+        # backend batches the input projection (and, in backward, the weight
+        # gradients) into whole-sequence GEMMs; the reference backend is the
+        # original per-step loop (see repro.kernels.lstm).
+        hs, cs, gates = _kernels.lstm_forward(x, self.W, self.U, self.b, self.activation)
 
         self._cache = {"x": x, "hs": hs, "cs": cs, "gates": gates}
         if self.return_sequences:
@@ -152,45 +106,9 @@ class LSTM(Layer):
             dh_seq = np.zeros((batch, T, H))
             dh_seq[:, -1, :] = grad_output
 
-        dW = np.zeros_like(self.W)
-        dU = np.zeros_like(self.U)
-        db = np.zeros_like(self.b)
-        dx = np.zeros_like(x)
-
-        dh_next = np.zeros((batch, H))
-        dc_next = np.zeros((batch, H))
-
-        for t in range(T - 1, -1, -1):
-            f = gates[:, t, :H]
-            i = gates[:, t, H:2 * H]
-            g = gates[:, t, 2 * H:3 * H]
-            o = gates[:, t, 3 * H:]
-            c = cs[:, t + 1, :]
-            c_prev = cs[:, t, :]
-            h_prev = hs[:, t, :]
-
-            dh = dh_seq[:, t, :] + dh_next
-            phi_c = self._cell_activation(c)
-            dc = dh * o * self._cell_activation_grad(c) + dc_next
-
-            do = dh * phi_c
-            df = dc * c_prev
-            di = dc * g
-            dg = dc * i
-
-            # Gate pre-activation gradients.
-            dzf = df * f * (1.0 - f)
-            dzi = di * i * (1.0 - i)
-            dzg = dg * (1.0 - g**2)
-            dzo = do * o * (1.0 - o)
-            dz = np.concatenate([dzf, dzi, dzg, dzo], axis=1)
-
-            dW += x[:, t, :].T @ dz
-            dU += h_prev.T @ dz
-            db += dz.sum(axis=0)
-            dx[:, t, :] = dz @ self.W.T
-            dh_next = dz @ self.U.T
-            dc_next = dc * f
+        dx, dW, dU, db = _kernels.lstm_backward(
+            dh_seq, x, hs, cs, gates, self.W, self.U, self.activation
+        )
 
         self.grads[0][...] = dW
         self.grads[1][...] = dU

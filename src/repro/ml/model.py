@@ -196,6 +196,35 @@ class Sequential:
         """Hard class predictions."""
         return np.argmax(self.predict_proba(X, batch_size=batch_size), axis=1)
 
+    def predict_batched(
+        self, arrays: "list[np.ndarray]", batch_size: int = 1024
+    ) -> list[np.ndarray]:
+        """Class probabilities for several input arrays in one pooled pass.
+
+        The arrays (e.g. one feature tensor per beam or per granule) are
+        concatenated along the batch axis, pushed through the network
+        together — so the LSTM runs one matmul per timestep over *all*
+        sequences instead of one small forward pass per array — and the
+        probabilities are split back to match the inputs.
+
+        Returns one ``(n_i, n_classes)`` probability array per input array,
+        in order.  Empty inputs yield empty outputs.
+        """
+        arrays = [np.asarray(a, dtype=float) for a in arrays]
+        if not arrays:
+            return []
+        sizes = [a.shape[0] for a in arrays]
+        nonempty = [a for a in arrays if a.shape[0] > 0]
+        if not nonempty:
+            return [np.empty((0, self.n_classes)) for _ in arrays]
+        probs = self.predict_proba(np.concatenate(nonempty, axis=0), batch_size=batch_size)
+        out: list[np.ndarray] = []
+        offset = 0
+        for size in sizes:
+            out.append(probs[offset:offset + size])
+            offset += size
+        return out
+
     def evaluate(self, data: Dataset, batch_size: int = 1024) -> tuple[float, float]:
         """Return (loss, accuracy) over a dataset in inference mode."""
         if self.loss is None:

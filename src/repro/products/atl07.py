@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.atl03.granule import BeamData
 from repro.classification.decision_tree import DecisionTreeClassifier, DecisionTreeConfig
-from repro.config import ATL07_PHOTON_AGGREGATION, CLASS_OPEN_WATER, DEFAULT_SEA_SURFACE, SeaSurfaceConfig
+from repro.config import ATL07_PHOTON_AGGREGATION, DEFAULT_SEA_SURFACE, SeaSurfaceConfig
 from repro.freeboard.interpolation import interpolate_missing_windows, sea_surface_at
 from repro.freeboard.sea_surface import SeaSurfaceEstimate, estimate_sea_surface
 from repro.resampling.photon_agg import PhotonAggregateSegments, aggregate_photons

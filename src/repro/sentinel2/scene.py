@@ -25,7 +25,6 @@ from datetime import datetime, timezone
 
 import numpy as np
 
-from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE, CLASS_THIN_ICE
 from repro.sentinel2.cloud import CloudConfig, apply_clouds_and_shadows, synthesize_cloud_fields
 from repro.surface.scene import IceScene
 from repro.utils.random import default_rng

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.atl03.granule import BeamData, Granule
+from repro.atl03.granule import Granule
 from repro.atl03.simulator import ATL03SimulatorConfig, simulate_granule
 from repro.classification.pipeline import (
     ClassifiedTrack,
@@ -215,6 +215,7 @@ def run_inference_stage(
     data: ExperimentData,
     classifier: TrainedClassifier,
     config: ExperimentConfig,
+    classified: dict[str, ClassifiedTrack] | None = None,
 ) -> InferenceProducts:
     """Classify a curated granule and retrieve freeboard + ATL07/ATL10 baselines.
 
@@ -222,14 +223,18 @@ def run_inference_stage(
     trained classifier (possibly shared across many granules — see
     :mod:`repro.campaign`), it runs inference, sea-surface detection,
     freeboard and the emulated operational baselines for every beam.
+
+    ``classified`` lets a caller that already classified the granule's beams
+    (e.g. the campaign runner, which pools many granules into one
+    ``predict_batched`` pass) skip the per-granule classification.
     """
-    pipeline = InferencePipeline(classifier, window_length_m=config.window_length_m)
-    # The stage-1 segments were resampled with the same window/confidence
-    # parameters, so classify them directly instead of re-resampling photons.
-    classified = {
-        name: pipeline.classify_segments(segments)
-        for name, segments in data.segments.items()
-    }
+    if classified is None:
+        pipeline = InferencePipeline(classifier, window_length_m=config.window_length_m)
+        # The stage-1 segments were resampled with the same window/confidence
+        # parameters, so classify them directly instead of re-resampling
+        # photons.  All beams go through one pooled predict_batched pass so
+        # the LSTM steps every sequence of the granule together.
+        classified = pipeline.classify_segments_batched(data.segments)
 
     freeboard: dict[str, FreeboardResult] = {}
     atl07: dict[str, ATL07Product] = {}

@@ -6,7 +6,7 @@ import pytest
 from repro.atl03.simulator import ATL03SimulatorConfig, simulate_beam, simulate_granule
 from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE, CLASS_THIN_ICE
 from repro.surface.scene import SceneConfig, generate_scene
-from repro.surface.track import TrackSpec, generate_track
+from repro.surface.track import TrackSpec
 
 
 class TestSimulatorConfig:

@@ -10,8 +10,6 @@ Covers the acceptance criteria of the campaign layer:
   and a partially deleted cache re-runs only the missing granules.
 """
 
-from dataclasses import replace
-
 import numpy as np
 import pytest
 

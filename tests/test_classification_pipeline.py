@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.classification.pipeline import InferencePipeline, train_classifier
-from repro.config import LSTMConfig, MLPConfig, TrainingConfig
+from repro.config import TrainingConfig
 
 
 @pytest.fixture(scope="module")

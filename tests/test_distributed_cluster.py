@@ -1,9 +1,8 @@
 """Tests for the simulated cluster cost model (Tables II / V shape)."""
 
-import numpy as np
 import pytest
 
-from repro.distributed.cluster import ClusterCostModel, ClusterSimulation, ScalingRow
+from repro.distributed.cluster import ClusterCostModel, ClusterSimulation
 
 
 class TestClusterCostModel:

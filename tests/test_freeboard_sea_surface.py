@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE, SeaSurfaceConfig
+from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE
 from repro.freeboard.sea_surface import (
     SEA_SURFACE_METHODS,
     estimate_sea_surface,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE, CLASS_THIN_ICE, CLASS_UNLABELED
+from repro.config import CLASS_OPEN_WATER, CLASS_THICK_ICE, CLASS_UNLABELED
 from repro.labeling.autolabel import AutoLabelResult, auto_label_segments
 from repro.labeling.manual import correct_labels, transition_mask
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import CLASS_OPEN_WATER
 from repro.surface.scene import SceneConfig
 from repro.workflow.end_to_end import (
     ExperimentConfig,
