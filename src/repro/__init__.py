@@ -19,9 +19,12 @@ provides:
   (:mod:`repro.products`);
 * end-to-end orchestration and table/figure regeneration
   (:mod:`repro.workflow`, :mod:`repro.evaluation`);
+* a stage-graph pipeline engine: every workflow step is a registered,
+  typed, content-fingerprinted stage; graph runs cache per stage and
+  recompute only downstream of a config change (:mod:`repro.pipeline`);
 * multi-granule campaigns: scenario grids run in parallel through the whole
-  pipeline with one shared classifier and a resumable on-disk cache
-  (:mod:`repro.campaign`);
+  stage graph with one shared classifier and a two-tier resumable on-disk
+  cache (:mod:`repro.campaign`);
 * vectorized hot-path kernels — windowed sea-surface estimation, ATL03
   confidence binning, LSTM time-stepping — with a reference/vectorized
   dispatch switch and equivalence-tested backends (:mod:`repro.kernels`).
@@ -34,7 +37,7 @@ Quick start::
     print(outputs.classifier.report.as_row("LSTM"))
 """
 
-from repro import config, kernels
+from repro import config, kernels, pipeline
 from repro.config import (
     CLASS_NAMES,
     CLASS_OPEN_WATER,
@@ -49,6 +52,7 @@ __version__ = "1.0.0"
 __all__ = [
     "config",
     "kernels",
+    "pipeline",
     "CLASS_NAMES",
     "CLASS_OPEN_WATER",
     "CLASS_THICK_ICE",

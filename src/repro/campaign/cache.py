@@ -9,95 +9,33 @@ config hashes to a different directory, and execution knobs (worker count,
 executor) are excluded from the hash so a campaign can be resumed with a
 different parallelism.
 
-Writes are atomic (temp file + ``os.replace``) so an interrupted campaign
-never leaves a truncated artifact behind; unreadable entries are treated as
-misses and recomputed.
+The storage mechanics (atomic temp-file + ``os.replace`` writes, corrupt
+entries treated as misses, :data:`MISS`-sentinel loads) live in the generic
+:class:`repro.pipeline.cache.ArtifactStore`; this class specialises it with
+the campaign fingerprint as the namespace.  Alongside this *result tier*,
+the campaign runner shares a content-addressed *stage tier*
+(:class:`repro.pipeline.cache.StageCache`) across fingerprints, so a config
+change invalidates only the stages downstream of it — see
+:mod:`repro.campaign.runner`.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
-import tempfile
 from pathlib import Path
 
-#: Pickle protocol used for cached artifacts (NumPy-heavy, so protocol 4+).
-_PICKLE_PROTOCOL = 4
+from repro.pipeline.cache import MISS, ArtifactStore
 
-_MISS = object()
+#: Sentinel distinguishing "no cached entry" from a legitimately cached
+#: ``None`` — shared with the pipeline layer; kept importable here for
+#: callers of :meth:`CampaignCache.load`.
+_MISS = MISS
 
 
-class CampaignCache:
+class CampaignCache(ArtifactStore):
     """Pickle store for one campaign, keyed by (fingerprint, artifact key)."""
 
     def __init__(self, root: str | Path, fingerprint: str) -> None:
         if not fingerprint:
             raise ValueError("fingerprint must be a non-empty string")
-        self.root = Path(root)
+        super().__init__(root, fingerprint)
         self.fingerprint = fingerprint
-        self.dir = self.root / fingerprint
-
-    def path(self, key: str) -> Path:
-        """Filesystem path of one artifact."""
-        if not key or "/" in key or key.startswith("."):
-            raise ValueError(f"invalid cache key {key!r}")
-        return self.dir / f"{key}.pkl"
-
-    def has(self, key: str) -> bool:
-        return self.path(key).is_file()
-
-    def load(self, key: str, default=None):
-        """Return the cached artifact, or ``default`` on a miss.
-
-        A corrupt or unreadable entry (interrupted write under a pre-atomic
-        layout, disk error, unpicklable future version) counts as a miss.
-        """
-        path = self.path(key)
-        if not path.is_file():
-            return default
-        try:
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except Exception:
-            return default
-
-    def store(self, key: str, value) -> Path:
-        """Atomically persist one artifact and return its path."""
-        path = self.path(key)
-        self.dir.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=self.dir, prefix=f".{key}.", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=_PICKLE_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
-
-    def keys(self) -> list[str]:
-        """Keys of all readable-looking artifacts currently on disk."""
-        if not self.dir.is_dir():
-            return []
-        return sorted(
-            p.name[: -len(".pkl")]
-            for p in self.dir.iterdir()
-            if p.suffix == ".pkl" and not p.name.startswith(".")
-        )
-
-    def clear(self) -> int:
-        """Delete every artifact of this campaign; returns the number removed."""
-        removed = 0
-        if not self.dir.is_dir():
-            return removed
-        for p in list(self.dir.iterdir()):
-            if p.suffix in (".pkl", ".tmp") or p.name.startswith("."):
-                try:
-                    p.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-        return removed

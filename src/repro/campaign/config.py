@@ -29,13 +29,14 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-from dataclasses import dataclass, field, fields, is_dataclass, replace
-from typing import Any, Mapping
+from dataclasses import dataclass, field, is_dataclass, replace
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.config import SEASON_PRESETS
 from repro.distributed.mapreduce import EXECUTORS
+from repro.pipeline.fingerprint import canonical as _canonical
 from repro.workflow.end_to_end import ExperimentConfig
 
 #: Short names for commonly swept knobs, mapped to dotted config paths.
@@ -262,6 +263,7 @@ class CampaignConfig:
                     )
                 )
                 index += 1
+        _ensure_unique_granule_ids(specs)
         return specs
 
     # -- identity ------------------------------------------------------------
@@ -286,17 +288,20 @@ class CampaignConfig:
         return digest.hexdigest()[:16]
 
 
-def _canonical(obj: Any) -> Any:
-    """Convert nested dataclasses/sequences to a JSON-stable structure."""
-    if is_dataclass(obj) and not isinstance(obj, type):
-        out: dict[str, Any] = {"__type__": type(obj).__name__}
-        for f in fields(obj):
-            out[f.name] = _canonical(getattr(obj, f.name))
-        return out
-    if isinstance(obj, Mapping):
-        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
-    if isinstance(obj, (list, tuple)):
-        return [_canonical(v) for v in obj]
-    if isinstance(obj, (np.floating, np.integer)):
-        return obj.item()
-    return obj
+def _ensure_unique_granule_ids(specs: Sequence[GranuleSpec]) -> None:
+    """Reject duplicate granule ids with a clear error.
+
+    Granule ids key the campaign cache and result lookup, so a collision
+    would silently overwrite one granule's artifacts with another's.  Ids
+    embed the expansion index, so duplicates cannot arise from a well-formed
+    expansion — this guards custom spec construction and future id schemes.
+    """
+    seen: dict[str, int] = {}
+    for spec in specs:
+        if spec.granule_id in seen:
+            raise ValueError(
+                f"duplicate granule_id {spec.granule_id!r} (indices "
+                f"{seen[spec.granule_id]} and {spec.index}): granule ids key "
+                "the campaign cache and results, so they must be unique"
+            )
+        seen[spec.granule_id] = spec.index

@@ -1,31 +1,40 @@
-"""Campaign orchestration: parallel curation, one shared classifier, fan-out retrieval.
+"""Campaign orchestration: the Fig. 1 stage graph fanned out over a granule fleet.
 
-The runner executes the Fig. 1 workflow over a whole granule fleet in three
-stages:
+The runner executes the same :mod:`repro.pipeline` graph that powers
+:func:`repro.workflow.end_to_end.run_end_to_end`, in three stages:
 
-1. **Curation fan-out** — every granule's stage-1 pipeline (scene → ATL03 →
+1. **Curation fan-out** — every granule's curation subgraph (scene → ATL03 →
    S2 → segmentation → drift → resample → auto-label) runs independently.
    Granules are chunked over a :class:`~repro.distributed.mapreduce.MapReduceEngine`
    with the ``process`` executor (a ``ProcessPoolExecutor`` under the hood) —
    the same chunk/map/concatenate idiom as :mod:`repro.labeling.parallel` and
    :mod:`repro.freeboard.parallel`, lifted from segment level to granule level.
-2. **Pooled training** — one classifier is trained on the labelled segments
-   of *all* granules, concatenated in canonical expansion order.  Training
-   stays on the driver, so campaign results are bit-for-bit independent of
-   worker count and scheduling.
+2. **Pooled training** — the train stage is the campaign's barrier: one
+   classifier is trained on the labelled segments of *all* granules,
+   concatenated in canonical expansion order.  Training stays on the driver,
+   so campaign results are bit-for-bit independent of worker count and
+   scheduling.
 3. **Retrieval fan-out** — inference, sea-surface detection, freeboard and
-   the ATL07/ATL10 baselines fan back out per granule through the same engine.
+   the ATL07/ATL10 baselines fan back out per granule through the same
+   engine, as graph executions with the curated artifacts and the shared
+   classifier injected.
 
-Every stage artifact is cached on disk keyed by the campaign fingerprint
-(:mod:`repro.campaign.cache`), so an interrupted or repeated campaign resumes
-from completed granules, and the measured per-stage serial times are routed
-through the :class:`~repro.distributed.cluster.ClusterCostModel` into a
-simulated cluster scaling report.
+Caching is two-tier.  The *result tier* (:class:`~repro.campaign.cache.CampaignCache`)
+keys whole-granule artifacts by the campaign fingerprint, so an interrupted
+or repeated campaign resumes from completed granules.  The *stage tier*
+(:class:`~repro.pipeline.cache.StageCache`, shared across campaign
+fingerprints under the same cache root) keys every stage output by its
+content fingerprint — so changing only the sea-surface config re-runs just
+sea-surface → freeboard → ATL07/ATL10 → metrics, never curation or
+training.  Measured per-stage serial times are routed through the
+:class:`~repro.distributed.cluster.ClusterCostModel` into a simulated
+cluster scaling report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, Sequence
 
 import numpy as np
@@ -38,7 +47,6 @@ from repro.campaign.metrics import (
     GranuleMetrics,
     aggregate_metrics,
     campaign_scaling_table,
-    granule_metrics,
 )
 from repro.classification.pipeline import (
     InferencePipeline,
@@ -49,14 +57,24 @@ from repro.config import ClusterConfig, DEFAULT_CLUSTER
 from repro.distributed.cluster import ClusterCostModel
 from repro.distributed.mapreduce import MapReduceEngine
 from repro.evaluation.report import format_table
+from repro.pipeline.artifact import external_artifact
+from repro.pipeline.cache import MISS, StageCache
+from repro.pipeline.fingerprint import config_slice, digest
+from repro.pipeline.runner import GraphRunner
+from repro.pipeline.stages import TRAIN_CONFIG_PATHS, default_graph
 from repro.resampling.window import SegmentArray, concatenate_segments
 from repro.utils.timing import Stopwatch, TimingRecord
-from repro.workflow.end_to_end import (
-    ExperimentData,
-    InferenceProducts,
-    prepare_experiment_data,
-    run_inference_stage,
-)
+from repro.workflow.end_to_end import ExperimentData, InferenceProducts
+
+#: Stage-cache name of the campaign's pooled-training barrier.  It is not a
+#: graph stage (it pools *across* granules), but it caches like one: the key
+#: hashes the base training config, the campaign seed and every granule's
+#: ``training_set`` fingerprint, so curation-irrelevant config changes
+#: (e.g. sea-surface method) reuse the trained classifier.
+POOLED_TRAIN_STAGE = "train-pooled"
+
+#: Retrieval-side artifacts materialised per granule by the graph.
+_RETRIEVAL_TARGETS = ("freeboard", "atl07", "atl10", "granule_metrics")
 
 
 @dataclass
@@ -74,6 +92,11 @@ class CuratedGranule:
     labels: np.ndarray
     groups: np.ndarray
     seconds: float
+    #: Content fingerprint of the ``training_set`` artifact (covers every
+    #: curation knob plus the kernel backend).  The result tier validates
+    #: cached entries against the current config's fingerprint, so a
+    #: backend or config change never serves stale curated data.
+    fingerprint: str = ""
 
 
 @dataclass
@@ -93,6 +116,11 @@ class GranuleResult:
     metrics: GranuleMetrics
     seconds: float
     curation_seconds: float = 0.0
+    #: Content fingerprint of the ``granule_metrics`` artifact — the deepest
+    #: node of the retrieval subgraph, so it chains the curation config, the
+    #: pooled classifier and the kernel backend.  Used to validate
+    #: result-tier cache entries (see :class:`CuratedGranule`).
+    fingerprint: str = ""
 
 
 @dataclass
@@ -105,19 +133,29 @@ class CampaignResult:
     metrics: CampaignMetrics
     timing: TimingRecord
     scaling: list[CampaignScalingRow]
-    #: Cache keys consulted this run (both empty when caching is disabled).
+    #: Result-tier cache keys consulted this run (both empty when caching is
+    #: disabled).
     cache_hits: tuple[str, ...] = ()
     cache_misses: tuple[str, ...] = ()
+    #: Stage-tier (content-addressed) cache keys touched this run.  Only
+    #: stages that actually executed appear; a fully resumed campaign never
+    #: touches the stage tier.
+    stage_hits: tuple[str, ...] = ()
+    stage_misses: tuple[str, ...] = ()
 
     @property
     def n_granules(self) -> int:
         return len(self.granules)
 
+    @cached_property
+    def _granules_by_id(self) -> dict[str, GranuleResult]:
+        return {result.granule_id: result for result in self.granules}
+
     def granule(self, granule_id: str) -> GranuleResult:
-        for result in self.granules:
-            if result.granule_id == granule_id:
-                return result
-        raise KeyError(f"no granule {granule_id!r} in this campaign")
+        try:
+            return self._granules_by_id[granule_id]
+        except KeyError:
+            raise KeyError(f"no granule {granule_id!r} in this campaign") from None
 
     def summary(self) -> str:
         """Plain-text per-granule and campaign-level summary tables."""
@@ -133,25 +171,51 @@ class CampaignResult:
         return "\n\n".join([per_granule, campaign, scaling])
 
 
-class _CurateTask:
-    """Picklable map function: curate one chunk of granule specs."""
+def _stage_cache(root: str | None) -> StageCache | None:
+    return StageCache(root) if root is not None else None
 
-    def __call__(self, specs: Sequence[GranuleSpec]) -> list[CuratedGranule]:
-        out: list[CuratedGranule] = []
+
+class _CurateTask:
+    """Picklable map function: curate one chunk of granule specs.
+
+    Each granule is a graph execution targeting the curated artifacts; with
+    a stage cache the per-stage fingerprints make re-curation after a
+    downstream-only config change a pure cache read.  Returns
+    ``(curated, stage_hits, stage_misses)`` triples so the driver can
+    aggregate stage-tier bookkeeping without persisting it in the artifact.
+    """
+
+    def __init__(self, stage_root: str | None) -> None:
+        self.stage_root = stage_root
+
+    def __call__(
+        self, specs: Sequence[GranuleSpec]
+    ) -> list[tuple[CuratedGranule, tuple[str, ...], tuple[str, ...]]]:
+        runner = GraphRunner(default_graph(), cache=_stage_cache(self.stage_root))
+        out: list[tuple[CuratedGranule, tuple[str, ...], tuple[str, ...]]] = []
         for spec in specs:
-            sw = Stopwatch().start()
-            data = prepare_experiment_data(spec.config)
-            segments, labels, groups = data.combined_training_arrays()
-            out.append(
-                CuratedGranule(
-                    granule_id=spec.granule_id,
-                    data=data,
-                    segments=segments,
-                    labels=labels,
-                    groups=groups,
-                    seconds=sw.stop(),
-                )
+            result = runner.run(
+                spec.config,
+                targets=("experiment_data", "training_set"),
+                granule_id=spec.granule_id,
+                scenario=spec.scenario,
             )
+            data = result.value("experiment_data")
+            training_set = result.value("training_set")
+            curated = CuratedGranule(
+                granule_id=spec.granule_id,
+                data=data,
+                segments=training_set.segments,
+                labels=training_set.labels,
+                groups=training_set.groups,
+                # Serial-equivalent time: cache-served stages contribute the
+                # seconds their original computation took (carried in the
+                # bundles), so warm re-curation doesn't collapse the
+                # cluster scaling report to ~0.
+                seconds=sum(e.seconds for e in result.executions),
+                fingerprint=result.artifacts["training_set"].fingerprint,
+            )
+            out.append((curated, result.cache_hits, result.cache_misses))
         return out
 
 
@@ -162,50 +226,126 @@ class _RetrieveTask:
     through one ``predict_batched`` pass (the LSTM steps all sequences of all
     granules together), and the measured pooled time is attributed back to
     the granules proportionally to their segment counts so the scaling report
-    stays meaningful.
+    stays meaningful.  Per granule, the remaining retrieval stages
+    (sea-surface → freeboard → ATL07/ATL10 → metrics) run as a graph
+    execution with the curated artifacts, the shared classifier and the
+    pooled classification injected — stage-cached granules skip even the
+    pooled pass.
     """
 
-    def __init__(self, classifier: TrainedClassifier) -> None:
+    def __init__(
+        self, classifier: TrainedClassifier, classifier_fp: str, stage_root: str | None
+    ) -> None:
         self.classifier = classifier
+        self.classifier_fp = classifier_fp
+        self.stage_root = stage_root
 
     def __call__(
         self, items: Sequence[tuple[GranuleSpec, CuratedGranule]]
-    ) -> list[GranuleResult]:
+    ) -> list[tuple[GranuleResult, tuple[str, ...], tuple[str, ...]]]:
+        cache = _stage_cache(self.stage_root)
+        runner = GraphRunner(default_graph(), cache=cache)
+        hits: dict[str, list[str]] = {spec.granule_id: [] for spec, _ in items}
+        misses: dict[str, list[str]] = {spec.granule_id: [] for spec, _ in items}
+
+        fps = {
+            spec.granule_id: runner.fingerprints(
+                spec.config,
+                granule_id=spec.granule_id,
+                scenario=spec.scenario,
+                precomputed={"classifier": self.classifier_fp},
+            )
+            for spec, _ in items
+        }
+
+        # Probe the stage tier for already-classified granules, then pool the
+        # rest through one batched pass.
+        cached_classified: dict[str, dict] = {}
+        cached_share: dict[str, float] = {}
         pooled: dict[str, SegmentArray] = {}
         for spec, curated in items:
+            gid = spec.granule_id
+            if cache is not None:
+                bundle = cache.load_stage("infer", fps[gid]["classified"])
+                if bundle is not MISS:
+                    cached_classified[gid] = bundle["outputs"]["classified"]
+                    cached_share[gid] = bundle["seconds"]
+                    hits[gid].append(f"infer-{fps[gid]['classified']}")
+                    continue
             for beam_name, segments in curated.data.segments.items():
-                pooled[f"{spec.granule_id}/{beam_name}"] = segments
+                pooled[f"{gid}/{beam_name}"] = segments
 
-        sw_pool = Stopwatch().start()
-        pipeline = InferencePipeline(self.classifier)
-        classified_pool = pipeline.classify_segments_batched(pooled)
-        pool_seconds = sw_pool.stop()
+        pool_seconds = 0.0
+        classified_pool: dict[str, Any] = {}
+        if pooled:
+            sw_pool = Stopwatch().start()
+            pipeline = InferencePipeline(self.classifier)
+            classified_pool = pipeline.classify_segments_batched(pooled)
+            pool_seconds = sw_pool.stop()
         total_segments = max(sum(t.n_segments for t in classified_pool.values()), 1)
 
-        out: list[GranuleResult] = []
+        out: list[tuple[GranuleResult, tuple[str, ...], tuple[str, ...]]] = []
         for spec, curated in items:
-            sw = Stopwatch().start()
-            classified = {
-                beam_name: classified_pool[f"{spec.granule_id}/{beam_name}"]
-                for beam_name in curated.data.segments
+            gid = spec.granule_id
+            infer_fp = fps[gid]["classified"]
+            if gid in cached_classified:
+                classified = cached_classified[gid]
+                share = cached_share[gid]
+            else:
+                classified = {
+                    beam_name: classified_pool[f"{gid}/{beam_name}"]
+                    for beam_name in curated.data.segments
+                }
+                granule_segments = sum(t.n_segments for t in classified.values())
+                share = pool_seconds * granule_segments / total_segments
+                if cache is not None:
+                    cache.store_stage("infer", infer_fp, {"classified": classified}, share)
+                    misses[gid].append(f"infer-{infer_fp}")
+
+            precomputed = {
+                "granule": external_artifact(
+                    "granule", curated.data.granule, fps[gid].get("granule")
+                ),
+                "segments": external_artifact(
+                    "segments", curated.data.segments, fps[gid].get("segments")
+                ),
+                "classifier": external_artifact(
+                    "classifier", self.classifier, self.classifier_fp
+                ),
+                "classified": external_artifact("classified", classified, infer_fp),
             }
-            products = run_inference_stage(
-                curated.data, self.classifier, spec.config, classified=classified
+            result = runner.run(
+                spec.config,
+                targets=_RETRIEVAL_TARGETS,
+                precomputed=precomputed,
+                granule_id=gid,
+                scenario=spec.scenario,
             )
-            metrics = granule_metrics(
-                spec.granule_id, spec.scenario, products.classified, products.freeboard
+            hits[gid].extend(result.cache_hits)
+            misses[gid].extend(result.cache_misses)
+            products = InferenceProducts(
+                classified=classified,
+                freeboard=result.value("freeboard"),
+                atl07=result.value("atl07"),
+                atl10=result.value("atl10"),
             )
-            granule_segments = sum(t.n_segments for t in classified.values())
-            share = pool_seconds * granule_segments / total_segments
             out.append(
-                GranuleResult(
-                    granule_id=spec.granule_id,
-                    scenario=spec.scenario_dict(),
-                    seed=spec.config.seed,
-                    products=products,
-                    metrics=metrics,
-                    seconds=sw.stop() + share,
-                    curation_seconds=curated.seconds,
+                (
+                    GranuleResult(
+                        granule_id=gid,
+                        scenario=spec.scenario_dict(),
+                        seed=spec.config.seed,
+                        products=products,
+                        metrics=result.value("granule_metrics"),
+                        # Serial-equivalent retrieval time: stage seconds
+                        # (original compute time for cache hits) plus this
+                        # granule's share of the pooled classification pass.
+                        seconds=sum(e.seconds for e in result.executions) + share,
+                        curation_seconds=curated.seconds,
+                        fingerprint=fps[gid].get("granule_metrics", ""),
+                    ),
+                    tuple(hits[gid]),
+                    tuple(misses[gid]),
                 )
             )
         return out
@@ -233,6 +373,9 @@ class CampaignRunner:
             if config.cache_dir is not None
             else None
         )
+        #: Root of the stage tier, shared by every campaign fingerprint
+        #: under the same cache directory.
+        self.stage_root: str | None = config.cache_dir
 
     # -- engine ----------------------------------------------------------------
 
@@ -255,17 +398,104 @@ class CampaignRunner:
 
     # -- cache helpers ---------------------------------------------------------
 
-    def _cache_load(self, key: str, hits: list[str], misses: list[str]):
-        """Load one artifact, recording the hit/miss; no-op without a cache."""
+    def _cache_load(self, key: str, hits: list[str], misses: list[str], valid=None):
+        """Load one result-tier artifact, recording the hit/miss.
+
+        Returns the :data:`~repro.pipeline.cache.MISS` sentinel on a miss
+        (or when caching is disabled), so a legitimately cached ``None`` is
+        still distinguishable.  An entry that loads but fails the ``valid``
+        predicate (wrong type, malformed bundle from another code version)
+        is recorded — and returned — as a miss, so the hit/miss bookkeeping
+        always matches what actually recomputed.
+        """
         if self.cache is None:
-            return None
-        value = self.cache.load(key)
-        (hits if value is not None else misses).append(key)
+            return MISS
+        value = self.cache.load(key, MISS)
+        if value is MISS or (valid is not None and not valid(value)):
+            misses.append(key)
+            return MISS
+        hits.append(key)
         return value
 
     def _cache_store(self, key: str, value) -> None:
         if self.cache is not None:
             self.cache.store(key, value)
+
+    def _spec_fingerprints(
+        self, specs: Sequence[GranuleSpec]
+    ) -> dict[str, dict[str, str]] | None:
+        """Per-granule curation-subgraph fingerprints, or ``None`` uncached.
+
+        Derived purely from config (no execution), these validate
+        result-tier ``.curated`` entries: an entry written under a different
+        kernel backend or curation config reads as a miss.
+        """
+        if self.stage_root is None:
+            return None
+        runner = GraphRunner(default_graph())
+        return {
+            spec.granule_id: runner.fingerprints(
+                spec.config, granule_id=spec.granule_id, scenario=spec.scenario
+            )
+            for spec in specs
+        }
+
+    def _retrieval_fingerprints(
+        self, specs: Sequence[GranuleSpec], pooled_fp: str | None
+    ) -> dict[str, dict[str, str]] | None:
+        """Per-granule retrieval fingerprints with the classifier injected.
+
+        ``granule_metrics`` is the deepest retrieval artifact, so its
+        fingerprint validates result-tier ``.result`` entries end to end.
+        """
+        if pooled_fp is None:
+            return None
+        runner = GraphRunner(default_graph())
+        return {
+            spec.granule_id: runner.fingerprints(
+                spec.config,
+                granule_id=spec.granule_id,
+                scenario=spec.scenario,
+                precomputed={"classifier": pooled_fp},
+            )
+            for spec in specs
+        }
+
+    def _pooled_train_fingerprint(
+        self,
+        specs: Sequence[GranuleSpec],
+        spec_fps: dict[str, dict[str, str]] | None,
+    ) -> str | None:
+        """Content fingerprint of the pooled-training barrier, or ``None``.
+
+        Hashes the campaign-wide training slice of ``base``, the campaign
+        seed (which seeds pooled training) and every granule's
+        ``training_set`` fingerprint in canonical expansion order — derived
+        purely from config, so it is available before any curation runs.
+        """
+        if spec_fps is None:
+            return None
+        input_fps: list[str] = []
+        for spec in specs:
+            fps = spec_fps[spec.granule_id]
+            if "training_set" not in fps:
+                return None
+            input_fps.append(fps["training_set"])
+        from repro import kernels
+
+        paths = tuple(path for path in TRAIN_CONFIG_PATHS if path != "seed")
+        return digest(
+            {
+                "stage": POOLED_TRAIN_STAGE,
+                "version": "1",
+                "config": config_slice(self.config.base, paths),
+                "seed": self.config.seed,
+                "inputs": input_fps,
+                # Training runs LSTM/MLP kernels: never share classifiers
+                # across kernel backends (they agree only to ~1e-10).
+                "kernel_backend": kernels.get_backend(),
+            }
+        )
 
     # -- stages ----------------------------------------------------------------
 
@@ -275,27 +505,78 @@ class CampaignRunner:
         timing = TimingRecord()
         hits: list[str] = []
         misses: list[str] = []
+        stage_hits: list[str] = []
+        stage_misses: list[str] = []
 
-        # Probe the cheap artifacts first: the shared classifier bundle and
-        # per-granule results.  They determine which heavy curated artifacts
-        # this run actually needs, so a fully cached resume never
+        # Content fingerprints (derived purely from config, including the
+        # kernel backend) both key the shared stage tier and validate every
+        # result-tier entry — an artifact produced under a different backend
+        # or stage version must never be reused just because the campaign
+        # fingerprint matches.
+        spec_fps = self._spec_fingerprints(specs)
+        pooled_fp = self._pooled_train_fingerprint(specs, spec_fps)
+        retrieval_fps = self._retrieval_fingerprints(specs, pooled_fp)
+
+        # Probe the cheap result-tier artifacts first: the shared classifier
+        # bundle and per-granule results.  They determine which heavy curated
+        # artifacts this run actually needs, so a fully cached resume never
         # deserialises any raw granule data.
-        bundle = self._cache_load("classifier", hits, misses)
-        if not isinstance(bundle, dict) or "classifier" not in bundle:
-            bundle = None
-        classifier: TrainedClassifier | None = (
-            bundle["classifier"] if bundle is not None else None
+        bundle = self._cache_load(
+            "classifier",
+            hits,
+            misses,
+            valid=lambda v: isinstance(v, dict)
+            and "classifier" in v
+            and (pooled_fp is None or v.get("fingerprint") == pooled_fp),
         )
-        training_seconds: float = bundle["training_seconds"] if bundle is not None else 0.0
+        classifier: TrainedClassifier | None = (
+            bundle["classifier"] if bundle is not MISS else None
+        )
+        training_seconds: float = (
+            bundle.get("training_seconds", 0.0) if bundle is not MISS else 0.0
+        )
 
         results: dict[str, GranuleResult] = {}
         to_retrieve_specs: list[GranuleSpec] = []
         for spec in specs:
-            cached = self._cache_load(f"{spec.granule_id}.result", hits, misses)
-            if cached is not None:
+            expected = (
+                retrieval_fps[spec.granule_id].get("granule_metrics")
+                if retrieval_fps is not None
+                else None
+            )
+            cached = self._cache_load(
+                f"{spec.granule_id}.result",
+                hits,
+                misses,
+                valid=lambda v, want=expected: isinstance(v, GranuleResult)
+                and (want is None or getattr(v, "fingerprint", "") == want),
+            )
+            if cached is not MISS:
                 results[spec.granule_id] = cached
             else:
                 to_retrieve_specs.append(spec)
+
+        # The pooled-training barrier is content-addressed in the stage tier,
+        # shared across campaign fingerprints: a campaign differing from a
+        # cached one only downstream of curation (e.g. sea-surface method)
+        # reuses the trained classifier without curating anything extra.
+        if classifier is None and pooled_fp is not None:
+            stage_cache = _stage_cache(self.stage_root)
+            train_bundle = stage_cache.load_stage(POOLED_TRAIN_STAGE, pooled_fp)
+            if train_bundle is not MISS:
+                classifier = train_bundle["outputs"]["classifier"]
+                training_seconds = train_bundle["seconds"]
+                stage_hits.append(f"{POOLED_TRAIN_STAGE}-{pooled_fp}")
+                # Promote into this fingerprint's result tier so later
+                # resumes stay result-tier-only.
+                self._cache_store(
+                    "classifier",
+                    {
+                        "classifier": classifier,
+                        "training_seconds": training_seconds,
+                        "fingerprint": pooled_fp,
+                    },
+                )
 
         # Stage 1: curation fan-out.  Training needs every granule curated;
         # with a cached classifier, only granules without a cached result do.
@@ -307,16 +588,31 @@ class CampaignRunner:
         for spec in specs:
             key = f"{spec.granule_id}.curated"
             if spec.granule_id in needed_ids:
-                cached = self._cache_load(key, hits, misses)
-                if cached is not None:
+                expected = (
+                    spec_fps[spec.granule_id].get("training_set")
+                    if spec_fps is not None
+                    else None
+                )
+                cached = self._cache_load(
+                    key,
+                    hits,
+                    misses,
+                    valid=lambda v, want=expected: isinstance(v, CuratedGranule)
+                    and (want is None or getattr(v, "fingerprint", "") == want),
+                )
+                if cached is not MISS:
                     curated[spec.granule_id] = cached
                 else:
                     pending.append(spec)
             elif self.cache is not None and self.cache.has(key):
                 # Present but not needed this run: count it without reading.
                 hits.append(key)
-        for item in self._fan_out(pending, _CurateTask()):
+        for item, item_hits, item_misses in self._fan_out(
+            pending, _CurateTask(self.stage_root)
+        ):
             curated[item.granule_id] = item
+            stage_hits.extend(item_hits)
+            stage_misses.extend(item_misses)
             self._cache_store(f"{item.granule_id}.curated", item)
         timing.add("curation", sw.stop())
 
@@ -355,8 +651,20 @@ class CampaignRunner:
             timing.add("training", training_seconds)
             self._cache_store(
                 "classifier",
-                {"classifier": classifier, "training_seconds": training_seconds},
+                {
+                    "classifier": classifier,
+                    "training_seconds": training_seconds,
+                    "fingerprint": pooled_fp,
+                },
             )
+            if pooled_fp is not None:
+                _stage_cache(self.stage_root).store_stage(
+                    POOLED_TRAIN_STAGE,
+                    pooled_fp,
+                    {"classifier": classifier},
+                    training_seconds,
+                )
+                stage_misses.append(f"{POOLED_TRAIN_STAGE}-{pooled_fp}")
         else:
             # Cache hit: the measured fit time comes from the bundle so the
             # scaling report is identical to the original run's.
@@ -367,8 +675,13 @@ class CampaignRunner:
         to_retrieve = [
             (spec, curated[spec.granule_id]) for spec in to_retrieve_specs
         ]
-        for item in self._fan_out(to_retrieve, _RetrieveTask(classifier)):
+        classifier_fp = pooled_fp if pooled_fp is not None else "external:classifier"
+        for item, item_hits, item_misses in self._fan_out(
+            to_retrieve, _RetrieveTask(classifier, classifier_fp, self.stage_root)
+        ):
             results[item.granule_id] = item
+            stage_hits.extend(item_hits)
+            stage_misses.extend(item_misses)
             self._cache_store(f"{item.granule_id}.result", item)
         timing.add("inference", sw.stop())
 
@@ -394,6 +707,8 @@ class CampaignRunner:
             scaling=scaling,
             cache_hits=tuple(hits),
             cache_misses=tuple(misses),
+            stage_hits=tuple(stage_hits),
+            stage_misses=tuple(stage_misses),
         )
 
 

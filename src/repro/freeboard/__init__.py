@@ -22,7 +22,13 @@ from repro.freeboard.sea_surface import (
     nasa_reference_height,
 )
 from repro.freeboard.interpolation import interpolate_missing_windows, sea_surface_at
-from repro.freeboard.freeboard import FreeboardResult, compute_freeboard
+from repro.freeboard.freeboard import (
+    FreeboardResult,
+    TrackSeaSurface,
+    compute_freeboard,
+    estimate_track_sea_surface,
+    freeboard_from_sea_surface,
+)
 from repro.freeboard.comparison import FreeboardComparison, compare_freeboards, point_density
 from repro.freeboard.parallel import parallel_freeboard
 from repro.freeboard.thickness import (
@@ -44,7 +50,10 @@ __all__ = [
     "interpolate_missing_windows",
     "sea_surface_at",
     "FreeboardResult",
+    "TrackSeaSurface",
     "compute_freeboard",
+    "estimate_track_sea_surface",
+    "freeboard_from_sea_surface",
     "FreeboardComparison",
     "compare_freeboards",
     "point_density",

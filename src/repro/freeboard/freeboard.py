@@ -61,30 +61,31 @@ class FreeboardResult:
         return centres, density
 
 
-def compute_freeboard(
+@dataclass
+class TrackSeaSurface:
+    """Sea-surface reference of one classified track.
+
+    The intermediate product between sea-surface estimation and freeboard
+    subtraction — the stage-graph engine caches it independently so a
+    sea-surface-method sweep never re-runs classification, and a freeboard
+    re-run never re-estimates an unchanged surface.
+    """
+
+    estimate: SeaSurfaceEstimate
+    reference_m: np.ndarray
+
+
+def estimate_track_sea_surface(
     segments: SegmentArray,
     labels: np.ndarray,
     method: str = "nasa",
     config: SeaSurfaceConfig = DEFAULT_SEA_SURFACE,
-    clip_negative: bool = True,
-) -> FreeboardResult:
-    """Compute per-segment freeboard from classified 2 m segments.
+) -> TrackSeaSurface:
+    """Estimate the local sea surface along one classified track.
 
-    Steps (paper Section III.D): estimate the local sea surface from the
-    open-water segments in 10 km sliding windows, interpolate windows without
-    open water, evaluate the sea surface at every segment and subtract it
-    from the segment's surface height.
-
-    Parameters
-    ----------
-    segments:
-        Resampled 2 m segments.
-    labels:
-        Per-segment classes from the classifier (or auto-labels).
-    method:
-        Sea-surface estimation method (``"nasa"`` is the paper's choice).
-    clip_negative:
-        Clip negative freeboards to zero (operational behaviour).
+    Estimates the surface from the open-water segments in 10 km sliding
+    windows, interpolates windows without open water, and evaluates the
+    resulting surface at every segment centre.
     """
     labels = np.asarray(labels)
     ensure_same_length(segments.center_along_track_m, labels, names=("segments", "labels"))
@@ -99,8 +100,20 @@ def compute_freeboard(
     )
     estimate = interpolate_missing_windows(estimate)
     reference = sea_surface_at(estimate, segments.center_along_track_m)
+    return TrackSeaSurface(estimate=estimate, reference_m=reference)
 
-    freeboard = segments.height_mean_m - reference
+
+def freeboard_from_sea_surface(
+    segments: SegmentArray,
+    labels: np.ndarray,
+    surface: TrackSeaSurface,
+    clip_negative: bool = True,
+) -> FreeboardResult:
+    """Subtract an already-estimated sea surface: ``hf = hs - href``."""
+    labels = np.asarray(labels)
+    ensure_same_length(segments.center_along_track_m, labels, names=("segments", "labels"))
+
+    freeboard = segments.height_mean_m - surface.reference_m
     # Open water is the reference surface itself.
     freeboard = np.where(labels == CLASS_OPEN_WATER, 0.0, freeboard)
     if clip_negative:
@@ -109,8 +122,39 @@ def compute_freeboard(
     return FreeboardResult(
         along_track_m=segments.center_along_track_m,
         freeboard_m=freeboard,
-        sea_surface_m=reference,
+        sea_surface_m=surface.reference_m,
         labels=labels,
-        sea_surface=estimate,
+        sea_surface=surface.estimate,
         clip_negative=clip_negative,
     )
+
+
+def compute_freeboard(
+    segments: SegmentArray,
+    labels: np.ndarray,
+    method: str = "nasa",
+    config: SeaSurfaceConfig = DEFAULT_SEA_SURFACE,
+    clip_negative: bool = True,
+) -> FreeboardResult:
+    """Compute per-segment freeboard from classified 2 m segments.
+
+    Steps (paper Section III.D): estimate the local sea surface from the
+    open-water segments in 10 km sliding windows, interpolate windows without
+    open water, evaluate the sea surface at every segment and subtract it
+    from the segment's surface height.  Composes
+    :func:`estimate_track_sea_surface` and :func:`freeboard_from_sea_surface`,
+    which the stage-graph engine also runs as separate cacheable stages.
+
+    Parameters
+    ----------
+    segments:
+        Resampled 2 m segments.
+    labels:
+        Per-segment classes from the classifier (or auto-labels).
+    method:
+        Sea-surface estimation method (``"nasa"`` is the paper's choice).
+    clip_negative:
+        Clip negative freeboards to zero (operational behaviour).
+    """
+    surface = estimate_track_sea_surface(segments, labels, method=method, config=config)
+    return freeboard_from_sea_surface(segments, labels, surface, clip_negative=clip_negative)

@@ -124,21 +124,8 @@ def nasa_reference_height(
 
 
 # ---------------------------------------------------------------------------
-# Window-level estimation
+# Track-level estimation
 # ---------------------------------------------------------------------------
-
-
-def _window_estimate(
-    method: str,
-    along_m: np.ndarray,
-    heights_m: np.ndarray,
-    errors_m: np.ndarray,
-    center_m: float,
-) -> tuple[float, float]:
-    """Sea-surface height and error of one window from its open-water segments."""
-    if method not in SEA_SURFACE_METHODS:
-        raise ValueError(f"unknown sea-surface method {method!r}; choose from {SEA_SURFACE_METHODS}")
-    return _kernels.window_estimate_scalar(method, along_m, heights_m, errors_m, center_m)
 
 
 def estimate_sea_surface(

@@ -1,0 +1,69 @@
+"""Stage-graph pipeline engine: the Fig. 1 workflow as composable stages.
+
+Every step of the paper's workflow is a registered
+:class:`~repro.pipeline.stage.Stage` with declared typed inputs/outputs and
+a per-stage content fingerprint (its config slice combined with upstream
+fingerprints).  A :class:`~repro.pipeline.runner.GraphRunner` materialises
+any set of target artifacts, probing an optional content-addressed
+:class:`~repro.pipeline.cache.StageCache` first — so changing one config
+knob re-runs only the stages downstream of it.  Fan-out stages route
+per-beam work through the :class:`~repro.distributed.mapreduce.MapReduceEngine`
+with a pluggable serial/thread/process executor.
+
+Quick start::
+
+    from repro.pipeline import GraphRunner, StageCache, default_graph
+    from repro.workflow import ExperimentConfig
+
+    runner = GraphRunner(default_graph(), cache=StageCache("cache/"))
+    result = runner.run(ExperimentConfig(epochs=3, seed=0), targets=("freeboard",))
+    freeboard = result.value("freeboard")          # {beam: FreeboardResult}
+    rerun = runner.run(..., targets=("freeboard",))  # all cache hits
+
+:func:`repro.workflow.end_to_end.run_end_to_end` is a one-granule graph run;
+:class:`repro.campaign.runner.CampaignRunner` fans the same graph out over a
+granule fleet with the train stage as a pooled barrier.
+"""
+
+from repro.pipeline.artifact import Artifact, ArtifactSpec, external_artifact
+from repro.pipeline.cache import MISS, ArtifactStore, StageCache
+from repro.pipeline.fingerprint import (
+    canonical,
+    config_slice,
+    digest,
+    stage_fingerprint,
+)
+from repro.pipeline.graph import StageGraph
+from repro.pipeline.runner import GraphRunner, GraphRunResult
+from repro.pipeline.stage import Stage, StageContext, StageExecution
+from repro.pipeline.stages import (
+    TRAIN_CONFIG_PATHS,
+    TrainingSet,
+    artifact_specs,
+    build_default_graph,
+    default_graph,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactSpec",
+    "ArtifactStore",
+    "GraphRunResult",
+    "GraphRunner",
+    "MISS",
+    "Stage",
+    "StageCache",
+    "StageContext",
+    "StageExecution",
+    "StageGraph",
+    "TRAIN_CONFIG_PATHS",
+    "TrainingSet",
+    "artifact_specs",
+    "build_default_graph",
+    "canonical",
+    "config_slice",
+    "default_graph",
+    "digest",
+    "external_artifact",
+    "stage_fingerprint",
+]

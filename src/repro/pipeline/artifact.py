@@ -1,0 +1,90 @@
+"""Typed artifacts: the values flowing along the stage graph's edges.
+
+Every edge of the graph carries an :class:`Artifact` — a value plus the
+content fingerprint of the stage execution that produced it.  The graph
+declares each artifact's type with an :class:`ArtifactSpec`; the runner
+validates freshly computed values against the spec so a mis-wired stage
+fails loudly at the stage boundary instead of deep inside a consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """Declared name and type of one artifact.
+
+    ``per_beam`` artifacts are mappings from beam name to an instance of
+    ``type`` (the fan-out shape of the per-beam stages); ``optional``
+    artifacts may be ``None`` (e.g. ``drift`` when drift correction is
+    disabled).
+    """
+
+    name: str
+    type: type
+    description: str = ""
+    per_beam: bool = False
+    optional: bool = False
+
+    def validate(self, value: Any) -> None:
+        """Raise ``TypeError`` when ``value`` does not match this spec."""
+        if value is None:
+            if self.optional:
+                return
+            raise TypeError(f"artifact {self.name!r} must not be None")
+        if self.per_beam:
+            if not isinstance(value, Mapping):
+                raise TypeError(
+                    f"artifact {self.name!r} must be a per-beam mapping, "
+                    f"got {type(value).__name__}"
+                )
+            for beam, item in value.items():
+                if not isinstance(item, self.type):
+                    raise TypeError(
+                        f"artifact {self.name!r}[{beam!r}] must be "
+                        f"{self.type.__name__}, got {type(item).__name__}"
+                    )
+            return
+        if not isinstance(value, self.type):
+            raise TypeError(
+                f"artifact {self.name!r} must be {self.type.__name__}, "
+                f"got {type(value).__name__}"
+            )
+
+
+@dataclass
+class Artifact:
+    """One produced value: what it is, which stage made it, and its identity.
+
+    ``fingerprint`` is the producing stage's content fingerprint (config
+    slice + upstream fingerprints), so equal fingerprints imply equal values
+    for a deterministic stage.  ``seconds`` is the compute time of the
+    producing stage execution (0 for cache loads and injected values);
+    ``from_cache`` marks artifacts materialised from the stage cache.
+    """
+
+    name: str
+    value: Any = None
+    fingerprint: str = ""
+    stage: str = ""
+    seconds: float = 0.0
+    from_cache: bool = False
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def external_artifact(name: str, value: Any, fingerprint: str | None = None) -> Artifact:
+    """Wrap a value computed outside the graph so it can be injected.
+
+    Without an explicit fingerprint the artifact gets an ``external:`` tag —
+    fine for uncached runs; cached runs should pass the real fingerprint so
+    downstream cache keys chain correctly.
+    """
+    return Artifact(
+        name=name,
+        value=value,
+        fingerprint=fingerprint if fingerprint is not None else f"external:{name}",
+        stage="<injected>",
+    )

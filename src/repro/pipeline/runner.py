@@ -1,0 +1,257 @@
+"""Graph execution: fingerprint, probe the stage cache, compute, repeat.
+
+:class:`GraphRunner` materialises a set of target artifacts by walking the
+required stages in topological order.  For every stage it derives the
+content fingerprint (config slice + upstream fingerprints), probes the
+stage cache, and only computes on a miss — so after a config change, the
+first divergent stage and its downstream cone re-run while everything
+upstream is a cache hit.  This is what makes partial recomputation (the
+dominant cost of parameter sweeps) free.
+
+:meth:`GraphRunner.fingerprints` derives the full artifact-fingerprint map
+from a config *without executing anything* — the campaign runner uses it to
+decide which pooled-training and retrieval artifacts are already cached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.pipeline.artifact import Artifact
+from repro.pipeline.cache import MISS, StageCache
+from repro.pipeline.graph import StageGraph
+from repro.pipeline.stage import StageContext, StageExecution
+from repro.utils.timing import Stopwatch
+
+
+class GraphRunResult:
+    """Artifacts and per-stage bookkeeping of one graph execution."""
+
+    def __init__(
+        self,
+        artifacts: dict[str, Artifact],
+        executions: list[StageExecution],
+        cache_enabled: bool,
+    ) -> None:
+        self.artifacts = artifacts
+        self.executions = executions
+        self.cache_enabled = cache_enabled
+
+    def value(self, name: str) -> Any:
+        """The computed value of one artifact."""
+        return self.artifacts[name].value
+
+    def values(self, *names: str) -> tuple[Any, ...]:
+        return tuple(self.artifacts[name].value for name in names)
+
+    @property
+    def fingerprints(self) -> dict[str, str]:
+        return {name: artifact.fingerprint for name, artifact in self.artifacts.items()}
+
+    @property
+    def cache_hits(self) -> tuple[str, ...]:
+        """Stage-cache keys served from disk this run (empty without a cache)."""
+        return tuple(e.cache_key for e in self.executions if e.cached)
+
+    @property
+    def cache_misses(self) -> tuple[str, ...]:
+        """Stage-cache keys computed (and stored) this run.
+
+        Non-cacheable assembly stages execute every run by design, so they
+        are not counted as misses.
+        """
+        if not self.cache_enabled:
+            return ()
+        return tuple(
+            e.cache_key for e in self.executions if not e.cached and e.cacheable
+        )
+
+    @property
+    def executed_stages(self) -> tuple[str, ...]:
+        """Names of stages whose functions actually ran (cache misses)."""
+        return tuple(e.stage for e in self.executions if not e.cached)
+
+    def seconds(self, stage: str) -> float:
+        for execution in self.executions:
+            if execution.stage == stage:
+                return execution.seconds
+        raise KeyError(f"stage {stage!r} did not execute in this run")
+
+
+class GraphRunner:
+    """Execute a :class:`~repro.pipeline.graph.StageGraph` over one config.
+
+    Parameters
+    ----------
+    graph:
+        The stage graph (default: the Fig. 1 workflow graph).
+    cache:
+        Optional content-addressed stage cache shared across runs and
+        configs; ``None`` disables stage-granular caching.
+    executor / n_workers:
+        Executor kind and width handed to fan-out stages through the
+        :class:`~repro.pipeline.stage.StageContext` (``serial`` reproduces
+        the reference behaviour; ``thread``/``process`` only change time,
+        never values).
+    """
+
+    def __init__(
+        self,
+        graph: StageGraph | None = None,
+        cache: StageCache | None = None,
+        executor: str = "serial",
+        n_workers: int = 1,
+    ) -> None:
+        if graph is None:
+            from repro.pipeline.stages import default_graph
+
+            graph = default_graph()
+        self.graph = graph
+        self.cache = cache
+        self.executor = executor
+        self.n_workers = n_workers
+
+    # -- fingerprints without execution ---------------------------------------
+
+    def fingerprints(
+        self,
+        config: Any,
+        granule_id: str = "granule",
+        scenario: tuple = (),
+        precomputed: Mapping[str, str] | None = None,
+    ) -> dict[str, str]:
+        """Artifact name -> content fingerprint, derived purely from config.
+
+        ``precomputed`` maps injected artifact names to their fingerprints
+        (e.g. a pooled campaign classifier).  Stages whose inputs cannot all
+        be fingerprinted are skipped, so the result may be partial.
+        """
+        context = StageContext(
+            config=config, granule_id=granule_id, scenario=tuple(scenario)
+        )
+        payload = context.payload()
+        fps: dict[str, str] = dict(precomputed or {})
+        for stage in self.graph.topological_order():
+            if all(name in fps for name in stage.inputs):
+                fp = stage.fingerprint(
+                    config, payload, {name: fps[name] for name in stage.inputs}
+                )
+                for output in stage.outputs:
+                    fps.setdefault(output, fp)
+        return fps
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        config: Any,
+        targets: Iterable[str] | None = None,
+        precomputed: Mapping[str, Artifact] | None = None,
+        granule_id: str = "granule",
+        scenario: tuple = (),
+    ) -> GraphRunResult:
+        """Materialise ``targets`` (default: every declared artifact).
+
+        ``precomputed`` artifacts are treated as graph sources: their
+        producers never run, and their fingerprints seed the downstream
+        fingerprint chain.
+
+        Execution is demand-driven: fingerprints are derived for the whole
+        required subgraph up front (a pure computation), then stages
+        materialise lazily — a stage whose outputs are served by the cache
+        never demands its inputs, so a warm run touches only the bundles of
+        the targets themselves.  A corrupt cached bundle reads as a miss,
+        at which point the stage's inputs are demanded and it recomputes.
+        """
+        context = StageContext(
+            config=config,
+            granule_id=granule_id,
+            scenario=tuple(scenario),
+            executor=self.executor,
+            n_workers=self.n_workers,
+        )
+        payload = context.payload()
+        artifacts: dict[str, Artifact] = dict(precomputed or {})
+        if targets is None:
+            targets = tuple(self.graph.producer)
+        plan = self.graph.required_stages(targets, artifacts)
+
+        # Pure fingerprint pass over the plan: inputs of every planned stage
+        # are either precomputed or produced by an earlier planned stage.
+        artifact_fps = {name: artifact.fingerprint for name, artifact in artifacts.items()}
+        stage_fps: dict[str, str] = {}
+        for stage in plan:
+            fp = stage.fingerprint(
+                config, payload, {name: artifact_fps[name] for name in stage.inputs}
+            )
+            stage_fps[stage.name] = fp
+            for name in stage.outputs:
+                artifact_fps.setdefault(name, fp)
+
+        executions: list[StageExecution] = []
+        done: set[str] = set()
+
+        def materialize(name: str) -> None:
+            if name not in artifacts:
+                run_stage(self.graph.producer[name])
+
+        def run_stage(stage) -> None:
+            if stage.name in done:
+                return
+            fp = stage_fps[stage.name]
+            outputs: Mapping[str, Any] | None = None
+            cached = False
+            seconds = 0.0
+            if stage.cacheable and self.cache is not None:
+                bundle = self.cache.load_stage(stage.name, fp)
+                if bundle is not MISS:
+                    outputs = bundle["outputs"]
+                    seconds = bundle["seconds"]
+                    cached = True
+            if outputs is None:
+                for name in stage.inputs:
+                    materialize(name)
+                sw = Stopwatch().start()
+                outputs = stage.fn(
+                    context, **{name: artifacts[name].value for name in stage.inputs}
+                )
+                seconds = sw.stop()
+                self._validate_outputs(stage.name, stage.outputs, outputs)
+                if stage.cacheable and self.cache is not None:
+                    self.cache.store_stage(stage.name, fp, outputs, seconds)
+
+            for name in stage.outputs:
+                artifacts[name] = Artifact(
+                    name=name,
+                    value=outputs[name],
+                    fingerprint=fp,
+                    stage=stage.name,
+                    seconds=seconds,
+                    from_cache=cached,
+                )
+            executions.append(
+                StageExecution(
+                    stage=stage.name,
+                    fingerprint=fp,
+                    seconds=seconds,
+                    cached=cached,
+                    outputs=stage.outputs,
+                    cacheable=stage.cacheable,
+                )
+            )
+            done.add(stage.name)
+
+        for name in targets:
+            materialize(name)
+        return GraphRunResult(artifacts, executions, self.cache is not None)
+
+    def _validate_outputs(
+        self, stage_name: str, declared: tuple[str, ...], outputs: Mapping[str, Any]
+    ) -> None:
+        if set(outputs) != set(declared):
+            raise ValueError(
+                f"stage {stage_name!r} returned {sorted(outputs)}, "
+                f"declared outputs are {sorted(declared)}"
+            )
+        for name, value in outputs.items():
+            self.graph.artifacts[name].validate(value)

@@ -1,0 +1,433 @@
+"""The Fig. 1 workflow registered as composable, cacheable stages.
+
+Each step of the paper's workflow — scene -> atl03 -> s2 -> segmentation ->
+resample -> drift -> autolabel -> train -> infer -> sea-surface -> freeboard
+-> atl07/atl10 -> metrics — is a :class:`~repro.pipeline.stage.Stage` with
+declared typed inputs/outputs and the config slice it reads.
+:func:`default_graph` wires them into the canonical
+:class:`~repro.pipeline.graph.StageGraph`; :mod:`repro.workflow.end_to_end`
+and :mod:`repro.campaign.runner` are both executions of this graph.
+
+Determinism contract: a graph run is bit-for-bit identical to the historical
+monolithic ``prepare_experiment_data``/``run_end_to_end`` sequence.  The
+only subtlety is random-stream derivation — ``derive_rng`` consumes a draw
+from its parent generator, so :func:`_derived_stream` replays the exact
+draw order the monolith used (granule = first draw, S2 image = second) even
+though the stages now execute independently and may be served from cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Any
+
+import numpy as np
+
+from repro.atl03.granule import BeamData, Granule
+from repro.atl03.simulator import simulate_granule
+from repro.classification.pipeline import (
+    ClassifiedTrack,
+    InferencePipeline,
+    TrainedClassifier,
+    train_classifier,
+)
+from repro.freeboard.freeboard import (
+    FreeboardResult,
+    TrackSeaSurface,
+    estimate_track_sea_surface,
+    freeboard_from_sea_surface,
+)
+from repro.labeling.alignment import DriftEstimate, apply_shift, estimate_drift
+from repro.labeling.autolabel import AutoLabelResult, auto_label_segments
+from repro.labeling.manual import CorrectionReport, correct_labels
+from repro.pipeline.artifact import ArtifactSpec
+from repro.pipeline.graph import StageGraph
+from repro.pipeline.stage import Stage, StageContext
+from repro.products.atl07 import ATL07Product, generate_atl07
+from repro.products.atl10 import ATL10Product, generate_atl10
+from repro.resampling.window import SegmentArray, resample_fixed_window
+from repro.sentinel2.scene import S2Image, render_scene
+from repro.sentinel2.segmentation import SegmentationResult, segment_image
+from repro.surface.scene import IceScene, generate_scene
+from repro.utils.random import default_rng, derive_rng
+from repro.workflow.experiment import ExperimentData
+
+
+@dataclass
+class TrainingSet:
+    """Pooled training arrays of one granule (segments, labels, group ids)."""
+
+    segments: SegmentArray
+    labels: np.ndarray
+    groups: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.labels.shape[0])
+
+
+#: Config paths the train stage reads; the campaign's pooled-training
+#: fingerprint uses the same slice (minus ``seed``, which the campaign
+#: replaces with its own seed).
+TRAIN_CONFIG_PATHS = ("model_kind", "lstm", "mlp", "training", "epochs", "seed")
+
+
+def _derived_stream(seed: int, key: int) -> np.random.Generator:
+    """Replay the monolith's ``derive_rng`` draw order for stream ``key``.
+
+    Historically one parent generator served ``derive_rng(parent, 1)`` for
+    the ATL03 granule and then ``derive_rng(parent, 2)`` for the S2 image,
+    each call consuming one draw.  Rebuilding the parent per stage and
+    skipping the earlier draws yields exactly the same child streams while
+    keeping the stages independent (and therefore cacheable).
+    """
+    parent = default_rng(seed)
+    for _ in range(key - 1):
+        parent.integers(0, 2**63 - 1)
+    return derive_rng(parent, key)
+
+
+# -- stage functions (module-level: picklable into campaign workers) -----------
+
+
+def stage_scene(ctx: StageContext) -> dict[str, Any]:
+    cfg = ctx.config
+    return {"scene": generate_scene(cfg.scene, seed=cfg.seed)}
+
+
+def stage_atl03(ctx: StageContext, scene: IceScene) -> dict[str, Any]:
+    cfg = ctx.config
+    granule = simulate_granule(
+        scene, n_beams=cfg.n_beams, config=cfg.atl03, rng=_derived_stream(cfg.seed, 1)
+    )
+    return {"granule": granule}
+
+
+def stage_s2(ctx: StageContext, scene: IceScene) -> dict[str, Any]:
+    cfg = ctx.config
+    image = render_scene(
+        scene, config=cfg.s2, drift_offset_m=cfg.drift_m, rng=_derived_stream(cfg.seed, 2)
+    )
+    return {"image": image}
+
+
+def stage_segmentation(ctx: StageContext, image: S2Image) -> dict[str, Any]:
+    return {"segmentation": segment_image(image, ctx.config.segmentation)}
+
+
+def _resample_one(window_length_m: float, name: str, beam: BeamData) -> SegmentArray:
+    return resample_fixed_window(beam, window_length_m=window_length_m)
+
+
+def stage_resample(ctx: StageContext, granule: Granule) -> dict[str, Any]:
+    mapped = ctx.map_items(
+        granule.beams, partial(_resample_one, ctx.config.window_length_m)
+    )
+    return {"segments": mapped}
+
+
+def stage_drift(
+    ctx: StageContext,
+    image: S2Image,
+    segmentation: SegmentationResult,
+    segments: dict[str, SegmentArray],
+) -> dict[str, Any]:
+    """Estimate S2 drift from the first beam and align the image.
+
+    Matches the monolith: drift is estimated once, from the granule's first
+    beam, and the aligned image feeds every beam's auto-labeling.
+    """
+    if not ctx.config.estimate_drift or not segments:
+        return {"drift": None, "aligned_image": image}
+    first = next(iter(segments.values()))
+    drift = estimate_drift(
+        image, segmentation.class_map, first.x_m, first.y_m, first.height_mean_m
+    )
+    return {"drift": drift, "aligned_image": apply_shift(image, drift)}
+
+
+def _autolabel_one(
+    image: S2Image, segmentation: SegmentationResult, name: str, seg: SegmentArray
+) -> tuple[AutoLabelResult, np.ndarray, CorrectionReport]:
+    auto = auto_label_segments(seg, image, segmentation)
+    corrected, report = correct_labels(seg, auto)
+    return auto, corrected, report
+
+
+def stage_autolabel(
+    ctx: StageContext,
+    segments: dict[str, SegmentArray],
+    aligned_image: S2Image,
+    segmentation: SegmentationResult,
+) -> dict[str, Any]:
+    mapped = ctx.map_items(
+        segments, partial(_autolabel_one, aligned_image, segmentation)
+    )
+    return {
+        "auto_labels": {name: item[0] for name, item in mapped.items()},
+        "labels": {name: item[1] for name, item in mapped.items()},
+        "correction_reports": {name: item[2] for name, item in mapped.items()},
+    }
+
+
+def stage_curate(
+    ctx: StageContext,
+    scene: IceScene,
+    granule: Granule,
+    aligned_image: S2Image,
+    segmentation: SegmentationResult,
+    drift: DriftEstimate | None,
+    segments: dict[str, SegmentArray],
+    auto_labels: dict[str, AutoLabelResult],
+    labels: dict[str, np.ndarray],
+    correction_reports: dict[str, CorrectionReport],
+) -> dict[str, Any]:
+    data = ExperimentData(
+        scene=scene,
+        granule=granule,
+        image=aligned_image,
+        segmentation=segmentation,
+        drift=drift,
+        segments=segments,
+        auto_labels=auto_labels,
+        labels=labels,
+        correction_reports=correction_reports,
+    )
+    return {"experiment_data": data}
+
+
+def stage_training_set(ctx: StageContext, experiment_data: ExperimentData) -> dict[str, Any]:
+    segments, labels, groups = experiment_data.combined_training_arrays()
+    return {"training_set": TrainingSet(segments=segments, labels=labels, groups=groups)}
+
+
+def stage_train(ctx: StageContext, training_set: TrainingSet) -> dict[str, Any]:
+    cfg = ctx.config
+    classifier = train_classifier(
+        training_set.segments,
+        training_set.labels,
+        kind=cfg.model_kind,
+        lstm_config=cfg.lstm,
+        mlp_config=cfg.mlp,
+        training=cfg.training,
+        epochs=cfg.epochs,
+        rng=cfg.seed,
+        groups=training_set.groups,
+    )
+    return {"classifier": classifier}
+
+
+def stage_infer(
+    ctx: StageContext, segments: dict[str, SegmentArray], classifier: TrainedClassifier
+) -> dict[str, Any]:
+    # The curated segments were resampled with the same window/confidence
+    # parameters, so classify them directly instead of re-resampling photons.
+    # All beams go through one pooled predict_batched pass so the LSTM steps
+    # every sequence of the granule together.
+    pipeline = InferencePipeline(classifier, window_length_m=ctx.config.window_length_m)
+    return {"classified": pipeline.classify_segments_batched(segments)}
+
+
+def _sea_surface_one(config, name: str, track: ClassifiedTrack) -> TrackSeaSurface:
+    return estimate_track_sea_surface(
+        track.segments, track.labels, method=config.method, config=config
+    )
+
+
+def stage_sea_surface(
+    ctx: StageContext, classified: dict[str, ClassifiedTrack]
+) -> dict[str, Any]:
+    mapped = ctx.map_items(
+        classified, partial(_sea_surface_one, ctx.config.sea_surface)
+    )
+    return {"sea_surface": mapped}
+
+
+def stage_freeboard(
+    ctx: StageContext,
+    classified: dict[str, ClassifiedTrack],
+    sea_surface: dict[str, TrackSeaSurface],
+) -> dict[str, Any]:
+    freeboard = {
+        name: freeboard_from_sea_surface(track.segments, track.labels, sea_surface[name])
+        for name, track in classified.items()
+    }
+    return {"freeboard": freeboard}
+
+
+def _atl07_one(config, name: str, beam: BeamData) -> ATL07Product:
+    return generate_atl07(beam, sea_surface_config=config)
+
+
+def stage_atl07(ctx: StageContext, granule: Granule) -> dict[str, Any]:
+    mapped = ctx.map_items(granule.beams, partial(_atl07_one, ctx.config.sea_surface))
+    return {"atl07": mapped}
+
+
+def _atl10_one(name: str, product: ATL07Product) -> ATL10Product:
+    return generate_atl10(product)
+
+
+def stage_atl10(ctx: StageContext, atl07: dict[str, ATL07Product]) -> dict[str, Any]:
+    return {"atl10": ctx.map_items(atl07, _atl10_one)}
+
+
+def stage_metrics(
+    ctx: StageContext,
+    classified: dict[str, ClassifiedTrack],
+    freeboard: dict[str, FreeboardResult],
+) -> dict[str, Any]:
+    # Runtime import: repro.campaign imports repro.pipeline at module load,
+    # so importing campaign.metrics here at import time would be a cycle.
+    from repro.campaign.metrics import granule_metrics
+
+    metrics = granule_metrics(ctx.granule_id, tuple(ctx.scenario), classified, freeboard)
+    return {"granule_metrics": metrics}
+
+
+# -- the canonical graph -------------------------------------------------------
+
+
+def artifact_specs() -> list[ArtifactSpec]:
+    """Typed declarations of every artifact flowing through the Fig. 1 graph."""
+    return [
+        ArtifactSpec("scene", IceScene, "ground-truth Ross Sea ice scene"),
+        ArtifactSpec("granule", Granule, "simulated ATL03 photon granule"),
+        ArtifactSpec("image", S2Image, "rendered (drifted, cloudy) Sentinel-2 scene"),
+        ArtifactSpec("segmentation", SegmentationResult, "S2 image segmentation"),
+        ArtifactSpec("segments", SegmentArray, "2 m resampled segments", per_beam=True),
+        ArtifactSpec("drift", DriftEstimate, "estimated S2 drift", optional=True),
+        ArtifactSpec("aligned_image", S2Image, "drift-corrected Sentinel-2 scene"),
+        ArtifactSpec("auto_labels", AutoLabelResult, "raw auto-labels", per_beam=True),
+        ArtifactSpec("labels", np.ndarray, "corrected training labels", per_beam=True),
+        ArtifactSpec(
+            "correction_reports", CorrectionReport, "label corrections", per_beam=True
+        ),
+        ArtifactSpec("experiment_data", ExperimentData, "assembled stage-1 curation"),
+        ArtifactSpec("training_set", TrainingSet, "pooled training arrays"),
+        ArtifactSpec("classifier", TrainedClassifier, "trained LSTM/MLP classifier"),
+        ArtifactSpec("classified", ClassifiedTrack, "per-segment classes", per_beam=True),
+        ArtifactSpec(
+            "sea_surface", TrackSeaSurface, "local sea-surface reference", per_beam=True
+        ),
+        ArtifactSpec("freeboard", FreeboardResult, "2 m freeboard product", per_beam=True),
+        ArtifactSpec("atl07", ATL07Product, "emulated ATL07 baseline", per_beam=True),
+        ArtifactSpec("atl10", ATL10Product, "emulated ATL10 baseline", per_beam=True),
+        # GranuleMetrics lives in the campaign layer (imported lazily above),
+        # so the spec validates loosely rather than importing it here.
+        ArtifactSpec("granule_metrics", object, "classification + freeboard metrics"),
+    ]
+
+
+def build_default_graph() -> StageGraph:
+    """Construct the canonical Fig. 1 stage graph (a fresh instance)."""
+    stages = [
+        Stage("scene", stage_scene, (), ("scene",), ("scene", "seed")),
+        Stage("atl03", stage_atl03, ("scene",), ("granule",), ("atl03", "n_beams", "seed")),
+        Stage("s2", stage_s2, ("scene",), ("image",), ("s2", "drift_m", "seed")),
+        Stage(
+            "segmentation",
+            stage_segmentation,
+            ("image",),
+            ("segmentation",),
+            ("segmentation",),
+        ),
+        Stage(
+            "resample",
+            stage_resample,
+            ("granule",),
+            ("segments",),
+            ("window_length_m",),
+            fan_out=True,
+        ),
+        Stage(
+            "drift",
+            stage_drift,
+            ("image", "segmentation", "segments"),
+            ("drift", "aligned_image"),
+            ("estimate_drift",),
+        ),
+        Stage(
+            "autolabel",
+            stage_autolabel,
+            ("segments", "aligned_image", "segmentation"),
+            ("auto_labels", "labels", "correction_reports"),
+            (),
+            fan_out=True,
+        ),
+        Stage(
+            "curate",
+            stage_curate,
+            (
+                "scene",
+                "granule",
+                "aligned_image",
+                "segmentation",
+                "drift",
+                "segments",
+                "auto_labels",
+                "labels",
+                "correction_reports",
+            ),
+            ("experiment_data",),
+            (),
+            # Pure assembly: caching would re-pickle every upstream artifact
+            # (scene, granule, image, segments, ...) into one more bundle.
+            cacheable=False,
+        ),
+        Stage(
+            "training_set",
+            stage_training_set,
+            ("experiment_data",),
+            ("training_set",),
+            (),
+            cacheable=False,
+        ),
+        Stage("train", stage_train, ("training_set",), ("classifier",), TRAIN_CONFIG_PATHS),
+        Stage(
+            "infer",
+            stage_infer,
+            ("segments", "classifier"),
+            ("classified",),
+            ("window_length_m",),
+        ),
+        Stage(
+            "sea_surface",
+            stage_sea_surface,
+            ("classified",),
+            ("sea_surface",),
+            ("sea_surface",),
+            fan_out=True,
+        ),
+        Stage("freeboard", stage_freeboard, ("classified", "sea_surface"), ("freeboard",), ()),
+        Stage(
+            "atl07",
+            stage_atl07,
+            ("granule",),
+            ("atl07",),
+            ("sea_surface",),
+            fan_out=True,
+        ),
+        Stage("atl10", stage_atl10, ("atl07",), ("atl10",), (), fan_out=True),
+        Stage(
+            "metrics",
+            stage_metrics,
+            ("classified", "freeboard"),
+            ("granule_metrics",),
+            (),
+            context_paths=("granule_id", "scenario"),
+        ),
+    ]
+    return StageGraph(stages, artifact_specs())
+
+
+_DEFAULT_GRAPH: StageGraph | None = None
+
+
+def default_graph() -> StageGraph:
+    """The shared canonical graph instance (immutable, safe to share)."""
+    global _DEFAULT_GRAPH
+    if _DEFAULT_GRAPH is None:
+        _DEFAULT_GRAPH = build_default_graph()
+    return _DEFAULT_GRAPH

@@ -1,6 +1,8 @@
 """The complete ATL03 sea-ice classification and freeboard workflow.
 
-This module wires the substrates together exactly as the paper's Fig. 1:
+This module is the convenience facade over the stage-graph engine
+(:mod:`repro.pipeline`), which wires the substrates together exactly as the
+paper's Fig. 1:
 
 1. **Data curation** — generate a Ross Sea scene, simulate an ATL03 granule
    over it, render a coincident (drifted, cloudy) Sentinel-2 acquisition,
@@ -13,202 +15,57 @@ This module wires the substrates together exactly as the paper's Fig. 1:
    classified open water, compute freeboard, and build the ATL07/ATL10
    emulated baselines for comparison.
 
-Every step is also exposed individually (the examples and benchmarks call
-into specific stages); :func:`run_end_to_end` is the convenience that runs
-them all with one seed and returns every intermediate product.
+Every step is a registered :class:`~repro.pipeline.stage.Stage`;
+:func:`run_end_to_end` is a one-granule graph run that materialises every
+intermediate product, and :func:`prepare_experiment_data` targets just the
+curated stage-1 artifacts.  Callers that want stage-granular caching,
+partial recomputation or parallel per-beam fan-out use
+:class:`~repro.pipeline.runner.GraphRunner` directly with the same graph.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.atl03.granule import Granule
-from repro.atl03.simulator import ATL03SimulatorConfig, simulate_granule
-from repro.classification.pipeline import (
-    ClassifiedTrack,
-    InferencePipeline,
-    TrainedClassifier,
-    train_classifier,
+from repro.classification.pipeline import ClassifiedTrack, TrainedClassifier
+from repro.workflow.experiment import (
+    ExperimentConfig,
+    ExperimentData,
+    InferenceProducts,
+    PipelineOutputs,
 )
-from repro.config import (
-    DEFAULT_SEA_SURFACE,
-    DEFAULT_TRAINING,
-    LSTMConfig,
-    MLPConfig,
-    SeaSurfaceConfig,
-    TrainingConfig,
-    DEFAULT_LSTM,
-    DEFAULT_MLP,
-    RESAMPLE_WINDOW_M,
-)
-from repro.freeboard.freeboard import FreeboardResult, compute_freeboard
-from repro.labeling.alignment import DriftEstimate, apply_shift, estimate_drift
-from repro.labeling.autolabel import AutoLabelResult, auto_label_segments
-from repro.labeling.manual import CorrectionReport, correct_labels
-from repro.products.atl07 import ATL07Product, generate_atl07
-from repro.products.atl10 import ATL10Product, generate_atl10
-from repro.resampling.window import SegmentArray, concatenate_segments, resample_fixed_window
-from repro.sentinel2.scene import S2Image, S2SceneConfig, render_scene
-from repro.sentinel2.segmentation import SegmentationConfig, SegmentationResult, segment_image
-from repro.surface.scene import IceScene, SceneConfig, generate_scene
-from repro.utils.random import default_rng, derive_rng
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentData",
+    "InferenceProducts",
+    "PipelineOutputs",
+    "prepare_experiment_data",
+    "run_end_to_end",
+    "run_inference_stage",
+]
 
 
-@dataclass(frozen=True)
-class ExperimentConfig:
-    """Sizing and seeding of a full end-to-end experiment.
+def _graph_runner():
+    """A default-graph runner; imported lazily to break the import cycle.
 
-    The defaults produce a small but representative experiment that runs in
-    tens of seconds on one CPU; the benchmarks scale the scene and track up.
+    ``repro.pipeline.stages`` imports :mod:`repro.workflow.experiment` (and
+    with it this package's ``__init__``) at module load, so this facade must
+    not import :mod:`repro.pipeline` until call time.
     """
+    from repro.pipeline.runner import GraphRunner
+    from repro.pipeline.stages import default_graph
 
-    scene: SceneConfig = field(default_factory=lambda: SceneConfig(width_m=30_000.0, height_m=30_000.0))
-    s2: S2SceneConfig = field(default_factory=S2SceneConfig)
-    atl03: ATL03SimulatorConfig = field(default_factory=ATL03SimulatorConfig)
-    segmentation: SegmentationConfig = field(default_factory=SegmentationConfig)
-    sea_surface: SeaSurfaceConfig = DEFAULT_SEA_SURFACE
-    training: TrainingConfig = DEFAULT_TRAINING
-    lstm: LSTMConfig = DEFAULT_LSTM
-    mlp: MLPConfig = DEFAULT_MLP
-    window_length_m: float = RESAMPLE_WINDOW_M
-    n_beams: int = 1
-    drift_m: tuple[float, float] = (150.0, 250.0)
-    epochs: int = 5
-    model_kind: str = "lstm"
-    estimate_drift: bool = True
-    seed: int = 42
-
-
-@dataclass
-class ExperimentData:
-    """All curated data of stage 1 (before model training)."""
-
-    scene: IceScene
-    granule: Granule
-    image: S2Image
-    segmentation: SegmentationResult
-    drift: DriftEstimate | None
-    segments: dict[str, SegmentArray]
-    auto_labels: dict[str, AutoLabelResult]
-    labels: dict[str, np.ndarray]
-    correction_reports: dict[str, CorrectionReport]
-
-    def combined_segments_and_labels(self) -> tuple[SegmentArray, np.ndarray]:
-        """Concatenate all beams' segments and labels for training.
-
-        Beams are concatenated in sorted name order; along-track positions are
-        kept per-beam (training only uses features, not positions).  All beams
-        must have been resampled with the same ``window_length_m`` — a
-        mismatch raises ``ValueError`` instead of silently mixing resolutions.
-        """
-        if set(self.labels) != set(self.segments):
-            raise ValueError(
-                "segments and labels must cover the same beams, got "
-                f"segments={sorted(self.segments)} labels={sorted(self.labels)}"
-            )
-        names = sorted(self.segments)
-        if len(names) == 1:
-            return self.segments[names[0]], self.labels[names[0]]
-        combined = concatenate_segments([self.segments[n] for n in names])
-        labels = np.concatenate([self.labels[n] for n in names])
-        return combined, labels
-
-    def combined_training_arrays(self) -> tuple[SegmentArray, np.ndarray, np.ndarray]:
-        """Combined segments and labels plus per-beam group ids.
-
-        The group ids mark each beam as an independent contiguous track so
-        training can keep along-track change features and LSTM sequences from
-        crossing beam boundaries (see ``groups`` in
-        :func:`repro.classification.train_classifier`).
-        """
-        segments, labels = self.combined_segments_and_labels()
-        names = sorted(self.segments)
-        groups = np.repeat(
-            np.arange(len(names)), [self.segments[n].n_segments for n in names]
-        )
-        return segments, labels, groups
-
-
-@dataclass
-class PipelineOutputs:
-    """Everything produced by a full end-to-end run."""
-
-    data: ExperimentData
-    classifier: TrainedClassifier
-    classified: dict[str, ClassifiedTrack]
-    freeboard: dict[str, FreeboardResult]
-    atl07: dict[str, ATL07Product]
-    atl10: dict[str, ATL10Product]
+    return GraphRunner(default_graph())
 
 
 def prepare_experiment_data(config: ExperimentConfig | None = None) -> ExperimentData:
-    """Stage 1 of the workflow: curation, resampling and auto-labeling."""
+    """Stage 1 of the workflow: curation, resampling and auto-labeling.
+
+    Executes the curation subgraph (scene -> atl03/s2 -> segmentation ->
+    resample -> drift -> autolabel) and assembles the products.
+    """
     cfg = config if config is not None else ExperimentConfig()
-    rng = default_rng(cfg.seed)
-
-    scene = generate_scene(cfg.scene, seed=cfg.seed)
-    granule = simulate_granule(
-        scene,
-        n_beams=cfg.n_beams,
-        config=cfg.atl03,
-        rng=derive_rng(rng, 1),
-    )
-    image = render_scene(
-        scene,
-        config=cfg.s2,
-        drift_offset_m=cfg.drift_m,
-        rng=derive_rng(rng, 2),
-    )
-    segmentation = segment_image(image, cfg.segmentation)
-
-    segments: dict[str, SegmentArray] = {}
-    auto_labels: dict[str, AutoLabelResult] = {}
-    labels: dict[str, np.ndarray] = {}
-    reports: dict[str, CorrectionReport] = {}
-
-    drift: DriftEstimate | None = None
-    aligned_image = image
-    for name, beam in granule.beams.items():
-        seg = resample_fixed_window(beam, window_length_m=cfg.window_length_m)
-        segments[name] = seg
-        if cfg.estimate_drift and drift is None:
-            drift = estimate_drift(
-                image,
-                segmentation.class_map,
-                seg.x_m,
-                seg.y_m,
-                seg.height_mean_m,
-            )
-            aligned_image = apply_shift(image, drift)
-        auto = auto_label_segments(seg, aligned_image, segmentation)
-        corrected, report = correct_labels(seg, auto)
-        auto_labels[name] = auto
-        labels[name] = corrected
-        reports[name] = report
-
-    return ExperimentData(
-        scene=scene,
-        granule=granule,
-        image=aligned_image,
-        segmentation=segmentation,
-        drift=drift,
-        segments=segments,
-        auto_labels=auto_labels,
-        labels=labels,
-        correction_reports=reports,
-    )
-
-
-@dataclass
-class InferenceProducts:
-    """Stage 3+4 products of one granule: classification, freeboard, baselines."""
-
-    classified: dict[str, ClassifiedTrack]
-    freeboard: dict[str, FreeboardResult]
-    atl07: dict[str, ATL07Product]
-    atl10: dict[str, ATL10Product]
+    result = _graph_runner().run(cfg, targets=("experiment_data",))
+    return result.value("experiment_data")
 
 
 def run_inference_stage(
@@ -221,62 +78,59 @@ def run_inference_stage(
 
     This is the fan-out half of the workflow: given stage-1 curated data and a
     trained classifier (possibly shared across many granules — see
-    :mod:`repro.campaign`), it runs inference, sea-surface detection,
-    freeboard and the emulated operational baselines for every beam.
+    :mod:`repro.campaign`), it runs the retrieval subgraph (inference,
+    sea-surface detection, freeboard and the emulated operational baselines)
+    with the curated data injected as precomputed artifacts.
 
     ``classified`` lets a caller that already classified the granule's beams
     (e.g. the campaign runner, which pools many granules into one
     ``predict_batched`` pass) skip the per-granule classification.
     """
-    if classified is None:
-        pipeline = InferencePipeline(classifier, window_length_m=config.window_length_m)
-        # The stage-1 segments were resampled with the same window/confidence
-        # parameters, so classify them directly instead of re-resampling
-        # photons.  All beams go through one pooled predict_batched pass so
-        # the LSTM steps every sequence of the granule together.
-        classified = pipeline.classify_segments_batched(data.segments)
+    from repro.pipeline.artifact import external_artifact
 
-    freeboard: dict[str, FreeboardResult] = {}
-    atl07: dict[str, ATL07Product] = {}
-    atl10: dict[str, ATL10Product] = {}
-    for name, track in classified.items():
-        freeboard[name] = compute_freeboard(
-            track.segments,
-            track.labels,
-            method=config.sea_surface.method,
-            config=config.sea_surface,
-        )
-        atl07[name] = generate_atl07(data.granule.beam(name), sea_surface_config=config.sea_surface)
-        atl10[name] = generate_atl10(atl07[name])
+    precomputed = {
+        "granule": external_artifact("granule", data.granule),
+        "segments": external_artifact("segments", data.segments),
+        "classifier": external_artifact("classifier", classifier),
+    }
+    if classified is not None:
+        precomputed["classified"] = external_artifact("classified", classified)
+    result = _graph_runner().run(
+        config,
+        targets=("classified", "freeboard", "atl07", "atl10"),
+        precomputed=precomputed,
+    )
     return InferenceProducts(
-        classified=classified, freeboard=freeboard, atl07=atl07, atl10=atl10
+        classified=result.value("classified"),
+        freeboard=result.value("freeboard"),
+        atl07=result.value("atl07"),
+        atl10=result.value("atl10"),
     )
 
 
 def run_end_to_end(config: ExperimentConfig | None = None) -> PipelineOutputs:
-    """Run the full Fig. 1 workflow and return every intermediate product."""
+    """Run the full Fig. 1 workflow and return every intermediate product.
+
+    One single-granule graph execution: curation, training, inference and
+    retrieval stages run in topological order.
+    """
     cfg = config if config is not None else ExperimentConfig()
-    data = prepare_experiment_data(cfg)
-
-    segments, labels, groups = data.combined_training_arrays()
-    classifier = train_classifier(
-        segments,
-        labels,
-        kind=cfg.model_kind,
-        lstm_config=cfg.lstm,
-        mlp_config=cfg.mlp,
-        training=cfg.training,
-        epochs=cfg.epochs,
-        rng=cfg.seed,
-        groups=groups,
+    result = _graph_runner().run(
+        cfg,
+        targets=(
+            "experiment_data",
+            "classifier",
+            "classified",
+            "freeboard",
+            "atl07",
+            "atl10",
+        ),
     )
-
-    products = run_inference_stage(data, classifier, cfg)
     return PipelineOutputs(
-        data=data,
-        classifier=classifier,
-        classified=products.classified,
-        freeboard=products.freeboard,
-        atl07=products.atl07,
-        atl10=products.atl10,
+        data=result.value("experiment_data"),
+        classifier=result.value("classifier"),
+        classified=result.value("classified"),
+        freeboard=result.value("freeboard"),
+        atl07=result.value("atl07"),
+        atl10=result.value("atl10"),
     )

@@ -1,0 +1,137 @@
+"""Experiment configuration and product containers of the Fig. 1 workflow.
+
+These dataclasses are the *nouns* of the workflow: the sizing/seeding of one
+end-to-end experiment (:class:`ExperimentConfig`), the curated stage-1 data
+(:class:`ExperimentData`), the retrieval products (:class:`InferenceProducts`)
+and the full bundle (:class:`PipelineOutputs`).  They live apart from the
+orchestration in :mod:`repro.workflow.end_to_end` so the stage-graph engine
+(:mod:`repro.pipeline`) can depend on them without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.atl03.granule import Granule
+from repro.atl03.simulator import ATL03SimulatorConfig
+from repro.classification.pipeline import ClassifiedTrack, TrainedClassifier
+from repro.config import (
+    DEFAULT_LSTM,
+    DEFAULT_MLP,
+    DEFAULT_SEA_SURFACE,
+    DEFAULT_TRAINING,
+    LSTMConfig,
+    MLPConfig,
+    RESAMPLE_WINDOW_M,
+    SeaSurfaceConfig,
+    TrainingConfig,
+)
+from repro.freeboard.freeboard import FreeboardResult
+from repro.labeling.alignment import DriftEstimate
+from repro.labeling.autolabel import AutoLabelResult
+from repro.labeling.manual import CorrectionReport
+from repro.products.atl07 import ATL07Product
+from repro.products.atl10 import ATL10Product
+from repro.resampling.window import SegmentArray, concatenate_segments
+from repro.sentinel2.scene import S2Image, S2SceneConfig
+from repro.sentinel2.segmentation import SegmentationConfig, SegmentationResult
+from repro.surface.scene import IceScene, SceneConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Sizing and seeding of a full end-to-end experiment.
+
+    The defaults produce a small but representative experiment that runs in
+    tens of seconds on one CPU; the benchmarks scale the scene and track up.
+    """
+
+    scene: SceneConfig = field(default_factory=lambda: SceneConfig(width_m=30_000.0, height_m=30_000.0))
+    s2: S2SceneConfig = field(default_factory=S2SceneConfig)
+    atl03: ATL03SimulatorConfig = field(default_factory=ATL03SimulatorConfig)
+    segmentation: SegmentationConfig = field(default_factory=SegmentationConfig)
+    sea_surface: SeaSurfaceConfig = DEFAULT_SEA_SURFACE
+    training: TrainingConfig = DEFAULT_TRAINING
+    lstm: LSTMConfig = DEFAULT_LSTM
+    mlp: MLPConfig = DEFAULT_MLP
+    window_length_m: float = RESAMPLE_WINDOW_M
+    n_beams: int = 1
+    drift_m: tuple[float, float] = (150.0, 250.0)
+    epochs: int = 5
+    model_kind: str = "lstm"
+    estimate_drift: bool = True
+    seed: int = 42
+
+
+@dataclass
+class ExperimentData:
+    """All curated data of stage 1 (before model training)."""
+
+    scene: IceScene
+    granule: Granule
+    image: S2Image
+    segmentation: SegmentationResult
+    drift: DriftEstimate | None
+    segments: dict[str, SegmentArray]
+    auto_labels: dict[str, AutoLabelResult]
+    labels: dict[str, np.ndarray]
+    correction_reports: dict[str, CorrectionReport]
+
+    def combined_segments_and_labels(self) -> tuple[SegmentArray, np.ndarray]:
+        """Concatenate all beams' segments and labels for training.
+
+        Beams are concatenated in sorted name order; along-track positions are
+        kept per-beam (training only uses features, not positions).  All beams
+        must have been resampled with the same ``window_length_m`` — a
+        mismatch raises ``ValueError`` instead of silently mixing resolutions.
+        """
+        if set(self.labels) != set(self.segments):
+            raise ValueError(
+                "segments and labels must cover the same beams, got "
+                f"segments={sorted(self.segments)} labels={sorted(self.labels)}"
+            )
+        names = sorted(self.segments)
+        if len(names) == 1:
+            return self.segments[names[0]], self.labels[names[0]]
+        combined = concatenate_segments([self.segments[n] for n in names])
+        labels = np.concatenate([self.labels[n] for n in names])
+        return combined, labels
+
+    def combined_training_arrays(self) -> tuple[SegmentArray, np.ndarray, np.ndarray]:
+        """Combined segments and labels plus per-beam group ids.
+
+        The group ids mark each beam as an independent contiguous track so
+        training can keep along-track change features and LSTM sequences from
+        crossing beam boundaries (see ``groups`` in
+        :func:`repro.classification.train_classifier`).
+        """
+        segments, labels = self.combined_segments_and_labels()
+        names = sorted(self.segments)
+        groups = np.repeat(
+            np.arange(len(names)), [self.segments[n].n_segments for n in names]
+        )
+        return segments, labels, groups
+
+
+@dataclass
+class InferenceProducts:
+    """Stage 3+4 products of one granule: classification, freeboard, baselines."""
+
+    classified: dict[str, ClassifiedTrack]
+    freeboard: dict[str, FreeboardResult]
+    atl07: dict[str, ATL07Product]
+    atl10: dict[str, ATL10Product]
+
+
+@dataclass
+class PipelineOutputs:
+    """Everything produced by a full end-to-end run."""
+
+    data: ExperimentData
+    classifier: TrainedClassifier
+    classified: dict[str, ClassifiedTrack]
+    freeboard: dict[str, FreeboardResult]
+    atl07: dict[str, ATL07Product]
+    atl10: dict[str, ATL10Product]

@@ -63,3 +63,20 @@ class TestCampaignCache:
         cache.store("k", "old")
         cache.store("k", "new")
         assert cache.load("k") == "new"
+
+
+class TestMissSentinel:
+    """Regression: a legitimately cached ``None`` must not read as a miss."""
+
+    def test_cached_none_is_a_hit_with_sentinel(self, cache):
+        from repro.campaign.cache import _MISS
+
+        assert cache.load("absent", _MISS) is _MISS
+        cache.store("absent", None)
+        assert cache.load("absent", _MISS) is None
+
+    def test_sentinel_is_shared_with_pipeline_tier(self):
+        from repro.campaign.cache import _MISS
+        from repro.pipeline.cache import MISS
+
+        assert _MISS is MISS

@@ -211,3 +211,22 @@ class TestFingerprint:
     def test_stable_across_calls(self):
         config = CampaignConfig(grid={"cloud_fraction": (0.1,)}, seed=3)
         assert config.fingerprint() == config.fingerprint()
+
+
+class TestUniqueGranuleIds:
+    def test_expansion_ids_are_unique(self):
+        config = CampaignConfig(
+            grid={"cloud_fraction": (0.1, 0.2), "n_beams": (1, 2)}, replicates=2
+        )
+        specs = config.expand()
+        assert len({spec.granule_id for spec in specs}) == len(specs)
+
+    def test_duplicate_ids_rejected_with_clear_error(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.campaign.config import _ensure_unique_granule_ids
+
+        specs = CampaignConfig(grid={"cloud_fraction": (0.1, 0.2)}).expand()
+        clashing = [specs[0], dc_replace(specs[1], granule_id=specs[0].granule_id)]
+        with pytest.raises(ValueError, match="duplicate granule_id"):
+            _ensure_unique_granule_ids(clashing)

@@ -1,0 +1,176 @@
+"""Execution tests for the graph runner: caching, partial recompute, executors."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import SeaSurfaceConfig
+from repro.pipeline import (
+    MISS,
+    ArtifactStore,
+    GraphRunner,
+    StageCache,
+    default_graph,
+    external_artifact,
+)
+from repro.surface.scene import SceneConfig
+from repro.workflow.end_to_end import ExperimentConfig
+
+CONFIG = ExperimentConfig(
+    scene=SceneConfig(
+        width_m=6_000.0,
+        height_m=6_000.0,
+        open_water_fraction=0.12,
+        thin_ice_fraction=0.18,
+        thick_ice_fraction=0.70,
+        n_leads=8,
+    ),
+    epochs=2,
+    model_kind="mlp",
+    seed=13,
+    drift_m=(120.0, 180.0),
+)
+
+TARGETS = (
+    "experiment_data",
+    "classifier",
+    "classified",
+    "freeboard",
+    "atl07",
+    "atl10",
+    "granule_metrics",
+)
+
+
+@pytest.fixture(scope="module")
+def cache_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("stage-cache")
+
+
+@pytest.fixture(scope="module")
+def first_run(cache_root):
+    runner = GraphRunner(default_graph(), cache=StageCache(cache_root))
+    return runner.run(CONFIG, targets=TARGETS)
+
+
+#: Stages that execute every run by design: pure assembly of cached inputs.
+ASSEMBLY_STAGES = {"curate", "training_set"}
+
+
+class TestCachedExecution:
+    def test_cold_run_executes_every_required_stage(self, first_run):
+        assert set(first_run.executed_stages) == {
+            s.name for s in default_graph().required_stages(TARGETS)
+        }
+        assert first_run.cache_hits == ()
+        # Every cacheable stage was a (stored) miss; assembly stages are
+        # deliberately uncached and never counted.
+        cacheable = [e for e in first_run.executions if e.cacheable]
+        assert len(first_run.cache_misses) == len(cacheable)
+        assert {e.stage for e in first_run.executions if not e.cacheable} == ASSEMBLY_STAGES
+
+    def test_warm_rerun_is_pure_cache(self, cache_root, first_run):
+        runner = GraphRunner(default_graph(), cache=StageCache(cache_root))
+        second = runner.run(CONFIG, targets=TARGETS)
+        # Only the uncached assembly stages re-run (cheaply, from cached
+        # inputs); every computing stage is served from the cache and the
+        # demand-driven runner never even probes undemanded intermediates.
+        assert set(second.executed_stages) <= ASSEMBLY_STAGES
+        assert second.cache_misses == ()
+        assert set(second.cache_hits) <= set(first_run.cache_misses)
+        for name in first_run.value("freeboard"):
+            np.testing.assert_array_equal(
+                first_run.value("freeboard")[name].freeboard_m,
+                second.value("freeboard")[name].freeboard_m,
+            )
+        for a, b in zip(
+            first_run.value("classifier").model.get_weights(),
+            second.value("classifier").model.get_weights(),
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_sea_surface_change_recomputes_only_downstream(self, cache_root, first_run):
+        runner = GraphRunner(default_graph(), cache=StageCache(cache_root))
+        changed = replace(CONFIG, sea_surface=SeaSurfaceConfig(method="average"))
+        result = runner.run(changed, targets=TARGETS)
+        downstream = {"sea_surface", "freeboard", "atl07", "atl10", "metrics"}
+        assert {k.rsplit("-", 1)[0] for k in result.cache_misses} == downstream
+        assert downstream <= set(result.executed_stages)
+        assert set(result.executed_stages) <= downstream | ASSEMBLY_STAGES
+        # Upstream artifacts are cache hits with unchanged fingerprints.
+        assert result.artifacts["classifier"].from_cache
+        assert (
+            result.artifacts["classifier"].fingerprint
+            == first_run.artifacts["classifier"].fingerprint
+        )
+        assert (
+            result.artifacts["freeboard"].fingerprint
+            != first_run.artifacts["freeboard"].fingerprint
+        )
+
+    def test_corrupt_stage_entry_is_recomputed(self, cache_root, first_run):
+        # Corrupt a demanded bundle: the stage reads as a miss, demands its
+        # (intact) inputs and recomputes the identical values.
+        cache = StageCache(cache_root)
+        execution = next(e for e in first_run.executions if e.stage == "freeboard")
+        cache.store.path(execution.cache_key).write_bytes(b"garbage")
+        runner = GraphRunner(default_graph(), cache=cache)
+        result = runner.run(CONFIG, targets=TARGETS)
+        assert "freeboard" in result.executed_stages
+        assert set(result.executed_stages) <= {"freeboard"} | ASSEMBLY_STAGES
+        for name in first_run.value("freeboard"):
+            np.testing.assert_array_equal(
+                first_run.value("freeboard")[name].freeboard_m,
+                result.value("freeboard")[name].freeboard_m,
+            )
+
+    def test_uncached_runner_reports_no_cache_keys(self):
+        result = GraphRunner(default_graph()).run(CONFIG, targets=("segments",))
+        assert result.cache_hits == ()
+        assert result.cache_misses == ()
+        assert "resample" in result.executed_stages
+
+
+class TestPrecomputedArtifacts:
+    def test_injected_classifier_skips_training(self, first_run):
+        runner = GraphRunner(default_graph())
+        precomputed = {
+            "granule": external_artifact("granule", first_run.value("experiment_data").granule),
+            "segments": external_artifact("segments", first_run.value("experiment_data").segments),
+            "classifier": external_artifact("classifier", first_run.value("classifier")),
+        }
+        result = runner.run(
+            CONFIG, targets=("classified", "freeboard"), precomputed=precomputed
+        )
+        assert "train" not in result.executed_stages
+        assert "scene" not in result.executed_stages
+        for name in first_run.value("classified"):
+            np.testing.assert_array_equal(
+                first_run.value("classified")[name].labels,
+                result.value("classified")[name].labels,
+            )
+
+
+class TestExecutorParity:
+    def test_process_fan_out_matches_serial(self, first_run):
+        config = replace(CONFIG, n_beams=2)
+        serial = GraphRunner(default_graph()).run(config, targets=("freeboard",))
+        process = GraphRunner(default_graph(), executor="process", n_workers=2).run(
+            config, targets=("freeboard",)
+        )
+        assert sorted(serial.value("freeboard")) == sorted(process.value("freeboard"))
+        for name in serial.value("freeboard"):
+            np.testing.assert_array_equal(
+                serial.value("freeboard")[name].freeboard_m,
+                process.value("freeboard")[name].freeboard_m,
+            )
+
+
+class TestArtifactStoreSentinel:
+    def test_cached_none_is_distinguishable_from_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path, "ns")
+        assert store.load("k", MISS) is MISS
+        store.store("k", None)
+        assert store.load("k", MISS) is None
+        assert store.load("k") is None  # plain default stays None-compatible
