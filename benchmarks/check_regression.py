@@ -1,13 +1,15 @@
 #!/usr/bin/env python
 """Kernel perf-regression gate for CI.
 
-Reads a pytest-benchmark ``--benchmark-json`` file produced by
-``benchmarks/bench_kernels.py``, pairs each ``*_reference`` benchmark with
-its ``*_vectorized`` counterpart, and computes the vectorized speedup as the
-ratio of the per-round *minimum* times (the least noisy statistic on shared
-CI runners).  The speedups — not the absolute times — are compared against
-the committed baselines in ``benchmarks/results/kernel_baselines.json``, so
-the gate is independent of how fast the CI machine happens to be.
+Reads a pytest-benchmark ``--benchmark-json`` file produced by the kernel
+benchmark suites (``benchmarks/bench_kernels.py`` and
+``benchmarks/bench_l3_gridding.py``), pairs each ``*_reference`` benchmark
+with its ``*_vectorized`` counterpart, and computes the vectorized speedup
+as the ratio of the per-round *minimum* times (the least noisy statistic on
+shared CI runners).  The speedups — not the absolute times — are compared
+against the committed baselines in
+``benchmarks/results/kernel_baselines.json``, so the gate is independent of
+how fast the CI machine happens to be.
 
 The check fails when a kernel's measured speedup
 
@@ -18,11 +20,12 @@ The check fails when a kernel's measured speedup
   and scheduling noise on a ~1x ratio easily exceeds any tight tolerance —
   or
 * falls below the kernel's hard floor (the acceptance criterion: >= 3x for
-  the windowed sea-surface and confidence-binning paths).
+  the windowed sea-surface, confidence-binning and Level-3 gridding paths).
 
 Usage::
 
-    python -m pytest benchmarks/bench_kernels.py --benchmark-json=bench.json
+    python -m pytest benchmarks/bench_kernels.py benchmarks/bench_l3_gridding.py \\
+        --benchmark-json=bench.json
     python benchmarks/check_regression.py bench.json
     python benchmarks/check_regression.py bench.json --update   # refresh baselines
 """
@@ -41,6 +44,7 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "results" / "kernel_baselin
 SPEEDUP_FLOORS = {
     "sea_surface_nasa": 3.0,
     "confidence_binning": 3.0,
+    "l3_gridding": 3.0,
 }
 
 #: Baselines below this speedup are treated as near-parity: the relative

@@ -46,6 +46,7 @@ from repro.campaign.metrics import (
     granule_metrics,
 )
 from repro.campaign.runner import (
+    CampaignL3Result,
     CampaignResult,
     CampaignRunner,
     CuratedGranule,
@@ -57,6 +58,7 @@ __all__ = [
     "AXIS_ALIASES",
     "CampaignCache",
     "CampaignConfig",
+    "CampaignL3Result",
     "CampaignMetrics",
     "CampaignResult",
     "CampaignRunner",

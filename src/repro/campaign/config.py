@@ -55,9 +55,10 @@ AXIS_ALIASES: dict[str, str] = {
 #: classifier is trained on the pooled segments of every granule, so these
 #: knobs are read from ``base`` only.  Sweeping them per granule would be
 #: silently ignored (``model_kind``, ``epochs``, ``training``/``lstm``/
-#: ``mlp``), break pooled concatenation (``window_length_m``), or be
-#: overwritten by the derived per-granule seed (``seed``) — so they are
-#: rejected as grid axes.
+#: ``mlp``), break pooled concatenation (``window_length_m``), be
+#: overwritten by the derived per-granule seed (``seed``), or break the
+#: Level-3 mosaic, which needs every granule on one shared grid (``l3``) —
+#: so they are rejected as grid axes.
 CAMPAIGN_LEVEL_FIELDS = (
     "model_kind",
     "epochs",
@@ -66,6 +67,7 @@ CAMPAIGN_LEVEL_FIELDS = (
     "mlp",
     "window_length_m",
     "seed",
+    "l3",
 )
 
 

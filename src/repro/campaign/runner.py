@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -66,12 +66,22 @@ from repro.resampling.window import SegmentArray, concatenate_segments
 from repro.utils.timing import Stopwatch, TimingRecord
 from repro.workflow.end_to_end import ExperimentData, InferenceProducts
 
+if TYPE_CHECKING:
+    from repro.l3.product import Level3Grid
+
 #: Stage-cache name of the campaign's pooled-training barrier.  It is not a
 #: graph stage (it pools *across* granules), but it caches like one: the key
 #: hashes the base training config, the campaign seed and every granule's
 #: ``training_set`` fingerprint, so curation-irrelevant config changes
 #: (e.g. sea-surface method) reuse the trained classifier.
 POOLED_TRAIN_STAGE = "train-pooled"
+
+#: Stage-cache name of the campaign's fleet-level Level-3 mosaic.  Like the
+#: pooled-training barrier it pools *across* granules, so it is cached under
+#: the graph stage's name with a composite fingerprint: the l3/scene config
+#: slice, every granule's ``l3_granule`` fingerprint in canonical expansion
+#: order, and the kernel backend.
+MOSAIC_STAGE = "mosaic_campaign"
 
 #: Retrieval-side artifacts materialised per granule by the graph.
 _RETRIEVAL_TARGETS = ("freeboard", "atl07", "atl10", "granule_metrics")
@@ -169,6 +179,36 @@ class CampaignResult:
             title="Simulated cluster scaling (calibrated cost model)",
         )
         return "\n\n".join([per_granule, campaign, scaling])
+
+
+@dataclass
+class CampaignL3Result:
+    """The campaign's Level-3 products: per-granule grids plus the mosaic.
+
+    ``granules`` preserves canonical expansion order.  ``stage_hits`` /
+    ``stage_misses`` are the stage-tier keys touched while gridding — after
+    a grid-resolution-only config change, only ``grid_granule-*`` and
+    ``mosaic_campaign-*`` keys appear in ``stage_misses``.
+    """
+
+    mosaic: "Level3Grid"
+    granules: dict[str, "Level3Grid"]
+    #: Content fingerprint of the fleet mosaic ("" when caching is disabled).
+    fingerprint: str = ""
+    stage_hits: tuple[str, ...] = ()
+    stage_misses: tuple[str, ...] = ()
+    seconds: float = 0.0
+
+    @property
+    def n_granules(self) -> int:
+        return len(self.granules)
+
+    def summary(self) -> str:
+        """Plain-text coverage table of the granule grids and the mosaic."""
+        from repro.evaluation.tables import l3_coverage_table
+
+        rows = l3_coverage_table([*self.granules.values(), self.mosaic])
+        return format_table(rows, title=f"Level-3 products ({self.n_granules} granules)")
 
 
 def _stage_cache(root: str | None) -> StageCache | None:
@@ -376,6 +416,9 @@ class CampaignRunner:
         #: Root of the stage tier, shared by every campaign fingerprint
         #: under the same cache directory.
         self.stage_root: str | None = config.cache_dir
+        #: Memoized fingerprint maps per kernel backend (the only non-config
+        #: input they depend on), so ``run()`` + ``to_l3()`` derive them once.
+        self._fingerprint_memo: dict[str, tuple] = {}
 
     # -- engine ----------------------------------------------------------------
 
@@ -497,6 +540,29 @@ class CampaignRunner:
             }
         )
 
+    def _fingerprint_maps(
+        self, specs: Sequence[GranuleSpec]
+    ) -> tuple[
+        dict[str, dict[str, str]] | None, str | None, dict[str, dict[str, str]] | None
+    ]:
+        """Memoized ``(spec_fps, pooled_fp, retrieval_fps)`` for this config.
+
+        The maps are pure functions of the config and the active kernel
+        backend, so they are derived once per backend and shared between
+        :meth:`run` and :meth:`to_l3` instead of re-walking the graph.
+        """
+        from repro import kernels
+
+        key = kernels.get_backend()
+        cached = self._fingerprint_memo.get(key)
+        if cached is None:
+            spec_fps = self._spec_fingerprints(specs)
+            pooled_fp = self._pooled_train_fingerprint(specs, spec_fps)
+            retrieval_fps = self._retrieval_fingerprints(specs, pooled_fp)
+            cached = (spec_fps, pooled_fp, retrieval_fps)
+            self._fingerprint_memo[key] = cached
+        return cached
+
     # -- stages ----------------------------------------------------------------
 
     def run(self) -> CampaignResult:
@@ -513,9 +579,7 @@ class CampaignRunner:
         # result-tier entry — an artifact produced under a different backend
         # or stage version must never be reused just because the campaign
         # fingerprint matches.
-        spec_fps = self._spec_fingerprints(specs)
-        pooled_fp = self._pooled_train_fingerprint(specs, spec_fps)
-        retrieval_fps = self._retrieval_fingerprints(specs, pooled_fp)
+        spec_fps, pooled_fp, retrieval_fps = self._fingerprint_maps(specs)
 
         # Probe the cheap result-tier artifacts first: the shared classifier
         # bundle and per-granule results.  They determine which heavy curated
@@ -709,6 +773,106 @@ class CampaignRunner:
             cache_misses=tuple(misses),
             stage_hits=tuple(stage_hits),
             stage_misses=tuple(stage_misses),
+        )
+
+    # -- Level-3 products ------------------------------------------------------
+
+    def to_l3(self, result: CampaignResult | None = None) -> CampaignL3Result:
+        """Grid the campaign's retrieval output and mosaic the fleet.
+
+        Every granule runs the ``grid_granule`` stage as a graph execution
+        with its classified segments and freeboards injected (at their real
+        content fingerprints, so the stage tier serves unchanged granules
+        from cache — a grid-resolution-only config change re-executes just
+        ``grid_granule`` and ``mosaic_campaign``).  The fleet mosaic pools
+        all granule grids and is cached under the :data:`MOSAIC_STAGE` key
+        like the pooled-training barrier.
+        """
+        from repro.l3.processor import Level3Processor
+
+        if result is None:
+            result = self.run()
+        sw = Stopwatch().start()
+        specs = self.config.expand()
+        _, _, retrieval_fps = self._fingerprint_maps(specs)
+        cache = _stage_cache(self.stage_root)
+        runner = GraphRunner(default_graph(), cache=cache)
+
+        hits: list[str] = []
+        misses: list[str] = []
+        grids: dict[str, Any] = {}
+        for spec in specs:
+            gid = spec.granule_id
+            products = result.granule(gid).products
+            fps = retrieval_fps[gid] if retrieval_fps is not None else {}
+            precomputed = {
+                "classified": external_artifact(
+                    "classified", products.classified, fps.get("classified")
+                ),
+                "freeboard": external_artifact(
+                    "freeboard", products.freeboard, fps.get("freeboard")
+                ),
+            }
+            run = runner.run(
+                spec.config,
+                targets=("l3_granule",),
+                precomputed=precomputed,
+                granule_id=gid,
+                scenario=spec.scenario,
+            )
+            product = run.value("l3_granule")
+            product.metadata["fingerprint"] = run.artifacts["l3_granule"].fingerprint
+            grids[gid] = product
+            hits.extend(run.cache_hits)
+            misses.extend(run.cache_misses)
+
+        # Fleet mosaic: content-addressed across campaign fingerprints, so
+        # two campaigns differing only upstream-irrelevantly share it.
+        mosaic_fp = None
+        if retrieval_fps is not None and all(
+            "l3_granule" in retrieval_fps[spec.granule_id] for spec in specs
+        ):
+            from repro import kernels
+
+            mosaic_fp = digest(
+                {
+                    "stage": MOSAIC_STAGE,
+                    "version": "1",
+                    "config": config_slice(self.config.base, ("l3", "scene")),
+                    "inputs": [
+                        retrieval_fps[spec.granule_id]["l3_granule"] for spec in specs
+                    ],
+                    "kernel_backend": kernels.get_backend(),
+                }
+            )
+
+        mosaic = None
+        if mosaic_fp is not None and cache is not None:
+            bundle = cache.load_stage(MOSAIC_STAGE, mosaic_fp)
+            if bundle is not MISS:
+                mosaic = bundle["outputs"]["l3_mosaic"]
+                hits.append(f"{MOSAIC_STAGE}-{mosaic_fp}")
+        if mosaic is None:
+            processor = Level3Processor.from_config(
+                self.config.base.l3, scene=self.config.base.scene
+            )
+            sw_mosaic = Stopwatch().start()
+            mosaic = processor.mosaic([grids[spec.granule_id] for spec in specs])
+            mosaic_seconds = sw_mosaic.stop()
+            mosaic.metadata["fingerprint"] = mosaic_fp or ""
+            if mosaic_fp is not None and cache is not None:
+                cache.store_stage(
+                    MOSAIC_STAGE, mosaic_fp, {"l3_mosaic": mosaic}, mosaic_seconds
+                )
+                misses.append(f"{MOSAIC_STAGE}-{mosaic_fp}")
+
+        return CampaignL3Result(
+            mosaic=mosaic,
+            granules=grids,
+            fingerprint=mosaic_fp or "",
+            stage_hits=tuple(hits),
+            stage_misses=tuple(misses),
+            seconds=sw.stop(),
         )
 
 

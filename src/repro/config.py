@@ -199,6 +199,36 @@ class SeaSurfaceConfig:
             raise ValueError("min_open_water_segments must be >= 1")
 
 
+@dataclass(frozen=True)
+class L3GridConfig:
+    """Parameters of the Level-3 gridding stage (:mod:`repro.l3`).
+
+    The grid extent defaults to the granule's scene extent: ``None`` for any
+    of ``x_min_m``/``y_min_m``/``width_m``/``height_m`` means "take it from
+    the scene config".  Campaigns mosaic many granules onto **one** grid, so
+    fleets whose scenes vary in extent must pin the extent explicitly here.
+    """
+
+    cell_size_m: float = 1_000.0
+    x_min_m: float | None = None
+    y_min_m: float | None = None
+    width_m: float | None = None
+    height_m: float | None = None
+    #: Cells with fewer contributing freeboard segments than this report NaN
+    #: freeboard/thickness statistics (counts are always reported).
+    min_segments: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cell_size_m <= 0:
+            raise ValueError("cell_size_m must be positive")
+        if self.width_m is not None and self.width_m <= 0:
+            raise ValueError("width_m must be positive when given")
+        if self.height_m is not None and self.height_m <= 0:
+            raise ValueError("height_m must be positive when given")
+        if self.min_segments < 1:
+            raise ValueError("min_segments must be >= 1")
+
+
 # ---------------------------------------------------------------------------
 # Campaign scenario presets
 # ---------------------------------------------------------------------------
@@ -234,3 +264,4 @@ DEFAULT_MLP = MLPConfig()
 DEFAULT_CLUSTER = ClusterConfig()
 DEFAULT_GPU_CLUSTER = GPUClusterConfig()
 DEFAULT_SEA_SURFACE = SeaSurfaceConfig()
+DEFAULT_L3_GRID = L3GridConfig()

@@ -2,6 +2,7 @@
 
 from repro.evaluation.report import format_table, format_markdown_table
 from repro.evaluation.tables import (
+    l3_coverage_table,
     regenerate_table1,
     regenerate_table2,
     regenerate_table3,
@@ -14,11 +15,13 @@ from repro.evaluation.figures import (
     figure6_7_classification_comparison,
     figure8_9_sea_surface_comparison,
     figure10_11_freeboard_comparison,
+    figure_l3_grid_map,
 )
 
 __all__ = [
     "format_table",
     "format_markdown_table",
+    "l3_coverage_table",
     "regenerate_table1",
     "regenerate_table2",
     "regenerate_table3",
@@ -29,4 +32,5 @@ __all__ = [
     "figure6_7_classification_comparison",
     "figure8_9_sea_surface_comparison",
     "figure10_11_freeboard_comparison",
+    "figure_l3_grid_map",
 ]

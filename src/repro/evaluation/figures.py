@@ -214,3 +214,36 @@ def figure10_11_freeboard_comparison(
         "comparison": comparison.as_dict(),
         "atl07_mean_segment_length_m": atl07.mean_segment_length_m(),
     }
+
+
+# ---------------------------------------------------------------------------
+# Level-3 grid map (the gridded-composite panel)
+# ---------------------------------------------------------------------------
+
+
+def figure_l3_grid_map(product) -> dict[str, object]:
+    """Numeric series behind a Level-3 grid map (per-granule grid or mosaic).
+
+    Returns the cell-centre coordinates (projected metres and geodetic
+    lat/lon from the grid's polar stereographic projection) plus the key
+    composite layers, ready for a ``pcolormesh``-style plot.  Mosaic-only
+    layers (``n_granules``, ``coverage_fraction``) are included when present.
+    """
+    x_centers, y_centers = product.grid.cell_centers()
+    lat, lon = product.grid.cell_center_latlon()
+    series: dict[str, object] = {
+        "kind": product.kind,
+        "shape": list(product.grid.shape),
+        "cell_size_m": product.grid.cell_size_m,
+        "x_centers_m": x_centers,
+        "y_centers_m": y_centers,
+        "lat_deg": lat,
+        "lon_deg": lon,
+        "freeboard_mean_m": product.variable("freeboard_mean"),
+        "n_segments": product.variable("n_segments"),
+        "coverage_percent": round(100.0 * product.coverage_fraction(), 2),
+    }
+    for optional in ("n_granules", "coverage_fraction", "thickness_mean"):
+        if optional in product.variables:
+            series[optional] = product.variable(optional)
+    return series

@@ -112,3 +112,13 @@ def print_all_tables(epochs: int = 3, seed: int = 0) -> str:  # pragma: no cover
         format_table(regenerate_table5(), "Table V: freeboard scalability"),
     ]
     return "\n\n".join(parts)
+
+
+def l3_coverage_table(products) -> list[dict[str, object]]:
+    """Level-3 coverage table: one row per gridded product (granule or mosaic).
+
+    Each row reports the grid size, how many cells the product covers, the
+    total segment count and the finite-cell mean freeboard/thickness —
+    the at-a-glance answer to "how much of the grid did this fleet see".
+    """
+    return [product.summary_row() for product in products]

@@ -8,6 +8,7 @@ without external projection libraries.
 """
 
 from repro.geodesy.ellipsoid import WGS84, Ellipsoid
+from repro.geodesy.grid import GridDefinition
 from repro.geodesy.projection import PolarStereographic, antarctic_polar_stereographic
 from repro.geodesy.corrections import (
     GeophysicalCorrections,
@@ -21,6 +22,7 @@ from repro.geodesy.corrections import (
 __all__ = [
     "WGS84",
     "Ellipsoid",
+    "GridDefinition",
     "PolarStereographic",
     "antarctic_polar_stereographic",
     "GeophysicalCorrections",

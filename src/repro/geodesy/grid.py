@@ -1,0 +1,222 @@
+"""Regular metre grids on the polar stereographic plane.
+
+A :class:`GridDefinition` is the one description of a regular, axis-aligned
+grid of square cells in projected (EPSG:3976-style) metre coordinates that
+every raster-like consumer shares: the simulated Sentinel-2 images, the
+labeling overlay's nearest-pixel lookup, and the Level-3 gridded products
+(:mod:`repro.l3`).  Keeping the point -> cell arithmetic in one place means
+"which cell does this projected point fall in" has exactly one answer
+across the codebase.
+
+Conventions (matching the existing S2 georeferencing):
+
+* ``(x_min_m, y_min_m)`` is the **lower-left corner** of the grid;
+* cell ``(row, col)`` covers ``[x_min + col*s, x_min + (col+1)*s)`` by
+  ``[y_min + row*s, y_min + (row+1)*s)`` — half-open, so a point exactly on
+  the upper/right boundary belongs to the next cell (and is outside the
+  grid when there is no next cell);
+* rows increase with y (northward in grid coordinates), columns with x.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.geodesy.ellipsoid import Ellipsoid
+from repro.geodesy.projection import PolarStereographic, antarctic_polar_stereographic
+
+
+@dataclass(frozen=True)
+class GridDefinition:
+    """A regular grid of square cells in projected metre coordinates.
+
+    Parameters
+    ----------
+    x_min_m, y_min_m:
+        Lower-left corner of the grid, in projected metres.
+    cell_size_m:
+        Side length of the square cells.
+    nx, ny:
+        Number of columns / rows.
+    projection:
+        The projection whose plane the grid lives in; used only by the
+        geodetic cell-centre lookup (:meth:`cell_center_latlon`).
+    """
+
+    x_min_m: float
+    y_min_m: float
+    cell_size_m: float
+    nx: int
+    ny: int
+    projection: PolarStereographic = field(default_factory=antarctic_polar_stereographic)
+
+    def __post_init__(self) -> None:
+        if self.cell_size_m <= 0:
+            raise ValueError("cell_size_m must be positive")
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("grid must have at least one column and one row")
+
+    # -- extent ------------------------------------------------------------
+
+    @property
+    def x_max_m(self) -> float:
+        return self.x_min_m + self.nx * self.cell_size_m
+
+    @property
+    def y_max_m(self) -> float:
+        return self.y_min_m + self.ny * self.cell_size_m
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(ny, nx) — numpy array shape of one grid variable."""
+        return self.ny, self.nx
+
+    @property
+    def n_cells(self) -> int:
+        return self.nx * self.ny
+
+    @classmethod
+    def from_extent(
+        cls,
+        x_min_m: float,
+        x_max_m: float,
+        y_min_m: float,
+        y_max_m: float,
+        cell_size_m: float,
+        projection: PolarStereographic | None = None,
+    ) -> "GridDefinition":
+        """Grid covering ``[x_min, x_max) x [y_min, y_max)``.
+
+        The cell count is rounded up, so the grid always covers the full
+        requested extent (the last row/column may extend past it).
+        """
+        if cell_size_m <= 0:
+            raise ValueError("cell_size_m must be positive")
+        if x_max_m <= x_min_m or y_max_m <= y_min_m:
+            raise ValueError("grid extent must have positive width and height")
+        nx = int(math.ceil((x_max_m - x_min_m) / cell_size_m))
+        ny = int(math.ceil((y_max_m - y_min_m) / cell_size_m))
+        kwargs: dict[str, Any] = {}
+        if projection is not None:
+            kwargs["projection"] = projection
+        return cls(
+            x_min_m=float(x_min_m),
+            y_min_m=float(y_min_m),
+            cell_size_m=float(cell_size_m),
+            nx=nx,
+            ny=ny,
+            **kwargs,
+        )
+
+    # -- point -> cell -----------------------------------------------------
+
+    def contains(self, x_m: np.ndarray, y_m: np.ndarray) -> np.ndarray:
+        """Boolean mask of points inside the grid footprint (NaN is outside)."""
+        x = np.asarray(x_m, dtype=float)
+        y = np.asarray(y_m, dtype=float)
+        return (
+            (x >= self.x_min_m)
+            & (x < self.x_max_m)
+            & (y >= self.y_min_m)
+            & (y < self.y_max_m)
+        )
+
+    def cell_index(
+        self, x_m: np.ndarray, y_m: np.ndarray, clip: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(row, col) indices of projected points.
+
+        With ``clip=True`` out-of-grid points snap to the nearest edge cell
+        (the historical nearest-pixel behaviour of the S2 overlay).  With
+        ``clip=False`` callers must mask with :meth:`contains` first —
+        out-of-grid or non-finite points yield out-of-range indices.
+        """
+        col = np.floor((np.asarray(x_m, dtype=float) - self.x_min_m) / self.cell_size_m)
+        row = np.floor((np.asarray(y_m, dtype=float) - self.y_min_m) / self.cell_size_m)
+        if clip:
+            row = np.clip(row, 0, self.ny - 1)
+            col = np.clip(col, 0, self.nx - 1)
+        return row.astype(np.intp), col.astype(np.intp)
+
+    def flat_index(self, x_m: np.ndarray, y_m: np.ndarray) -> np.ndarray:
+        """Flat cell index ``row * nx + col`` per point; -1 outside the grid.
+
+        This is the composite-key form the Level-3 binning kernels consume.
+        """
+        x = np.asarray(x_m, dtype=float)
+        y = np.asarray(y_m, dtype=float)
+        inside = self.contains(x, y)
+        flat = np.full(x.shape, -1, dtype=np.int64)
+        if inside.any():
+            row, col = self.cell_index(x[inside], y[inside])
+            flat[inside] = row.astype(np.int64) * self.nx + col.astype(np.int64)
+        return flat
+
+    # -- cell -> coordinates -----------------------------------------------
+
+    def cell_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x_edges, y_edges) of shapes (nx+1,), (ny+1,)."""
+        x_edges = self.x_min_m + np.arange(self.nx + 1) * self.cell_size_m
+        y_edges = self.y_min_m + np.arange(self.ny + 1) * self.cell_size_m
+        return x_edges, y_edges
+
+    def cell_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x, y) cell-centre coordinate arrays, each of shape (ny, nx)."""
+        x = self.x_min_m + (np.arange(self.nx) + 0.5) * self.cell_size_m
+        y = self.y_min_m + (np.arange(self.ny) + 0.5) * self.cell_size_m
+        return np.broadcast_to(x, (self.ny, self.nx)).copy(), np.broadcast_to(
+            y[:, None], (self.ny, self.nx)
+        ).copy()
+
+    def cell_center_latlon(self) -> tuple[np.ndarray, np.ndarray]:
+        """Geodetic (lat, lon) of every cell centre, each of shape (ny, nx)."""
+        x, y = self.cell_centers()
+        return self.projection.inverse(x, y)
+
+    # -- serialisation (the self-describing product writer) -----------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable description, inverse of :meth:`from_dict`."""
+        proj = self.projection
+        return {
+            "x_min_m": self.x_min_m,
+            "y_min_m": self.y_min_m,
+            "cell_size_m": self.cell_size_m,
+            "nx": self.nx,
+            "ny": self.ny,
+            "projection": {
+                "standard_parallel_deg": proj.standard_parallel_deg,
+                "central_meridian_deg": proj.central_meridian_deg,
+                "false_easting": proj.false_easting,
+                "false_northing": proj.false_northing,
+                "ellipsoid": {
+                    "a": proj.ellipsoid.a,
+                    "f": proj.ellipsoid.f,
+                    "name": proj.ellipsoid.name,
+                },
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GridDefinition":
+        proj_payload = payload["projection"]
+        ell = proj_payload["ellipsoid"]
+        projection = PolarStereographic(
+            ellipsoid=Ellipsoid(a=ell["a"], f=ell["f"], name=ell.get("name", "custom")),
+            standard_parallel_deg=proj_payload["standard_parallel_deg"],
+            central_meridian_deg=proj_payload["central_meridian_deg"],
+            false_easting=proj_payload["false_easting"],
+            false_northing=proj_payload["false_northing"],
+        )
+        return cls(
+            x_min_m=float(payload["x_min_m"]),
+            y_min_m=float(payload["y_min_m"]),
+            cell_size_m=float(payload["cell_size_m"]),
+            nx=int(payload["nx"]),
+            ny=int(payload["ny"]),
+            projection=projection,
+        )

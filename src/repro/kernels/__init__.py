@@ -1,6 +1,6 @@
 """Vectorized hot-path kernels with a reference/vectorized dispatch switch.
 
-The three hottest inner loops of the pipeline each have two interchangeable
+The hottest inner loops of the pipeline each have two interchangeable
 implementations in this package:
 
 * :mod:`repro.kernels.sea_surface` — windowed sea-surface estimation
@@ -10,7 +10,10 @@ implementations in this package:
   (one ``np.bincount`` over composite ``(bin, height-cell)`` keys);
 * :mod:`repro.kernels.lstm` — LSTM forward/backward over a whole minibatch
   (the input projection and the weight-gradient reductions are single GEMMs
-  over all timesteps instead of one small GEMM per step).
+  over all timesteps instead of one small GEMM per step);
+* :mod:`repro.kernels.gridding` — Level-3 polar-grid binning (per-cell
+  count/mean/median/std/MAD and class counts over millions of segments via
+  composite-key ``np.bincount`` and segmented ``np.lexsort`` medians).
 
 The *reference* implementations are the original per-window / per-bin /
 per-step loops, kept as the ground truth the vectorized kernels are
@@ -82,12 +85,13 @@ def resolve_backend(backend: str | None) -> str:
     return backend
 
 
-from repro.kernels import confidence, lstm, sea_surface  # noqa: E402
+from repro.kernels import confidence, gridding, lstm, sea_surface  # noqa: E402
 
 __all__ = [
     "KERNEL_BACKENDS",
     "confidence",
     "get_backend",
+    "gridding",
     "lstm",
     "resolve_backend",
     "sea_surface",

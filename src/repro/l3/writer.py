@@ -1,0 +1,114 @@
+"""Self-describing on-disk Level-3 products (npz arrays + JSON metadata).
+
+A written product is a pair of sibling files sharing one base path:
+
+* ``<base>.npz`` — the grid variables, one named float/int array each,
+  stored verbatim (``allow_pickle=False``), so a round trip is
+  **byte-identical**;
+* ``<base>.json`` — everything needed to interpret the arrays without the
+  library that wrote them: the format version, the full grid definition
+  (extent, cell size, projection incl. ellipsoid), per-variable attributes
+  (units, long name, dtype, shape) and the provenance metadata (granule
+  ids, config fingerprint, kernel backend).
+
+This turns L3 products into shareable, versioned artifacts: two products
+with the same fingerprint are interchangeable, and a product written by an
+older code version announces itself through the ``format`` field instead of
+failing obscurely.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.geodesy.grid import GridDefinition
+from repro.l3.product import Level3Grid
+
+#: Format tag embedded in (and required from) every product's JSON sidecar.
+L3_FORMAT = "repro-l3/1"
+
+#: Keys of the per-variable JSON entries that describe the array itself
+#: (everything else is a free-form attribute such as units/long_name).
+_ARRAY_KEYS = ("dtype", "shape")
+
+
+def _base_path(path: str | Path) -> Path:
+    """Normalise a product path: accept the base or either sibling file."""
+    base = Path(path)
+    if base.suffix in (".npz", ".json"):
+        base = base.with_suffix("")
+    return base
+
+
+def write_level3(product: Level3Grid, path: str | Path) -> tuple[Path, Path]:
+    """Write one product; returns the ``(npz_path, json_path)`` pair."""
+    base = _base_path(path)
+    base.parent.mkdir(parents=True, exist_ok=True)
+    npz_path = base.with_name(base.name + ".npz")
+    json_path = base.with_name(base.name + ".json")
+
+    variables: dict[str, Any] = {}
+    for name, value in product.variables.items():
+        variables[name] = {
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+            **{str(k): str(v) for k, v in product.attrs.get(name, {}).items()},
+        }
+    payload = {
+        "format": L3_FORMAT,
+        "grid": product.grid.as_dict(),
+        "variables": variables,
+        "metadata": dict(product.metadata),
+    }
+    # Serialise the metadata first so an unserialisable entry fails before
+    # any file is touched.
+    encoded = json.dumps(payload, indent=2, sort_keys=True)
+
+    np.savez(npz_path, **product.variables)
+    json_path.write_text(encoded + "\n")
+    return npz_path, json_path
+
+
+def read_level3(path: str | Path) -> Level3Grid:
+    """Reload a written product bit-identically (arrays byte-equal)."""
+    base = _base_path(path)
+    npz_path = base.with_name(base.name + ".npz")
+    json_path = base.with_name(base.name + ".json")
+    if not json_path.is_file():
+        raise FileNotFoundError(f"no Level-3 metadata sidecar at {json_path}")
+    payload = json.loads(json_path.read_text())
+    fmt = payload.get("format")
+    if fmt != L3_FORMAT:
+        raise ValueError(f"unsupported Level-3 format {fmt!r} (expected {L3_FORMAT!r})")
+
+    grid = GridDefinition.from_dict(payload["grid"])
+    declared: Mapping[str, Mapping[str, Any]] = payload["variables"]
+    variables: dict[str, np.ndarray] = {}
+    with np.load(npz_path, allow_pickle=False) as archive:
+        missing = sorted(set(declared) - set(archive.files))
+        if missing:
+            raise ValueError(f"product arrays missing from {npz_path}: {missing}")
+        for name, spec in declared.items():
+            value = archive[name]
+            if str(value.dtype) != spec["dtype"] or list(value.shape) != list(spec["shape"]):
+                raise ValueError(
+                    f"variable {name!r} does not match its declaration: "
+                    f"{value.dtype}{value.shape} vs "
+                    f"{spec['dtype']}{tuple(spec['shape'])}"
+                )
+            variables[name] = value
+
+    attrs = {
+        name: {k: v for k, v in spec.items() if k not in _ARRAY_KEYS}
+        for name, spec in declared.items()
+    }
+    return Level3Grid(
+        grid=grid,
+        variables=variables,
+        attrs=attrs,
+        metadata=dict(payload.get("metadata", {})),
+    )

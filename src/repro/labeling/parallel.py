@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.config import CLASS_UNLABELED
 from repro.distributed.mapreduce import MapReduceEngine, MapReduceResult
+from repro.geodesy.grid import GridDefinition
 from repro.labeling.autolabel import AutoLabelResult
 from repro.resampling.window import SegmentArray
 from repro.sentinel2.scene import S2Image
@@ -20,42 +21,35 @@ from repro.sentinel2.segmentation import SegmentationResult
 
 
 class _AutoLabelMap:
-    """Picklable per-partition label-transfer map function."""
+    """Picklable per-partition label-transfer map function.
+
+    The point -> pixel arithmetic goes through the shared
+    :class:`~repro.geodesy.grid.GridDefinition` indexing helper (the same
+    one backing ``S2Image.pixel_index`` and the Level-3 binning), so the
+    parallel job cannot drift from the serial overlay's semantics.
+    """
 
     def __init__(
         self,
         class_map: np.ndarray,
         cloud_mask: np.ndarray,
         shadow_mask: np.ndarray,
-        origin_x_m: float,
-        origin_y_m: float,
-        pixel_size_m: float,
+        grid: GridDefinition,
     ) -> None:
         self.class_map = class_map
         self.cloud_mask = cloud_mask
         self.shadow_mask = shadow_mask
-        self.origin_x_m = origin_x_m
-        self.origin_y_m = origin_y_m
-        self.pixel_size_m = pixel_size_m
+        self.grid = grid
 
     def __call__(self, chunk: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         x = chunk["x_m"]
         y = chunk["y_m"]
-        ny, nx = self.class_map.shape
-        inside = (
-            (x >= self.origin_x_m)
-            & (x < self.origin_x_m + nx * self.pixel_size_m)
-            & (y >= self.origin_y_m)
-            & (y < self.origin_y_m + ny * self.pixel_size_m)
-            & np.isfinite(x)
-            & np.isfinite(y)
-        )
+        inside = self.grid.contains(x, y) & np.isfinite(x) & np.isfinite(y)
         labels = np.full(x.shape, CLASS_UNLABELED, dtype=np.int8)
         cloudy = np.zeros(x.shape, dtype=bool)
         shadowed = np.zeros(x.shape, dtype=bool)
         if inside.any():
-            col = np.clip(((x[inside] - self.origin_x_m) // self.pixel_size_m).astype(np.intp), 0, nx - 1)
-            row = np.clip(((y[inside] - self.origin_y_m) // self.pixel_size_m).astype(np.intp), 0, ny - 1)
+            row, col = self.grid.cell_index(x[inside], y[inside], clip=True)
             labels[inside] = self.class_map[row, col]
             cloudy[inside] = self.cloud_mask[row, col]
             shadowed[inside] = self.shadow_mask[row, col]
@@ -84,9 +78,7 @@ def parallel_autolabel(
         class_map=segmentation.class_map,
         cloud_mask=segmentation.cloud_mask,
         shadow_mask=segmentation.shadow_mask,
-        origin_x_m=image.origin_x_m,
-        origin_y_m=image.origin_y_m,
-        pixel_size_m=image.pixel_size_m,
+        grid=image.grid,
     )
     mr_result = engine.map_arrays(arrays, map_fn, _concat)
     combined = mr_result.value

@@ -2,7 +2,8 @@
 
 Each step of the paper's workflow — scene -> atl03 -> s2 -> segmentation ->
 resample -> drift -> autolabel -> train -> infer -> sea-surface -> freeboard
--> atl07/atl10 -> metrics — is a :class:`~repro.pipeline.stage.Stage` with
+-> atl07/atl10 -> metrics, plus the Level-3 extension grid_granule ->
+mosaic_campaign — is a :class:`~repro.pipeline.stage.Stage` with
 declared typed inputs/outputs and the config slice it reads.
 :func:`default_graph` wires them into the canonical
 :class:`~repro.pipeline.graph.StageGraph`; :mod:`repro.workflow.end_to_end`
@@ -38,6 +39,8 @@ from repro.freeboard.freeboard import (
     estimate_track_sea_surface,
     freeboard_from_sea_surface,
 )
+from repro.l3.processor import Level3Processor
+from repro.l3.product import Level3Grid
 from repro.labeling.alignment import DriftEstimate, apply_shift, estimate_drift
 from repro.labeling.autolabel import AutoLabelResult, auto_label_segments
 from repro.labeling.manual import CorrectionReport, correct_labels
@@ -273,6 +276,28 @@ def stage_atl10(ctx: StageContext, atl07: dict[str, ATL07Product]) -> dict[str, 
     return {"atl10": ctx.map_items(atl07, _atl10_one)}
 
 
+def stage_grid_granule(
+    ctx: StageContext,
+    classified: dict[str, ClassifiedTrack],
+    freeboard: dict[str, FreeboardResult],
+) -> dict[str, Any]:
+    """Bin this granule's retrieval output onto the configured L3 grid."""
+    processor = Level3Processor.from_config(ctx.config.l3, scene=ctx.config.scene)
+    product = processor.grid_granule(classified, freeboard, granule_id=ctx.granule_id)
+    return {"l3_granule": product}
+
+
+def stage_mosaic_campaign(ctx: StageContext, l3_granule: Level3Grid) -> dict[str, Any]:
+    """Mosaic of a one-granule fleet (the graph's single-granule view).
+
+    Campaign runs pool *many* granule grids into this stage's namesake cache
+    entry via :meth:`repro.campaign.CampaignRunner.to_l3`; within a single
+    graph execution the fleet is just this granule.
+    """
+    processor = Level3Processor.from_config(ctx.config.l3, scene=ctx.config.scene)
+    return {"l3_mosaic": processor.mosaic([l3_granule])}
+
+
 def stage_metrics(
     ctx: StageContext,
     classified: dict[str, ClassifiedTrack],
@@ -314,6 +339,8 @@ def artifact_specs() -> list[ArtifactSpec]:
         ArtifactSpec("freeboard", FreeboardResult, "2 m freeboard product", per_beam=True),
         ArtifactSpec("atl07", ATL07Product, "emulated ATL07 baseline", per_beam=True),
         ArtifactSpec("atl10", ATL10Product, "emulated ATL10 baseline", per_beam=True),
+        ArtifactSpec("l3_granule", Level3Grid, "gridded Level-3 product of one granule"),
+        ArtifactSpec("l3_mosaic", Level3Grid, "Level-3 mosaic composite"),
         # GranuleMetrics lives in the campaign layer (imported lazily above),
         # so the spec validates loosely rather than importing it here.
         ArtifactSpec("granule_metrics", object, "classification + freeboard metrics"),
@@ -410,6 +437,24 @@ def build_default_graph() -> StageGraph:
             fan_out=True,
         ),
         Stage("atl10", stage_atl10, ("atl07",), ("atl10",), (), fan_out=True),
+        Stage(
+            "grid_granule",
+            stage_grid_granule,
+            ("classified", "freeboard"),
+            ("l3_granule",),
+            # The grid is derived from the l3 slice plus the scene extent;
+            # declaring "scene" keeps the dependency explicit even though any
+            # scene change already invalidates the upstream artifacts.
+            ("l3", "scene"),
+            context_paths=("granule_id",),
+        ),
+        Stage(
+            "mosaic_campaign",
+            stage_mosaic_campaign,
+            ("l3_granule",),
+            ("l3_mosaic",),
+            ("l3", "scene"),
+        ),
         Stage(
             "metrics",
             stage_metrics,

@@ -25,6 +25,7 @@ from datetime import datetime, timezone
 
 import numpy as np
 
+from repro.geodesy.grid import GridDefinition
 from repro.sentinel2.cloud import CloudConfig, apply_clouds_and_shadows, synthesize_cloud_fields
 from repro.surface.scene import IceScene
 from repro.utils.random import default_rng
@@ -110,27 +111,30 @@ class S2Image:
             raise KeyError(f"unknown band {name!r}; available: {BAND_NAMES}") from None
         return self.bands[idx]
 
+    @property
+    def grid(self) -> GridDefinition:
+        """The image's pixel grid as the shared :class:`GridDefinition`.
+
+        All projected-point -> pixel arithmetic (the IS2/S2 overlay, the
+        parallel auto-labeling job, the Level-3 binning) goes through this
+        one indexing helper.
+        """
+        ny, nx = self.shape
+        return GridDefinition(
+            x_min_m=self.origin_x_m,
+            y_min_m=self.origin_y_m,
+            cell_size_m=self.pixel_size_m,
+            nx=nx,
+            ny=ny,
+        )
+
     def pixel_index(self, x_m: np.ndarray, y_m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Row/column indices of projected points, clipped to the grid."""
-        ny, nx = self.shape
-        col = np.floor((np.asarray(x_m, dtype=float) - self.origin_x_m) / self.pixel_size_m)
-        row = np.floor((np.asarray(y_m, dtype=float) - self.origin_y_m) / self.pixel_size_m)
-        return (
-            np.clip(row, 0, ny - 1).astype(np.intp),
-            np.clip(col, 0, nx - 1).astype(np.intp),
-        )
+        return self.grid.cell_index(x_m, y_m, clip=True)
 
     def contains(self, x_m: np.ndarray, y_m: np.ndarray) -> np.ndarray:
         """Boolean mask of projected points inside the image footprint."""
-        ny, nx = self.shape
-        x = np.asarray(x_m, dtype=float)
-        y = np.asarray(y_m, dtype=float)
-        return (
-            (x >= self.origin_x_m)
-            & (x < self.origin_x_m + nx * self.pixel_size_m)
-            & (y >= self.origin_y_m)
-            & (y < self.origin_y_m + ny * self.pixel_size_m)
-        )
+        return self.grid.contains(x_m, y_m)
 
     def shifted(self, dx_m: float, dy_m: float) -> "S2Image":
         """Return a copy whose georeferencing is translated by (dx, dy) metres.

@@ -23,6 +23,7 @@ from repro.config import (
     CLASS_THICK_ICE,
     CLASS_THIN_ICE,
 )
+from repro.geodesy.grid import GridDefinition
 from repro.surface.fields import (
     add_linear_leads,
     gaussian_random_field,
@@ -114,17 +115,31 @@ class IceScene:
 
     # -- coordinate helpers --------------------------------------------------
 
+    @property
+    def grid(self) -> GridDefinition:
+        """The scene's raster as the shared :class:`GridDefinition` helper."""
+        cfg = self.config
+        return GridDefinition(
+            x_min_m=cfg.origin_x_m,
+            y_min_m=cfg.origin_y_m,
+            cell_size_m=cfg.pixel_size_m,
+            nx=cfg.nx,
+            ny=cfg.ny,
+        )
+
     def _to_pixel(self, x_m: np.ndarray, y_m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Convert projected metres to integer pixel indices, clipped to the grid."""
-        cfg = self.config
-        col = np.floor((np.asarray(x_m, dtype=float) - cfg.origin_x_m) / cfg.pixel_size_m)
-        row = np.floor((np.asarray(y_m, dtype=float) - cfg.origin_y_m) / cfg.pixel_size_m)
-        col = np.clip(col, 0, cfg.nx - 1).astype(np.intp)
-        row = np.clip(row, 0, cfg.ny - 1).astype(np.intp)
-        return row, col
+        return self.grid.cell_index(x_m, y_m, clip=True)
 
     def contains(self, x_m: np.ndarray, y_m: np.ndarray) -> np.ndarray:
-        """Boolean mask of points that fall inside the scene extent."""
+        """Boolean mask of points that fall inside the scene extent.
+
+        Deliberately tests the *configured* extent (``width_m``/``height_m``),
+        not the pixel grid's span: when the width is not an exact multiple of
+        the pixel size the rounded raster covers slightly less (or more) than
+        the configured extent, and track/granule generation validates against
+        the latter.
+        """
         cfg = self.config
         x = np.asarray(x_m, dtype=float)
         y = np.asarray(y_m, dtype=float)

@@ -18,10 +18,12 @@ from repro.atl03.granule import Granule
 from repro.atl03.simulator import ATL03SimulatorConfig
 from repro.classification.pipeline import ClassifiedTrack, TrainedClassifier
 from repro.config import (
+    DEFAULT_L3_GRID,
     DEFAULT_LSTM,
     DEFAULT_MLP,
     DEFAULT_SEA_SURFACE,
     DEFAULT_TRAINING,
+    L3GridConfig,
     LSTMConfig,
     MLPConfig,
     RESAMPLE_WINDOW_M,
@@ -53,6 +55,7 @@ class ExperimentConfig:
     atl03: ATL03SimulatorConfig = field(default_factory=ATL03SimulatorConfig)
     segmentation: SegmentationConfig = field(default_factory=SegmentationConfig)
     sea_surface: SeaSurfaceConfig = DEFAULT_SEA_SURFACE
+    l3: L3GridConfig = DEFAULT_L3_GRID
     training: TrainingConfig = DEFAULT_TRAINING
     lstm: LSTMConfig = DEFAULT_LSTM
     mlp: MLPConfig = DEFAULT_MLP

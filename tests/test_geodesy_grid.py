@@ -1,0 +1,164 @@
+"""Tests for the shared :class:`GridDefinition` indexing helper.
+
+Covers the point -> cell arithmetic every raster consumer shares (the S2
+overlay, the parallel auto-labeling job, Level-3 binning), the geodetic
+cell-centre lookup, the serialisation round trip, and the equivalence of
+the refactored ``S2Image.pixel_index``/``contains`` delegation with the
+historical ad-hoc arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geodesy.grid import GridDefinition
+from repro.geodesy.projection import antarctic_polar_stereographic
+
+
+@pytest.fixture()
+def grid():
+    return GridDefinition(x_min_m=-1000.0, y_min_m=2000.0, cell_size_m=250.0, nx=8, ny=4)
+
+
+class TestDefinition:
+    def test_shape_and_extent(self, grid):
+        assert grid.shape == (4, 8)
+        assert grid.n_cells == 32
+        assert grid.x_max_m == 1000.0
+        assert grid.y_max_m == 3000.0
+
+    def test_from_extent_rounds_cell_count_up(self):
+        g = GridDefinition.from_extent(0.0, 1001.0, 0.0, 400.0, 250.0)
+        assert (g.nx, g.ny) == (5, 2)
+        assert g.x_max_m >= 1001.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GridDefinition(0.0, 0.0, 0.0, 4, 4)
+        with pytest.raises(ValueError):
+            GridDefinition(0.0, 0.0, 10.0, 0, 4)
+        with pytest.raises(ValueError):
+            GridDefinition.from_extent(0.0, 0.0, 0.0, 100.0, 10.0)
+
+
+class TestIndexing:
+    def test_contains_half_open_edges(self, grid):
+        x = np.array([-1000.0, 999.9999, 1000.0, -1000.1])
+        y = np.array([2000.0, 2999.9999, 2500.0, 2500.0])
+        np.testing.assert_array_equal(grid.contains(x, y), [True, True, False, False])
+
+    def test_nan_points_are_outside(self, grid):
+        assert not grid.contains(np.array([np.nan]), np.array([2500.0]))[0]
+
+    def test_cell_index_matches_manual_arithmetic(self, grid):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-1000.0, 1000.0, 500)
+        y = rng.uniform(2000.0, 3000.0, 500)
+        row, col = grid.cell_index(x, y)
+        np.testing.assert_array_equal(col, np.floor((x + 1000.0) / 250.0).astype(np.intp))
+        np.testing.assert_array_equal(row, np.floor((y - 2000.0) / 250.0).astype(np.intp))
+
+    def test_clip_snaps_outside_points_to_edge_cells(self, grid):
+        row, col = grid.cell_index(np.array([-5000.0, 5000.0]), np.array([0.0, 9000.0]), clip=True)
+        np.testing.assert_array_equal(row, [0, 3])
+        np.testing.assert_array_equal(col, [0, 7])
+
+    def test_flat_index_marks_outside_with_minus_one(self, grid):
+        x = np.array([-999.0, 1500.0, np.nan])
+        y = np.array([2001.0, 2500.0, 2500.0])
+        flat = grid.flat_index(x, y)
+        assert flat[0] == 0
+        assert flat[1] == -1 and flat[2] == -1
+
+    def test_flat_index_consistent_with_row_col(self, grid):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-1000.0, 1000.0, 300)
+        y = rng.uniform(2000.0, 3000.0, 300)
+        row, col = grid.cell_index(x, y)
+        np.testing.assert_array_equal(grid.flat_index(x, y), row * grid.nx + col)
+
+
+class TestCellCoordinates:
+    def test_edges_and_centers(self, grid):
+        x_edges, y_edges = grid.cell_edges()
+        assert x_edges.shape == (9,) and y_edges.shape == (5,)
+        x, y = grid.cell_centers()
+        assert x.shape == grid.shape
+        assert x[0, 0] == -875.0 and y[0, 0] == 2125.0
+        # Centres sit strictly inside their own cells.
+        row, col = grid.cell_index(x.ravel(), y.ravel())
+        np.testing.assert_array_equal(
+            row.reshape(grid.shape), np.arange(grid.ny)[:, None] * np.ones(grid.nx, dtype=int)
+        )
+
+    def test_cell_center_latlon_round_trips(self):
+        # A Ross Sea grid: cell centres projected back to lat/lon and forward
+        # again must land on the same projected coordinates.
+        grid = GridDefinition(
+            x_min_m=-350_000.0, y_min_m=-1_250_000.0, cell_size_m=5_000.0, nx=10, ny=10
+        )
+        lat, lon = grid.cell_center_latlon()
+        assert lat.shape == grid.shape
+        assert (lat < -60.0).all()
+        x, y = grid.cell_centers()
+        x2, y2 = grid.projection.forward(lat, lon)
+        np.testing.assert_allclose(x2, x, atol=1e-6)
+        np.testing.assert_allclose(y2, y, atol=1e-6)
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self, grid):
+        restored = GridDefinition.from_dict(grid.as_dict())
+        assert restored == grid
+
+    def test_dict_round_trip_preserves_projection(self):
+        grid = GridDefinition(
+            0.0,
+            0.0,
+            100.0,
+            2,
+            2,
+            projection=antarctic_polar_stereographic(),
+        )
+        payload = grid.as_dict()
+        assert payload["projection"]["standard_parallel_deg"] == -70.0
+        assert GridDefinition.from_dict(payload).projection == grid.projection
+
+
+class TestS2ImageDelegation:
+    """The S2 overlay now routes through the shared helper; semantics must
+    match the historical ad-hoc arithmetic exactly."""
+
+    def test_pixel_index_matches_legacy_formula(self, s2_image):
+        rng = np.random.default_rng(13)
+        ny, nx = s2_image.shape
+        x = s2_image.origin_x_m + rng.uniform(-500.0, nx * s2_image.pixel_size_m + 500.0, 800)
+        y = s2_image.origin_y_m + rng.uniform(-500.0, ny * s2_image.pixel_size_m + 500.0, 800)
+        row, col = s2_image.pixel_index(x, y)
+        legacy_col = np.clip(
+            np.floor((x - s2_image.origin_x_m) / s2_image.pixel_size_m), 0, nx - 1
+        ).astype(np.intp)
+        legacy_row = np.clip(
+            np.floor((y - s2_image.origin_y_m) / s2_image.pixel_size_m), 0, ny - 1
+        ).astype(np.intp)
+        np.testing.assert_array_equal(row, legacy_row)
+        np.testing.assert_array_equal(col, legacy_col)
+
+    def test_contains_matches_legacy_formula(self, s2_image):
+        rng = np.random.default_rng(17)
+        ny, nx = s2_image.shape
+        x = s2_image.origin_x_m + rng.uniform(-500.0, nx * s2_image.pixel_size_m + 500.0, 800)
+        y = s2_image.origin_y_m + rng.uniform(-500.0, ny * s2_image.pixel_size_m + 500.0, 800)
+        legacy = (
+            (x >= s2_image.origin_x_m)
+            & (x < s2_image.origin_x_m + nx * s2_image.pixel_size_m)
+            & (y >= s2_image.origin_y_m)
+            & (y < s2_image.origin_y_m + ny * s2_image.pixel_size_m)
+        )
+        np.testing.assert_array_equal(s2_image.contains(x, y), legacy)
+
+    def test_grid_property_mirrors_georeferencing(self, s2_image):
+        grid = s2_image.grid
+        assert grid.x_min_m == s2_image.origin_x_m
+        assert grid.y_min_m == s2_image.origin_y_m
+        assert grid.cell_size_m == s2_image.pixel_size_m
+        assert grid.shape == s2_image.shape

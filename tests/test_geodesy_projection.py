@@ -92,3 +92,68 @@ class TestScale:
         x2, y2 = proj.forward(lat + dlat, -170.0)
         d = np.hypot(x2 - x1, y2 - y1)
         assert d == pytest.approx(1_000.0, rel=0.01)
+
+
+class TestGridCornerRoundTrip:
+    """Round trips at the points the Level-3 grid actually relies on.
+
+    The grid's cell-centre lat/lon layer inverts the projection at every
+    cell centre; these tests pin the forward/inverse agreement at grid-cell
+    corners across a campaign-scale Ross Sea extent and at the latitudes
+    where the formulas are numerically touchiest (the standard parallel,
+    where t/t_c cancellation is exact, and the immediate vicinity of the
+    pole, where rho -> 0).
+    """
+
+    def test_round_trip_at_grid_cell_corners(self, proj):
+        from repro.geodesy.grid import GridDefinition
+
+        grid = GridDefinition(
+            x_min_m=-350_000.0, y_min_m=-1_250_000.0, cell_size_m=25_000.0, nx=8, ny=8
+        )
+        x_edges, y_edges = grid.cell_edges()
+        x = np.repeat(x_edges, y_edges.size)
+        y = np.tile(y_edges, x_edges.size)
+        lat, lon = proj.inverse(x, y)
+        x2, y2 = proj.forward(lat, lon)
+        np.testing.assert_allclose(x2, x, atol=1e-6)
+        np.testing.assert_allclose(y2, y, atol=1e-6)
+
+    @pytest.mark.parametrize("lon", [-180.0, -90.0, 0.0, 45.0, 179.9])
+    def test_round_trip_on_the_standard_parallel(self, proj, lon):
+        # Scale is exactly 1 here; forward/inverse must agree tightly.
+        x, y = proj.forward(-70.0, lon)
+        lat2, lon2 = proj.inverse(x, y)
+        assert lat2 == pytest.approx(-70.0, abs=1e-9)
+        assert abs(((lon2 - lon) + 180.0) % 360.0 - 180.0) < 1e-8
+
+    @pytest.mark.parametrize("lat", [-89.0, -89.9, -89.999, -89.99999])
+    def test_round_trip_near_the_pole(self, proj, lat):
+        # rho shrinks toward 0 near the pole; the conformal-latitude
+        # iteration must still recover the latitude to sub-metre precision
+        # (1e-8 deg is ~1 mm on the ground).
+        for lon in (-135.0, 0.0, 60.0):
+            x, y = proj.forward(lat, lon)
+            lat2, lon2 = proj.inverse(x, y)
+            assert lat2 == pytest.approx(lat, abs=1e-8)
+            assert abs(((lon2 - lon) + 180.0) % 360.0 - 180.0) < 1e-6
+
+    def test_exact_pole_round_trip(self, proj):
+        x, y = proj.forward(-90.0, 123.0)
+        lat2, lon2 = proj.inverse(x, y)
+        assert lat2 == pytest.approx(-90.0, abs=1e-9)
+
+    def test_cell_center_latlon_consistency_with_scalar_inverse(self, proj):
+        # The vectorised grid lookup must match per-point scalar inversion.
+        from repro.geodesy.grid import GridDefinition
+
+        grid = GridDefinition(
+            x_min_m=-350_000.0, y_min_m=-1_250_000.0, cell_size_m=10_000.0, nx=3, ny=3
+        )
+        lat, lon = grid.cell_center_latlon()
+        x, y = grid.cell_centers()
+        for i in range(3):
+            for j in range(3):
+                lat_ij, lon_ij = proj.inverse(x[i, j], y[i, j])
+                assert lat[i, j] == pytest.approx(float(lat_ij), abs=1e-12)
+                assert lon[i, j] == pytest.approx(float(lon_ij), abs=1e-12)

@@ -1,0 +1,289 @@
+"""Tests for the Level-3 processor, mosaic edge cases and the product writer.
+
+The processor is duck-typed over the per-beam retrieval artifacts (it reads
+``segments.x_m``/``y_m``, ``labels`` and ``freeboard_m``), so these tests
+drive it with small synthetic tracks where every expected per-cell value is
+known in closed form.  Mosaic conventions under test: empty cells stay NaN,
+a granule wholly outside the grid contributes nothing (but does not error),
+and single-contributor cells report NaN mosaic std — never garbage.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CLASS_OPEN_WATER,
+    CLASS_THICK_ICE,
+    CLASS_THIN_ICE,
+    L3GridConfig,
+)
+from repro.geodesy.grid import GridDefinition
+from repro.l3 import Level3Processor, read_level3, write_level3
+from repro.l3.writer import L3_FORMAT
+
+
+@dataclass
+class _Segments:
+    x_m: np.ndarray
+    y_m: np.ndarray
+
+
+@dataclass
+class _Track:
+    segments: _Segments
+    labels: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.labels.shape[0])
+
+
+@dataclass
+class _Freeboard:
+    freeboard_m: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.freeboard_m.shape[0])
+
+
+def make_beam(x, y, labels, freeboard):
+    x = np.asarray(x, dtype=float)
+    track = _Track(
+        segments=_Segments(x_m=x, y_m=np.asarray(y, dtype=float)),
+        labels=np.asarray(labels),
+    )
+    return track, _Freeboard(freeboard_m=np.asarray(freeboard, dtype=float))
+
+
+@pytest.fixture()
+def grid():
+    return GridDefinition(x_min_m=0.0, y_min_m=0.0, cell_size_m=100.0, nx=4, ny=3)
+
+
+class TestGridGranule:
+    def test_known_cell_statistics(self, grid):
+        # Three ice segments in cell (0, 0), one open-water segment in cell
+        # (0, 1); the rest of the grid stays empty.
+        track, fb = make_beam(
+            x=[10.0, 20.0, 30.0, 150.0],
+            y=[10.0, 20.0, 30.0, 50.0],
+            labels=[CLASS_THICK_ICE, CLASS_THICK_ICE, CLASS_THIN_ICE, CLASS_OPEN_WATER],
+            freeboard=[0.2, 0.4, 0.3, 0.0],
+        )
+        product = Level3Processor(grid).grid_granule(
+            {"gt1l": track}, {"gt1l": fb}, granule_id="g-test"
+        )
+        assert product.kind == "granule"
+        assert product.metadata["granule_id"] == "g-test"
+        n = product.variable("n_segments")
+        assert n[0, 0] == 3 and n[0, 1] == 1
+        assert n.sum() == 4
+        assert product.variable("freeboard_mean")[0, 0] == pytest.approx(0.3)
+        assert product.variable("freeboard_median")[0, 0] == pytest.approx(0.3)
+        # Open water contributes to class fractions but not to freeboard.
+        assert product.variable("n_freeboard_segments")[0, 1] == 0
+        assert np.isnan(product.variable("freeboard_mean")[0, 1])
+        assert product.variable("class_fraction_open_water")[0, 1] == 1.0
+        assert product.variable("class_fraction_thick_ice")[0, 0] == pytest.approx(2 / 3)
+        # Empty cells: count 0 and NaN statistics.
+        assert n[2, 3] == 0
+        assert np.isnan(product.variable("freeboard_mean")[2, 3])
+
+    def test_segments_outside_grid_are_dropped(self, grid):
+        track, fb = make_beam(
+            x=[-50.0, 10.0, 10_000.0],
+            y=[10.0, 10.0, 10.0],
+            labels=[CLASS_THICK_ICE] * 3,
+            freeboard=[0.5, 0.2, 0.9],
+        )
+        product = Level3Processor(grid).grid_granule({"b": track}, {"b": fb})
+        assert product.variable("n_segments").sum() == 1
+        assert product.variable("freeboard_mean")[0, 0] == pytest.approx(0.2)
+
+    def test_granule_wholly_outside_grid_is_empty_not_an_error(self, grid):
+        track, fb = make_beam(
+            x=[-1e6, -2e6], y=[-1e6, -2e6],
+            labels=[CLASS_THICK_ICE, CLASS_THIN_ICE], freeboard=[0.1, 0.2],
+        )
+        product = Level3Processor(grid).grid_granule({"b": track}, {"b": fb})
+        assert product.variable("n_segments").sum() == 0
+        assert product.coverage_fraction() == 0.0
+        assert np.isnan(product.variable("freeboard_mean")).all()
+
+    def test_min_segments_floor_masks_sparse_cells(self, grid):
+        track, fb = make_beam(
+            x=[10.0, 20.0, 150.0],
+            y=[10.0, 20.0, 50.0],
+            labels=[CLASS_THICK_ICE] * 3,
+            freeboard=[0.2, 0.4, 0.3],
+        )
+        product = Level3Processor(grid, min_segments=2).grid_granule({"b": track}, {"b": fb})
+        assert product.variable("freeboard_mean")[0, 0] == pytest.approx(0.3)
+        # The single-contributor cell is below the floor: NaN stats, count kept.
+        assert np.isnan(product.variable("freeboard_mean")[0, 1])
+        assert product.variable("n_freeboard_segments")[0, 1] == 1
+
+    def test_nan_freeboard_segments_are_excluded(self, grid):
+        track, fb = make_beam(
+            x=[10.0, 20.0], y=[10.0, 20.0],
+            labels=[CLASS_THICK_ICE, CLASS_THICK_ICE], freeboard=[0.4, np.nan],
+        )
+        product = Level3Processor(grid).grid_granule({"b": track}, {"b": fb})
+        assert product.variable("n_segments")[0, 0] == 2
+        assert product.variable("n_freeboard_segments")[0, 0] == 1
+        assert product.variable("freeboard_mean")[0, 0] == pytest.approx(0.4)
+
+    def test_mismatched_beams_rejected(self, grid):
+        track, fb = make_beam([10.0], [10.0], [CLASS_THICK_ICE], [0.2])
+        with pytest.raises(ValueError, match="same beams"):
+            Level3Processor(grid).grid_granule({"a": track}, {"b": fb})
+
+    def test_from_config_defaults_to_scene_extent(self):
+        from repro.surface.scene import SceneConfig
+
+        scene = SceneConfig(width_m=8_000.0, height_m=6_000.0)
+        proc = Level3Processor.from_config(L3GridConfig(cell_size_m=2_000.0), scene=scene)
+        assert proc.grid.x_min_m == scene.origin_x_m
+        assert proc.grid.shape == (3, 4)
+        with pytest.raises(ValueError, match="no scene config"):
+            Level3Processor.from_config(L3GridConfig())
+
+    def test_from_config_explicit_extent_overrides_scene(self):
+        cfg = L3GridConfig(
+            cell_size_m=500.0, x_min_m=0.0, y_min_m=0.0, width_m=2_000.0, height_m=1_000.0
+        )
+        proc = Level3Processor.from_config(cfg)
+        assert proc.grid.shape == (2, 4)
+        assert proc.grid.x_min_m == 0.0
+
+
+class TestMosaic:
+    def _granule(self, grid, x, freeboard, label=CLASS_THICK_ICE):
+        track, fb = make_beam(
+            x=x, y=[50.0] * len(x), labels=[label] * len(x), freeboard=freeboard
+        )
+        return Level3Processor(grid).grid_granule({"b": track}, {"b": fb})
+
+    def test_two_contributors_mean_and_sample_std(self, grid):
+        a = self._granule(grid, x=[10.0], freeboard=[0.2])
+        b = self._granule(grid, x=[20.0], freeboard=[0.4])
+        mosaic = Level3Processor(grid).mosaic([a, b])
+        assert mosaic.kind == "mosaic"
+        assert mosaic.variable("n_granules")[0, 0] == 2
+        assert mosaic.variable("coverage_fraction")[0, 0] == 1.0
+        assert mosaic.variable("freeboard_mean")[0, 0] == pytest.approx(0.3)
+        # Sample std of the two granule means (ddof=1).
+        assert mosaic.variable("freeboard_std")[0, 0] == pytest.approx(
+            np.std([0.2, 0.4], ddof=1)
+        )
+
+    def test_single_contributor_cells_have_nan_std_by_convention(self, grid):
+        a = self._granule(grid, x=[10.0], freeboard=[0.2])        # cell (0, 0)
+        b = self._granule(grid, x=[150.0], freeboard=[0.4])       # cell (0, 1)
+        mosaic = Level3Processor(grid).mosaic([a, b])
+        assert mosaic.variable("n_granules")[0, 0] == 1
+        assert mosaic.variable("freeboard_mean")[0, 0] == pytest.approx(0.2)
+        assert np.isnan(mosaic.variable("freeboard_std")[0, 0])
+        assert np.isnan(mosaic.variable("freeboard_std")[0, 1])
+        assert mosaic.variable("coverage_fraction")[0, 0] == 0.5
+
+    def test_empty_cells_stay_nan_with_zero_counts(self, grid):
+        a = self._granule(grid, x=[10.0], freeboard=[0.2])
+        mosaic = Level3Processor(grid).mosaic([a])
+        assert mosaic.variable("n_segments")[2, 3] == 0
+        assert mosaic.variable("n_granules")[2, 3] == 0
+        assert np.isnan(mosaic.variable("freeboard_mean")[2, 3])
+        assert np.isnan(mosaic.variable("class_fraction_thick_ice")[2, 3])
+
+    def test_granule_wholly_outside_contributes_nothing(self, grid):
+        inside = self._granule(grid, x=[10.0], freeboard=[0.2])
+        outside_track, outside_fb = make_beam(
+            x=[-1e6], y=[-1e6], labels=[CLASS_THICK_ICE], freeboard=[0.9]
+        )
+        outside = Level3Processor(grid).grid_granule({"b": outside_track}, {"b": outside_fb})
+        mosaic = Level3Processor(grid).mosaic([inside, outside])
+        assert mosaic.metadata["n_granules"] == 2
+        assert mosaic.variable("n_granules")[0, 0] == 1
+        assert mosaic.variable("freeboard_mean")[0, 0] == pytest.approx(0.2)
+        assert mosaic.variable("coverage_fraction").max() == pytest.approx(0.5)
+
+    def test_class_fractions_average_over_observers_only(self, grid):
+        a = self._granule(grid, x=[10.0], freeboard=[0.2], label=CLASS_THICK_ICE)
+        b = self._granule(grid, x=[20.0], freeboard=[0.3], label=CLASS_THIN_ICE)
+        mosaic = Level3Processor(grid).mosaic([a, b])
+        assert mosaic.variable("class_fraction_thick_ice")[0, 0] == pytest.approx(0.5)
+        assert mosaic.variable("class_fraction_thin_ice")[0, 0] == pytest.approx(0.5)
+
+    def test_mismatched_grids_rejected(self, grid):
+        other = GridDefinition(x_min_m=0.0, y_min_m=0.0, cell_size_m=50.0, nx=8, ny=6)
+        a = self._granule(grid, x=[10.0], freeboard=[0.2])
+        b = self._granule(other, x=[10.0], freeboard=[0.2])
+        with pytest.raises(ValueError, match="share one GridDefinition"):
+            Level3Processor(grid).mosaic([a, b])
+
+    def test_empty_fleet_rejected(self, grid):
+        with pytest.raises(ValueError, match="zero grids"):
+            Level3Processor(grid).mosaic([])
+
+
+class TestWriterRoundTrip:
+    def _product(self, grid):
+        track, fb = make_beam(
+            x=[10.0, 20.0, 150.0],
+            y=[10.0, 20.0, 50.0],
+            labels=[CLASS_THICK_ICE, CLASS_THIN_ICE, CLASS_OPEN_WATER],
+            freeboard=[0.2, 0.4, 0.0],
+        )
+        return Level3Processor(grid).grid_granule({"b": track}, {"b": fb}, granule_id="g7")
+
+    def test_round_trip_is_byte_identical(self, grid, tmp_path):
+        product = self._product(grid)
+        product.metadata["fingerprint"] = "abc123"
+        npz_path, json_path = write_level3(product, tmp_path / "prod")
+        assert npz_path.is_file() and json_path.is_file()
+        reloaded = read_level3(tmp_path / "prod")
+        assert reloaded.grid == product.grid
+        assert set(reloaded.variables) == set(product.variables)
+        for name, original in product.variables.items():
+            loaded = reloaded.variables[name]
+            assert loaded.dtype == original.dtype
+            assert loaded.tobytes() == original.tobytes()
+        assert reloaded.metadata["fingerprint"] == "abc123"
+        assert reloaded.metadata["granule_id"] == "g7"
+        assert reloaded.attrs["freeboard_mean"]["units"] == "m"
+
+    def test_reader_accepts_base_or_sibling_paths(self, grid, tmp_path):
+        product = self._product(grid)
+        write_level3(product, tmp_path / "prod")
+        for path in (tmp_path / "prod", tmp_path / "prod.npz", tmp_path / "prod.json"):
+            assert read_level3(path).grid == product.grid
+
+    def test_missing_sidecar_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_level3(tmp_path / "nothing")
+
+    def test_wrong_format_tag_rejected(self, grid, tmp_path):
+        import json
+
+        product = self._product(grid)
+        _, json_path = write_level3(product, tmp_path / "prod")
+        payload = json.loads(json_path.read_text())
+        payload["format"] = "repro-l3/999"
+        json_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unsupported"):
+            read_level3(tmp_path / "prod")
+        assert L3_FORMAT == "repro-l3/1"
+
+    def test_shape_mismatch_detected(self, grid, tmp_path):
+        import json
+
+        product = self._product(grid)
+        _, json_path = write_level3(product, tmp_path / "prod")
+        payload = json.loads(json_path.read_text())
+        payload["variables"]["freeboard_mean"]["shape"] = [1, 1]
+        json_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="does not match"):
+            read_level3(tmp_path / "prod")

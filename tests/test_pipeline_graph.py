@@ -89,12 +89,18 @@ class TestRequiredAndDownstream:
     def test_downstream_of_sea_surface(self):
         graph = default_graph()
         downstream = set(graph.downstream_stages("sea_surface"))
-        assert downstream == {"freeboard", "metrics"}
+        assert downstream == {"freeboard", "metrics", "grid_granule", "mosaic_campaign"}
 
     def test_downstream_of_infer_covers_retrieval(self):
         graph = default_graph()
         downstream = set(graph.downstream_stages("infer"))
-        assert downstream == {"sea_surface", "freeboard", "metrics"}
+        assert downstream == {
+            "sea_surface",
+            "freeboard",
+            "metrics",
+            "grid_granule",
+            "mosaic_campaign",
+        }
 
 
 class TestGraphDerivation:
@@ -119,7 +125,12 @@ class TestGraphDerivation:
         derived = graph.extend([extra], [extra_spec])
         assert "thickness" in derived.stages
         assert "thickness" not in graph.stages
-        assert derived.downstream_stages("freeboard") == ["metrics", "thickness"]
+        assert set(derived.downstream_stages("freeboard")) == {
+            "grid_granule",
+            "mosaic_campaign",
+            "metrics",
+            "thickness",
+        }
 
 
 class TestFingerprints:
