@@ -2,8 +2,9 @@
 """Kernel perf-regression gate for CI.
 
 Reads a pytest-benchmark ``--benchmark-json`` file produced by the kernel
-benchmark suites (``benchmarks/bench_kernels.py`` and
-``benchmarks/bench_l3_gridding.py``), pairs each ``*_reference`` benchmark
+benchmark suites (``benchmarks/bench_kernels.py``,
+``benchmarks/bench_l3_gridding.py`` and ``benchmarks/bench_pyramid.py``),
+pairs each ``*_reference`` benchmark
 with its ``*_vectorized`` counterpart, and computes the vectorized speedup
 as the ratio of the per-round *minimum* times (the least noisy statistic on
 shared CI runners).  The speedups — not the absolute times — are compared
@@ -20,7 +21,8 @@ The check fails when a kernel's measured speedup
   and scheduling noise on a ~1x ratio easily exceeds any tight tolerance —
   or
 * falls below the kernel's hard floor (the acceptance criterion: >= 3x for
-  the windowed sea-surface, confidence-binning and Level-3 gridding paths).
+  the windowed sea-surface, confidence-binning, Level-3 gridding and
+  pyramid-reduction paths).
 
 Usage::
 
@@ -45,6 +47,7 @@ SPEEDUP_FLOORS = {
     "sea_surface_nasa": 3.0,
     "confidence_binning": 3.0,
     "l3_gridding": 3.0,
+    "pyramid_reduce": 3.0,
 }
 
 #: Baselines below this speedup are treated as near-parity: the relative
@@ -140,12 +143,27 @@ def main(argv: list[str] | None = None) -> int:
         print("no reference/vectorized benchmark pairs found", file=sys.stderr)
         return 2
 
+    baselines = {}
+    if args.baseline.exists() and not args.update:
+        baselines = json.loads(args.baseline.read_text())
+
+    # Margins are printed in the pass case too, so CI logs show each
+    # kernel's headroom trend long before a failure trips the gate.
     width = max(len(k) for k in speedups)
-    print(f"{'kernel':<{width}}  {'reference':>11}  {'vectorized':>11}  {'speedup':>8}")
+    print(
+        f"{'kernel':<{width}}  {'reference':>11}  {'vectorized':>11}  "
+        f"{'speedup':>8}  {'vs floor':>9}  {'vs baseline':>11}"
+    )
     for kernel, row in speedups.items():
+        measured = row["speedup"]
+        floor = SPEEDUP_FLOORS.get(kernel)
+        floor_margin = f"{measured / floor:8.2f}x" if floor else f"{'-':>9}"
+        base = baselines.get(kernel, {}).get("speedup")
+        base_margin = f"{100.0 * (measured - base) / base:+10.1f}%" if base else f"{'-':>11}"
         print(
             f"{kernel:<{width}}  {row['reference_s'] * 1e3:9.2f}ms  "
-            f"{row['vectorized_s'] * 1e3:9.2f}ms  {row['speedup']:7.2f}x"
+            f"{row['vectorized_s'] * 1e3:9.2f}ms  {measured:7.2f}x  "
+            f"{floor_margin}  {base_margin}"
         )
 
     if args.update:
@@ -154,9 +172,6 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baselines written to {args.baseline}")
         return 0
 
-    baselines = {}
-    if args.baseline.exists():
-        baselines = json.loads(args.baseline.read_text())
     failures = check(speedups, baselines, args.tolerance)
     if failures:
         for failure in failures:

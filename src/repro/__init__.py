@@ -31,7 +31,11 @@ provides:
   (:mod:`repro.kernels`);
 * Level-3 gridded products: campaign output binned onto the shared polar
   stereographic metre grid, multi-granule mosaics with propagated
-  uncertainty, and self-describing on-disk product files (:mod:`repro.l3`).
+  uncertainty, and self-describing on-disk product files (:mod:`repro.l3`);
+* a product-serving layer: a sidecar-indexed product catalog, tile
+  pyramids with vectorized overview reductions, and a query engine with a
+  fingerprint-keyed LRU tile cache, per-product decode batching and
+  executor fan-out, plus a Zipf traffic simulator (:mod:`repro.serve`).
 
 Quick start::
 

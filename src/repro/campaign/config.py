@@ -56,9 +56,10 @@ AXIS_ALIASES: dict[str, str] = {
 #: knobs are read from ``base`` only.  Sweeping them per granule would be
 #: silently ignored (``model_kind``, ``epochs``, ``training``/``lstm``/
 #: ``mlp``), break pooled concatenation (``window_length_m``), be
-#: overwritten by the derived per-granule seed (``seed``), or break the
-#: Level-3 mosaic, which needs every granule on one shared grid (``l3``) —
-#: so they are rejected as grid axes.
+#: overwritten by the derived per-granule seed (``seed``), break the
+#: Level-3 mosaic, which needs every granule on one shared grid (``l3``), or
+#: break the serving layer, which builds one tile pyramid per fleet mosaic
+#: (``serve``) — so they are rejected as grid axes.
 CAMPAIGN_LEVEL_FIELDS = (
     "model_kind",
     "epochs",
@@ -68,6 +69,7 @@ CAMPAIGN_LEVEL_FIELDS = (
     "window_length_m",
     "seed",
     "l3",
+    "serve",
 )
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
@@ -873,6 +874,53 @@ class CampaignRunner:
             stage_hits=tuple(hits),
             stage_misses=tuple(misses),
             seconds=sw.stop(),
+        )
+
+    # -- serving ---------------------------------------------------------------
+
+    def serve(
+        self,
+        products_dir: str,
+        result: CampaignResult | None = None,
+        l3: CampaignL3Result | None = None,
+        n_workers: int | None = None,
+        executor: str = "thread",
+    ):
+        """Write the campaign's Level-3 products and return a query engine.
+
+        Convenience end of the data path: grids the fleet (via :meth:`to_l3`
+        unless ``l3`` is given), writes the mosaic and every granule grid as
+        self-describing products under ``products_dir``, registers exactly
+        those files into a :class:`~repro.serve.catalog.ProductCatalog`
+        (stale products from earlier campaigns or foreign files in the same
+        directory are never picked up — use ``ProductCatalog.scan`` to serve
+        a whole archive) and returns a
+        :class:`~repro.serve.query.QueryEngine` configured from the
+        campaign's ``base.serve`` slice.  The engine defaults to the thread
+        executor — serving is decode-bound NumPy work that releases the GIL,
+        and the tile cache lives on the driver.
+        """
+        # Local imports: repro.serve sits downstream of the campaign layer,
+        # mirroring to_l3's treatment of repro.l3.
+        from repro.l3.writer import write_level3
+        from repro.serve.catalog import ProductCatalog
+        from repro.serve.query import QueryEngine
+
+        if l3 is None:
+            l3 = self.to_l3(result)
+        out_dir = Path(products_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        catalog = ProductCatalog()
+        _, json_path = write_level3(l3.mosaic, out_dir / "mosaic")
+        catalog.register(json_path)
+        for granule_id, product in l3.granules.items():
+            _, json_path = write_level3(product, out_dir / granule_id)
+            catalog.register(json_path)
+        return QueryEngine(
+            catalog,
+            serve=self.config.base.serve,
+            n_workers=n_workers if n_workers is not None else self.config.n_workers,
+            executor=executor,
         )
 
 

@@ -229,6 +229,40 @@ class L3GridConfig:
             raise ValueError("min_segments must be >= 1")
 
 
+@dataclass(frozen=True)
+class ServeConfig:
+    """Parameters of the product-serving layer (:mod:`repro.serve`).
+
+    Controls both the tile-pyramid product (tile geometry, overview depth,
+    count weighting) and the query engine's tile cache.  Like
+    :class:`L3GridConfig` this is a campaign-level slice: one pyramid is
+    built per fleet mosaic, and every query-engine instance serving that
+    campaign shares the geometry.
+    """
+
+    #: Side length, in cells, of the square tiles served by the query engine
+    #: (power-of-two overview levels reduce until the whole grid fits one tile).
+    tile_size: int = 64
+    #: Cap on the number of overview levels above the base grid; ``None``
+    #: builds levels until the coarsest fits in a single tile.
+    max_levels: int | None = None
+    #: Count layer used as the reduction weight for non-freeboard variables
+    #: (freeboard/thickness layers weight by ``n_freeboard_segments``).
+    weight_variable: str = "n_segments"
+    #: Capacity (in tiles) of the query engine's fingerprint-keyed LRU cache.
+    tile_cache_size: int = 512
+
+    def __post_init__(self) -> None:
+        if self.tile_size < 1:
+            raise ValueError("tile_size must be >= 1")
+        if self.max_levels is not None and self.max_levels < 0:
+            raise ValueError("max_levels must be >= 0 when given")
+        if not self.weight_variable:
+            raise ValueError("weight_variable must be a non-empty variable name")
+        if self.tile_cache_size < 1:
+            raise ValueError("tile_cache_size must be >= 1")
+
+
 # ---------------------------------------------------------------------------
 # Campaign scenario presets
 # ---------------------------------------------------------------------------
@@ -265,3 +299,4 @@ DEFAULT_CLUSTER = ClusterConfig()
 DEFAULT_GPU_CLUSTER = GPUClusterConfig()
 DEFAULT_SEA_SURFACE = SeaSurfaceConfig()
 DEFAULT_L3_GRID = L3GridConfig()
+DEFAULT_SERVE = ServeConfig()

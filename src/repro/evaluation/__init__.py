@@ -8,6 +8,8 @@ from repro.evaluation.tables import (
     regenerate_table3,
     regenerate_table4,
     regenerate_table5,
+    serve_latency_table,
+    serve_scaling_table,
 )
 from repro.evaluation.figures import (
     figure4_confusion_matrix,
@@ -16,12 +18,15 @@ from repro.evaluation.figures import (
     figure8_9_sea_surface_comparison,
     figure10_11_freeboard_comparison,
     figure_l3_grid_map,
+    figure_tile_map,
 )
 
 __all__ = [
     "format_table",
     "format_markdown_table",
     "l3_coverage_table",
+    "serve_latency_table",
+    "serve_scaling_table",
     "regenerate_table1",
     "regenerate_table2",
     "regenerate_table3",
@@ -33,4 +38,5 @@ __all__ = [
     "figure8_9_sea_surface_comparison",
     "figure10_11_freeboard_comparison",
     "figure_l3_grid_map",
+    "figure_tile_map",
 ]

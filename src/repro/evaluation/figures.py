@@ -247,3 +247,44 @@ def figure_l3_grid_map(product) -> dict[str, object]:
         if optional in product.variables:
             series[optional] = product.variable(optional)
     return series
+
+
+# ---------------------------------------------------------------------------
+# Tile map (the serving-layer panel)
+# ---------------------------------------------------------------------------
+
+
+def figure_tile_map(pyramid, variable: str = "freeboard_mean", zoom: int = 0,
+                    row: int = 0, col: int = 0) -> dict[str, object]:
+    """Numeric series behind one served tile of a Level-3 tile pyramid.
+
+    ``pyramid`` is a :class:`~repro.serve.pyramid.TilePyramid`; the series
+    carries the NaN-padded tile, its projected-metre bbox, the level's cell
+    size and the coverage layer windowed to the same tile — everything a
+    map panel needs to draw one tile exactly as the query engine serves it.
+    """
+    zoom = pyramid.clamp_zoom(zoom)
+    level = pyramid.level(zoom)
+    tile = pyramid.tile(variable, zoom, row, col)
+    ts = pyramid.tile_size
+    window = level.coverage[row * ts : (row + 1) * ts, col * ts : (col + 1) * ts]
+    # Pad like the tile itself, so elementwise tile/coverage masking works on
+    # edge tiles too (cells past the grid are uncovered, not missing).
+    coverage = np.zeros((ts, ts))
+    coverage[: window.shape[0], : window.shape[1]] = window
+    finite = tile[~np.isnan(tile)]
+    return {
+        "variable": variable,
+        "zoom": zoom,
+        "tile": tile,
+        "tile_row": row,
+        "tile_col": col,
+        "tile_size": ts,
+        "bbox_m": pyramid.tile_bbox(zoom, row, col),
+        "cell_size_m": level.grid.cell_size_m,
+        "coverage": coverage,
+        "finite_fraction": round(float((~np.isnan(tile)).mean()), 4),
+        "value_range": (
+            (float(finite.min()), float(finite.max())) if finite.size else (None, None)
+        ),
+    }

@@ -122,3 +122,30 @@ def l3_coverage_table(products) -> list[dict[str, object]]:
     the at-a-glance answer to "how much of the grid did this fleet see".
     """
     return [product.summary_row() for product in products]
+
+
+def serve_latency_table(result) -> list[dict[str, object]]:
+    """Single-row serving summary of one measured traffic run.
+
+    ``result`` is a :class:`~repro.serve.traffic.TrafficResult`; the row
+    reports request volume, measured throughput, mean/P95 latency and the
+    tile-cache behaviour (hit rate, product decodes).
+    """
+    return [result.summary_row()]
+
+
+def serve_scaling_table(
+    result,
+    cost_model: ClusterCostModel | None = None,
+    executor_counts: tuple[int, ...] = (1, 2, 4),
+) -> list[dict[str, object]]:
+    """Throughput/latency scaling of a traffic run across executor counts.
+
+    The measured single-executor serving time of ``result`` (a
+    :class:`~repro.serve.traffic.TrafficResult`) is routed through the
+    calibrated :class:`~repro.distributed.cluster.ClusterCostModel`, the
+    same convention as the Table II/V regenerations.
+    """
+    from repro.serve.traffic import scaling_rows
+
+    return scaling_rows(result, cost_model=cost_model, executor_counts=executor_counts)

@@ -55,10 +55,21 @@ class GridDefinition:
     projection: PolarStereographic = field(default_factory=antarctic_polar_stereographic)
 
     def __post_init__(self) -> None:
-        if self.cell_size_m <= 0:
-            raise ValueError("cell_size_m must be positive")
+        for name in ("x_min_m", "y_min_m", "cell_size_m"):
+            if not math.isfinite(float(getattr(self, name))):
+                raise ValueError(
+                    f"degenerate grid: {name} must be finite, got {getattr(self, name)!r}"
+                )
+        if not self.cell_size_m > 0:
+            raise ValueError(
+                f"degenerate grid: cell_size_m must be positive, got {self.cell_size_m!r}"
+            )
         if self.nx < 1 or self.ny < 1:
-            raise ValueError("grid must have at least one column and one row")
+            raise ValueError(
+                f"degenerate grid: need at least one column and one row, got "
+                f"nx={self.nx}, ny={self.ny} (zero/negative extent, or a cell "
+                "size larger than the requested extent rounded down to 0 cells?)"
+            )
 
     # -- extent ------------------------------------------------------------
 
@@ -94,10 +105,26 @@ class GridDefinition:
         The cell count is rounded up, so the grid always covers the full
         requested extent (the last row/column may extend past it).
         """
-        if cell_size_m <= 0:
-            raise ValueError("cell_size_m must be positive")
+        for name, value in (
+            ("x_min_m", x_min_m),
+            ("x_max_m", x_max_m),
+            ("y_min_m", y_min_m),
+            ("y_max_m", y_max_m),
+            ("cell_size_m", cell_size_m),
+        ):
+            if not math.isfinite(float(value)):
+                raise ValueError(
+                    f"degenerate grid extent: {name} must be finite, got {value!r}"
+                )
+        if not cell_size_m > 0:
+            raise ValueError(
+                f"degenerate grid: cell_size_m must be positive, got {cell_size_m!r}"
+            )
         if x_max_m <= x_min_m or y_max_m <= y_min_m:
-            raise ValueError("grid extent must have positive width and height")
+            raise ValueError(
+                "degenerate grid extent: width and height must be positive, got "
+                f"width={x_max_m - x_min_m!r}, height={y_max_m - y_min_m!r}"
+            )
         nx = int(math.ceil((x_max_m - x_min_m) / cell_size_m))
         ny = int(math.ceil((y_max_m - y_min_m) / cell_size_m))
         kwargs: dict[str, Any] = {}

@@ -13,7 +13,10 @@ implementations in this package:
   over all timesteps instead of one small GEMM per step);
 * :mod:`repro.kernels.gridding` — Level-3 polar-grid binning (per-cell
   count/mean/median/std/MAD and class counts over millions of segments via
-  composite-key ``np.bincount`` and segmented ``np.lexsort`` medians).
+  composite-key ``np.bincount`` and segmented ``np.lexsort`` medians);
+* :mod:`repro.kernels.pyramid` — tile-pyramid overview reductions
+  (NaN-aware count-weighted means and coverage fractions over 2x2 child
+  blocks, computed from four strided child planes at once).
 
 The *reference* implementations are the original per-window / per-bin /
 per-step loops, kept as the ground truth the vectorized kernels are
@@ -85,7 +88,7 @@ def resolve_backend(backend: str | None) -> str:
     return backend
 
 
-from repro.kernels import confidence, gridding, lstm, sea_surface  # noqa: E402
+from repro.kernels import confidence, gridding, lstm, pyramid, sea_surface  # noqa: E402
 
 __all__ = [
     "KERNEL_BACKENDS",
@@ -93,6 +96,7 @@ __all__ = [
     "get_backend",
     "gridding",
     "lstm",
+    "pyramid",
     "resolve_backend",
     "sea_surface",
     "set_backend",

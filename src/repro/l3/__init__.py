@@ -37,14 +37,22 @@ Quick start::
 from repro.geodesy.grid import GridDefinition
 from repro.l3.processor import Level3Processor
 from repro.l3.product import Level3Grid, VARIABLE_ATTRS
-from repro.l3.writer import L3_FORMAT, read_level3, write_level3
+from repro.l3.writer import (
+    L3_FORMAT,
+    Level3ProductError,
+    load_sidecar,
+    read_level3,
+    write_level3,
+)
 
 __all__ = [
     "GridDefinition",
     "L3_FORMAT",
     "Level3Grid",
+    "Level3ProductError",
     "Level3Processor",
     "VARIABLE_ATTRS",
+    "load_sidecar",
     "read_level3",
     "write_level3",
 ]

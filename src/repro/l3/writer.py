@@ -36,12 +36,85 @@ L3_FORMAT = "repro-l3/1"
 _ARRAY_KEYS = ("dtype", "shape")
 
 
+class Level3ProductError(ValueError):
+    """An on-disk Level-3 product that cannot be interpreted.
+
+    Raised for every way a product pair can fail to announce itself — a
+    sidecar that is not JSON, lacks the ``format`` tag, or carries an
+    unknown format version, and an npz that is truncated, corrupt, or out
+    of sync with its sidecar's declarations.  The message always says which
+    file is at fault and what to do about it, honouring the module promise
+    that products announce themselves instead of failing obscurely.
+    """
+
+
 def _base_path(path: str | Path) -> Path:
     """Normalise a product path: accept the base or either sibling file."""
     base = Path(path)
     if base.suffix in (".npz", ".json"):
         base = base.with_suffix("")
     return base
+
+
+def load_sidecar(path: str | Path) -> dict[str, Any]:
+    """Parse and validate a product's JSON sidecar (without touching the npz).
+
+    This is the catalog's fast path — everything needed to index a product
+    (grid extent, variables, provenance) lives in the sidecar.  Raises
+    :class:`Level3ProductError` when the sidecar is not valid JSON, is not a
+    JSON object, lacks the ``format`` tag, or declares an unknown format.
+    """
+    base = _base_path(path)
+    json_path = base.with_name(base.name + ".json")
+    if not json_path.is_file():
+        raise FileNotFoundError(f"no Level-3 metadata sidecar at {json_path}")
+    try:
+        payload = json.loads(json_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise Level3ProductError(
+            f"sidecar {json_path} is not valid JSON ({exc}); the write was "
+            "likely interrupted — regenerate the product with write_level3"
+        ) from exc
+    if not isinstance(payload, dict) or "format" not in payload:
+        raise Level3ProductError(
+            f"sidecar {json_path} has no 'format' tag, so it is not a "
+            "repro Level-3 product sidecar; products written by write_level3 "
+            f"always declare format={L3_FORMAT!r}"
+        )
+    fmt = payload["format"]
+    if fmt != L3_FORMAT:
+        raise Level3ProductError(
+            f"sidecar {json_path} declares unsupported Level-3 format {fmt!r} "
+            f"(this library reads {L3_FORMAT!r}); it was written by an "
+            "incompatible version — rewrite the product or upgrade the reader"
+        )
+    return payload
+
+
+def parse_sidecar_description(
+    payload: Mapping[str, Any], source: str | Path
+) -> tuple[GridDefinition, dict[str, Mapping[str, Any]]]:
+    """The validated ``(grid, variables)`` description of a sidecar payload.
+
+    One parser for every consumer of the description — the reader and the
+    serving catalog — so a format-valid sidecar whose grid/variable section
+    is missing or malformed fails identically everywhere: with a
+    :class:`Level3ProductError` naming ``source``, never a bare ``KeyError``.
+    """
+    try:
+        grid = GridDefinition.from_dict(payload["grid"])
+        declared = payload["variables"]
+        if not isinstance(declared, Mapping) or not all(
+            isinstance(spec, Mapping) for spec in declared.values()
+        ):
+            raise TypeError("'variables' must map names to attribute objects")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise Level3ProductError(
+            f"sidecar {source} declares the right format but its grid/"
+            f"variable description is malformed ({exc!r}); regenerate the "
+            "product with write_level3"
+        ) from exc
+    return grid, {str(name): spec for name, spec in declared.items()}
 
 
 def write_level3(product: Level3Grid, path: str | Path) -> tuple[Path, Path]:
@@ -74,33 +147,48 @@ def write_level3(product: Level3Grid, path: str | Path) -> tuple[Path, Path]:
 
 
 def read_level3(path: str | Path) -> Level3Grid:
-    """Reload a written product bit-identically (arrays byte-equal)."""
+    """Reload a written product bit-identically (arrays byte-equal).
+
+    Raises :class:`Level3ProductError` (a ``ValueError``) whenever the pair
+    cannot be interpreted: a bad or version-incompatible sidecar, a
+    truncated/corrupt npz, or arrays out of sync with their declarations.
+    A missing file raises ``FileNotFoundError`` as usual.
+    """
     base = _base_path(path)
     npz_path = base.with_name(base.name + ".npz")
-    json_path = base.with_name(base.name + ".json")
-    if not json_path.is_file():
-        raise FileNotFoundError(f"no Level-3 metadata sidecar at {json_path}")
-    payload = json.loads(json_path.read_text())
-    fmt = payload.get("format")
-    if fmt != L3_FORMAT:
-        raise ValueError(f"unsupported Level-3 format {fmt!r} (expected {L3_FORMAT!r})")
-
-    grid = GridDefinition.from_dict(payload["grid"])
-    declared: Mapping[str, Mapping[str, Any]] = payload["variables"]
+    payload = load_sidecar(base)
+    grid, declared = parse_sidecar_description(payload, f"{base}.json")
     variables: dict[str, np.ndarray] = {}
-    with np.load(npz_path, allow_pickle=False) as archive:
-        missing = sorted(set(declared) - set(archive.files))
-        if missing:
-            raise ValueError(f"product arrays missing from {npz_path}: {missing}")
-        for name, spec in declared.items():
-            value = archive[name]
-            if str(value.dtype) != spec["dtype"] or list(value.shape) != list(spec["shape"]):
-                raise ValueError(
-                    f"variable {name!r} does not match its declaration: "
-                    f"{value.dtype}{value.shape} vs "
-                    f"{spec['dtype']}{tuple(spec['shape'])}"
+    if not npz_path.is_file():
+        raise FileNotFoundError(f"no Level-3 arrays at {npz_path}")
+    try:
+        with np.load(npz_path, allow_pickle=False) as archive:
+            missing = sorted(set(declared) - set(archive.files))
+            if missing:
+                raise Level3ProductError(
+                    f"product arrays missing from {npz_path}: {missing}; the npz "
+                    "does not match its sidecar — regenerate with write_level3"
                 )
-            variables[name] = value
+            for name, spec in declared.items():
+                value = archive[name]
+                if str(value.dtype) != spec["dtype"] or list(value.shape) != list(
+                    spec["shape"]
+                ):
+                    raise Level3ProductError(
+                        f"variable {name!r} in {npz_path} does not match its "
+                        f"sidecar declaration: {value.dtype}{value.shape} vs "
+                        f"{spec['dtype']}{tuple(spec['shape'])}"
+                    )
+                variables[name] = value
+    except Level3ProductError:
+        raise
+    except Exception as exc:
+        # zipfile.BadZipFile for a truncated archive, OSError/ValueError for
+        # corrupt members — one actionable error type for all of them.
+        raise Level3ProductError(
+            f"cannot read product arrays from {npz_path} ({exc}); the npz is "
+            "truncated or corrupt — regenerate the product with write_level3"
+        ) from exc
 
     attrs = {
         name: {k: v for k, v in spec.items() if k not in _ARRAY_KEYS}

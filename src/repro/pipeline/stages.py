@@ -2,8 +2,8 @@
 
 Each step of the paper's workflow — scene -> atl03 -> s2 -> segmentation ->
 resample -> drift -> autolabel -> train -> infer -> sea-surface -> freeboard
--> atl07/atl10 -> metrics, plus the Level-3 extension grid_granule ->
-mosaic_campaign — is a :class:`~repro.pipeline.stage.Stage` with
+-> atl07/atl10 -> metrics, plus the Level-3/serving extension grid_granule ->
+mosaic_campaign -> build_pyramid — is a :class:`~repro.pipeline.stage.Stage` with
 declared typed inputs/outputs and the config slice it reads.
 :func:`default_graph` wires them into the canonical
 :class:`~repro.pipeline.graph.StageGraph`; :mod:`repro.workflow.end_to_end`
@@ -51,6 +51,7 @@ from repro.products.atl07 import ATL07Product, generate_atl07
 from repro.products.atl10 import ATL10Product, generate_atl10
 from repro.resampling.window import SegmentArray, resample_fixed_window
 from repro.sentinel2.scene import S2Image, render_scene
+from repro.serve.pyramid import TilePyramid, build_pyramid
 from repro.sentinel2.segmentation import SegmentationResult, segment_image
 from repro.surface.scene import IceScene, generate_scene
 from repro.utils.random import default_rng, derive_rng
@@ -298,6 +299,16 @@ def stage_mosaic_campaign(ctx: StageContext, l3_granule: Level3Grid) -> dict[str
     return {"l3_mosaic": processor.mosaic([l3_granule])}
 
 
+def stage_build_pyramid(ctx: StageContext, l3_mosaic: Level3Grid) -> dict[str, Any]:
+    """Build the serving-side tile pyramid over the campaign mosaic.
+
+    Content-addressed like every other stage: the fingerprint chains the
+    mosaic's fingerprint with the ``serve`` config slice and the kernel
+    backend, so a tile-geometry-only change rebuilds exactly this stage.
+    """
+    return {"l3_pyramid": build_pyramid(l3_mosaic, serve=ctx.config.serve)}
+
+
 def stage_metrics(
     ctx: StageContext,
     classified: dict[str, ClassifiedTrack],
@@ -341,6 +352,7 @@ def artifact_specs() -> list[ArtifactSpec]:
         ArtifactSpec("atl10", ATL10Product, "emulated ATL10 baseline", per_beam=True),
         ArtifactSpec("l3_granule", Level3Grid, "gridded Level-3 product of one granule"),
         ArtifactSpec("l3_mosaic", Level3Grid, "Level-3 mosaic composite"),
+        ArtifactSpec("l3_pyramid", TilePyramid, "serving-side tile pyramid"),
         # GranuleMetrics lives in the campaign layer (imported lazily above),
         # so the spec validates loosely rather than importing it here.
         ArtifactSpec("granule_metrics", object, "classification + freeboard metrics"),
@@ -454,6 +466,16 @@ def build_default_graph() -> StageGraph:
             ("l3_granule",),
             ("l3_mosaic",),
             ("l3", "scene"),
+        ),
+        Stage(
+            "build_pyramid",
+            stage_build_pyramid,
+            ("l3_mosaic",),
+            ("l3_pyramid",),
+            # Narrow paths: only the fields that shape the pyramid product.
+            # serve.tile_cache_size is a query-engine runtime knob — changing
+            # it must not invalidate the content-addressed pyramid.
+            ("serve.tile_size", "serve.max_levels", "serve.weight_variable"),
         ),
         Stage(
             "metrics",

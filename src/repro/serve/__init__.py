@@ -1,0 +1,80 @@
+"""Product serving: catalog, tile pyramids, and a high-throughput query engine.
+
+Level-3 products (:mod:`repro.l3`) end the paper's data path at files on
+disk; this package is the layer that *serves* them — the step from an
+archive of mosaics to a system answering region queries under load, the
+ROADMAP's "heavy traffic" regime:
+
+* :mod:`repro.serve.catalog` — :class:`ProductCatalog` indexes written
+  products from their JSON sidecars alone (campaign, granules, variables,
+  bounding box, fingerprint) and answers region + variable queries without
+  opening a single npz;
+* :mod:`repro.serve.pyramid` — :class:`TilePyramid` /
+  :func:`build_pyramid`: power-of-two overview levels built by the
+  :mod:`repro.kernels.pyramid` kernels (NaN-aware count-weighted means,
+  coverage fractions) with fixed-size, NaN-padded tile addressing; also a
+  registered ``build_pyramid`` pipeline stage, so pyramids are
+  content-addressed and cached like every other artifact;
+* :mod:`repro.serve.query` — :class:`QueryEngine` resolves
+  ``(bbox, variable, zoom)`` requests to tiles through a fingerprint-keyed
+  LRU tile cache, decodes each product at most once per batch however many
+  requests hit it, and fans independent products across the
+  :class:`~repro.distributed.mapreduce.MapReduceEngine` executors;
+* :mod:`repro.serve.traffic` — :class:`TrafficSimulator` drives the engine
+  with Zipf-distributed region traffic and emits a throughput/latency
+  report in the :class:`~repro.distributed.cluster.ClusterCostModel`
+  scaling-table style.
+
+Quick start (serving a campaign)::
+
+    from repro.campaign import CampaignConfig, CampaignRunner
+    from repro.serve import TileRequest, TrafficSimulator
+
+    runner = CampaignRunner(CampaignConfig(grid={"cloud_fraction": (0.1, 0.4)}))
+    engine = runner.serve("products/")          # write products + catalog them
+    response = engine.query(TileRequest(bbox=(0, 0, 10_000, 10_000), zoom=1))
+    report = TrafficSimulator(engine).scaling_report()
+"""
+
+from repro.serve.catalog import CatalogEntry, ProductCatalog
+from repro.serve.pyramid import (
+    PyramidLevel,
+    TilePyramid,
+    build_pyramid,
+    default_pyramid_variables,
+    n_levels_for,
+    tiles_for_bbox,
+)
+from repro.serve.query import (
+    ProductLoader,
+    QueryEngine,
+    QueryStats,
+    TileRequest,
+    TileResponse,
+)
+from repro.serve.traffic import (
+    TrafficConfig,
+    TrafficResult,
+    TrafficSimulator,
+    scaling_rows,
+)
+
+__all__ = [
+    "CatalogEntry",
+    "ProductCatalog",
+    "ProductLoader",
+    "PyramidLevel",
+    "QueryEngine",
+    "QueryStats",
+    "TilePyramid",
+    "TileRequest",
+    "TileResponse",
+    "TrafficConfig",
+    "TrafficResult",
+    "TrafficSimulator",
+    "build_pyramid",
+    "default_pyramid_variables",
+    "n_levels_for",
+    "scaling_rows",
+    "tiles_for_bbox",
+]

@@ -1,0 +1,246 @@
+"""The product catalog: find written Level-3 products without opening them.
+
+Every product written by :func:`repro.l3.write_level3` is a pair of files;
+the JSON sidecar alone carries everything a serving layer needs to *find*
+the product — grid extent and resolution, variable names, kind, granule
+ids, content fingerprint, kernel backend.  :class:`ProductCatalog` scans
+directories of sidecars into indexed :class:`CatalogEntry` records and
+answers region + variable queries **without opening a single npz**: arrays
+are only decoded later, by the query engine, and only for products a
+request actually resolves to.
+
+Registration is strict: a sidecar that does not announce itself (missing or
+unknown ``format`` tag, unparsable JSON) raises
+:class:`~repro.l3.writer.Level3ProductError` instead of silently indexing
+garbage; :meth:`ProductCatalog.scan` collects such files into
+``skipped`` so one corrupt product cannot hide a whole directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.l3.writer import Level3ProductError, load_sidecar, parse_sidecar_description
+from repro.serve.pyramid import is_pyramid_variable
+
+#: Projected-metre bounding box: (x_min, y_min, x_max, y_max).
+BBox = tuple[float, float, float, float]
+
+
+def _bbox_intersects(a: BBox, b: BBox) -> bool:
+    """Half-open bbox intersection (degenerate overlap on an edge is empty)."""
+    return a[0] < b[2] and b[0] < a[2] and a[1] < b[3] and b[1] < a[3]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One indexed product: identity, footprint and variables, no arrays."""
+
+    base_path: str
+    kind: str
+    fingerprint: str
+    granule_ids: tuple[str, ...]
+    variables: tuple[str, ...]
+    #: Subset of ``variables`` the query engine can serve as pyramid value
+    #: layers (float dtypes; count layers are weights, not values).
+    servable: tuple[str, ...]
+    x_min_m: float
+    y_min_m: float
+    x_max_m: float
+    y_max_m: float
+    cell_size_m: float
+    shape: tuple[int, int]
+    kernel_backend: str = ""
+    metadata: Mapping[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def key(self) -> str:
+        """Catalog key: the content fingerprint, or the path when unset."""
+        return self.fingerprint or f"path:{self.base_path}"
+
+    @property
+    def bbox(self) -> BBox:
+        return (self.x_min_m, self.y_min_m, self.x_max_m, self.y_max_m)
+
+    @property
+    def npz_path(self) -> Path:
+        return Path(self.base_path + ".npz")
+
+    @property
+    def json_path(self) -> Path:
+        return Path(self.base_path + ".json")
+
+    def intersects(self, bbox: Sequence[float]) -> bool:
+        return _bbox_intersects(self.bbox, tuple(float(v) for v in bbox))
+
+    @classmethod
+    def from_sidecar(cls, path: str | Path) -> "CatalogEntry":
+        """Index one product from its JSON sidecar (the npz stays closed)."""
+        payload = load_sidecar(path)
+        base = Path(path)
+        if base.suffix in (".npz", ".json"):
+            base = base.with_suffix("")
+        grid, declared = parse_sidecar_description(payload, f"{base}.json")
+        variables = tuple(sorted(declared))
+        servable = tuple(
+            sorted(
+                name
+                for name, spec in declared.items()
+                if is_pyramid_variable(name, spec.get("dtype", ""))
+            )
+        )
+        metadata = payload.get("metadata", {})
+        if not isinstance(metadata, Mapping):
+            metadata = {}
+        kind = str(metadata.get("kind", "granule"))
+        if "granule_ids" in metadata:
+            granule_ids = tuple(str(g) for g in metadata["granule_ids"])
+        elif "granule_id" in metadata:
+            granule_ids = (str(metadata["granule_id"]),)
+        else:
+            granule_ids = ()
+        return cls(
+            base_path=str(base),
+            kind=kind,
+            fingerprint=str(metadata.get("fingerprint", "")),
+            granule_ids=granule_ids,
+            variables=variables,
+            servable=servable,
+            x_min_m=grid.x_min_m,
+            y_min_m=grid.y_min_m,
+            x_max_m=grid.x_max_m,
+            y_max_m=grid.y_max_m,
+            cell_size_m=grid.cell_size_m,
+            shape=grid.shape,
+            kernel_backend=str(metadata.get("kernel_backend", "")),
+            metadata=dict(metadata),
+        )
+
+
+class ProductCatalog:
+    """Registered products, indexed by variable / kind / granule / bbox.
+
+    Entries are keyed by content fingerprint (two registrations of the same
+    fingerprint keep the latest path — the products are interchangeable by
+    the writer's contract), preserved in registration order for
+    deterministic query results.
+    """
+
+    def __init__(self, entries: Sequence[CatalogEntry] = ()) -> None:
+        self._entries: dict[str, CatalogEntry] = {}
+        self._by_variable: dict[str, set[str]] = {}
+        self._by_kind: dict[str, set[str]] = {}
+        self._by_granule: dict[str, set[str]] = {}
+        for entry in entries:
+            self.add(entry)
+
+    # -- registration ------------------------------------------------------
+
+    def add(self, entry: CatalogEntry) -> CatalogEntry:
+        """Index one entry (replacing any previous entry with the same key)."""
+        if entry.key in self._entries:
+            self._discard_from_indexes(self._entries[entry.key])
+        self._entries[entry.key] = entry
+        for variable in entry.variables:
+            self._by_variable.setdefault(variable, set()).add(entry.key)
+        self._by_kind.setdefault(entry.kind, set()).add(entry.key)
+        for granule_id in entry.granule_ids:
+            self._by_granule.setdefault(granule_id, set()).add(entry.key)
+        return entry
+
+    def register(self, path: str | Path) -> CatalogEntry:
+        """Register one written product from its sidecar path (or base path)."""
+        return self.add(CatalogEntry.from_sidecar(path))
+
+    def scan(self, directory: str | Path) -> tuple[list[CatalogEntry], list[Path]]:
+        """Register every ``*.json`` sidecar under a directory (recursively).
+
+        Returns ``(registered, skipped)``: files that are not valid Level-3
+        sidecars are skipped (collected, not raised) so one foreign or
+        corrupt JSON cannot take the whole catalog down.
+        """
+        registered: list[CatalogEntry] = []
+        skipped: list[Path] = []
+        for sidecar in sorted(Path(directory).rglob("*.json")):
+            try:
+                registered.append(self.register(sidecar))
+            except (Level3ProductError, FileNotFoundError):
+                skipped.append(sidecar)
+        return registered, skipped
+
+    def _discard_from_indexes(self, entry: CatalogEntry) -> None:
+        for variable in entry.variables:
+            self._by_variable.get(variable, set()).discard(entry.key)
+        self._by_kind.get(entry.kind, set()).discard(entry.key)
+        for granule_id in entry.granule_ids:
+            self._by_granule.get(granule_id, set()).discard(entry.key)
+
+    # -- lookup ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CatalogEntry]:
+        return iter(self._entries.values())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def entries(self) -> tuple[CatalogEntry, ...]:
+        return tuple(self._entries.values())
+
+    def get(self, key: str) -> CatalogEntry:
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise KeyError(
+                f"no product {key!r} in the catalog ({len(self)} entries)"
+            ) from None
+
+    def extent(self) -> BBox:
+        """Union bbox of every registered product."""
+        if not self._entries:
+            raise ValueError("the catalog is empty: register products first")
+        entries = list(self._entries.values())
+        return (
+            min(e.x_min_m for e in entries),
+            min(e.y_min_m for e in entries),
+            max(e.x_max_m for e in entries),
+            max(e.y_max_m for e in entries),
+        )
+
+    def query(
+        self,
+        bbox: Sequence[float] | None = None,
+        variable: str | None = None,
+        kind: str | None = None,
+        granule_id: str | None = None,
+    ) -> list[CatalogEntry]:
+        """Products matching every given filter, in registration order.
+
+        All filters are optional and conjunctive; ``bbox`` keeps products
+        whose footprint intersects the query box.  Answered entirely from
+        the sidecar-derived index — no product file is opened.
+        """
+        keys: set[str] | None = None
+        for index, wanted in (
+            (self._by_variable, variable),
+            (self._by_kind, kind),
+            (self._by_granule, granule_id),
+        ):
+            if wanted is None:
+                continue
+            matched = index.get(wanted, set())
+            keys = set(matched) if keys is None else keys & matched
+        results = [
+            entry
+            for key, entry in self._entries.items()
+            if keys is None or key in keys
+        ]
+        if bbox is not None:
+            box = tuple(float(v) for v in bbox)
+            results = [entry for entry in results if entry.intersects(box)]
+        return results

@@ -1,0 +1,394 @@
+"""The query engine: resolve (bbox, variable, zoom) requests to tiles.
+
+Serving path, in order of decreasing cheapness:
+
+1. **Tile cache** — every served tile lands in a fingerprint-keyed LRU
+   (``(product key, variable, zoom, row, col)``), so a repeated region
+   query is answered without touching the filesystem at all: the engine
+   resolves the request to tile addresses from catalog metadata alone
+   (shared geometry helpers in :mod:`repro.serve.pyramid`), then copies the
+   cached arrays out.
+2. **Batched decode** — cache-missing tiles are grouped *per product*, so
+   however many concurrent requests hit one mosaic, its npz is decoded and
+   its pyramid built exactly once per batch.
+3. **Fan-out** — independent products of one batch fan across the existing
+   :class:`~repro.distributed.mapreduce.MapReduceEngine` executors
+   (serial/thread/process), the same substrate the campaign fleet uses.
+
+The loader is pluggable and instrumented (``n_loads``, ``loaded``): tests
+and the traffic simulator can assert exactly which requests caused a
+decode, which is the whole point of the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT_SERVE, ServeConfig
+from repro.distributed.mapreduce import EXECUTORS, MapReduceEngine
+from repro.l3.writer import read_level3
+from repro.serve.catalog import CatalogEntry, ProductCatalog
+from repro.serve.pyramid import (
+    TilePyramid,
+    build_pyramid,
+    n_levels_for,
+    tiles_for_bbox,
+)
+from repro.utils.timing import Stopwatch
+
+#: Cache key of one tile: (product key, variable, zoom, row, col).
+TileKey = tuple[str, str, int, int, int]
+
+
+@dataclass(frozen=True)
+class TileRequest:
+    """One client request: a projected-metre region, a variable, a zoom."""
+
+    bbox: tuple[float, float, float, float]
+    variable: str = "freeboard_mean"
+    zoom: int = 0
+
+    def __post_init__(self) -> None:
+        box = tuple(float(v) for v in self.bbox)
+        object.__setattr__(self, "bbox", box)
+        if box[2] <= box[0] or box[3] <= box[1]:
+            raise ValueError(f"bbox must have positive width and height, got {box}")
+        if self.zoom < 0:
+            raise ValueError("zoom must be >= 0")
+        if not self.variable:
+            raise ValueError("variable must be a non-empty name")
+
+
+@dataclass
+class TileResponse:
+    """One served request: the tiles plus provenance and cache accounting."""
+
+    request: TileRequest
+    product: str
+    zoom: int
+    tiles: dict[tuple[int, int], np.ndarray]
+    n_cached: int
+    n_computed: int
+    seconds: float
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def from_cache(self) -> bool:
+        """True when every tile came from the LRU (no decode, no filesystem)."""
+        return self.n_computed == 0
+
+    def mosaic_array(self) -> np.ndarray:
+        """The response's tiles stitched into one array (row-major window)."""
+        if not self.tiles:
+            return np.empty((0, 0))
+        rows = sorted({row for row, _ in self.tiles})
+        cols = sorted({col for _, col in self.tiles})
+        sample = next(iter(self.tiles.values()))
+        ts = sample.shape[0]
+        out = np.full((len(rows) * ts, len(cols) * ts), np.nan)
+        for (row, col), tile in self.tiles.items():
+            i, j = rows.index(row), cols.index(col)
+            out[i * ts : (i + 1) * ts, j * ts : (j + 1) * ts] = tile
+        return out
+
+
+@dataclass
+class QueryStats:
+    """Cumulative engine counters (across every batch served)."""
+
+    requests: int = 0
+    batches: int = 0
+    tile_hits: int = 0
+    tile_misses: int = 0
+    loads: int = 0
+    seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.tile_hits + self.tile_misses
+        return self.tile_hits / total if total else 0.0
+
+
+class ProductLoader:
+    """Instrumented product decoder: npz -> :class:`TilePyramid`.
+
+    ``n_loads`` / ``loaded`` record every decode, so tests can assert that
+    the LRU actually prevented filesystem reads.  The counters are guarded
+    by a lock: the engine's thread executor calls :meth:`load` from
+    concurrent workers, and an unsynchronized ``+=`` would undercount.
+    Subclass and override :meth:`decode` to serve from other storage.
+    """
+
+    def __init__(self, serve: ServeConfig = DEFAULT_SERVE, backend: str | None = None) -> None:
+        self.serve = serve
+        self.backend = backend
+        self.n_loads = 0
+        self.loaded: list[str] = []
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Locks cannot cross process boundaries; worker-side copies get a
+        # fresh one (their counters live and die in the worker anyway).
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def decode(self, entry: CatalogEntry) -> TilePyramid:
+        product = read_level3(entry.base_path)
+        return build_pyramid(product, serve=self.serve, backend=self.backend)
+
+    def load(self, entry: CatalogEntry) -> TilePyramid:
+        with self._lock:
+            self.n_loads += 1
+            self.loaded.append(entry.key)
+        return self.decode(entry)
+
+
+class _LRUCache:
+    """A size-bounded LRU mapping (the tile cache)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable) -> Any | None:
+        if key not in self._data:
+            return None
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+
+class _ProductFetchTask:
+    """Picklable map function: decode one chunk of products, cut their tiles.
+
+    Each item is ``(entry, needed)`` with ``needed`` the sorted tile keys to
+    extract.  Returns ``(key, tiles, n_loads)`` triples so the driver can
+    fold worker-side loads into its own accounting even under the process
+    executor (where loader counters live and die in the worker).  Every
+    ``load()`` call is exactly one decode, so the count is the constant 1 —
+    never a delta of the shared loader's counter, which concurrent thread
+    partitions would race on.
+    """
+
+    def __init__(self, loader: ProductLoader) -> None:
+        self.loader = loader
+
+    def __call__(
+        self, items: Sequence[tuple[CatalogEntry, tuple[TileKey, ...]]]
+    ) -> list[tuple[str, dict[TileKey, np.ndarray], int]]:
+        out: list[tuple[str, dict[TileKey, np.ndarray], int]] = []
+        for entry, needed in items:
+            pyramid = self.loader.load(entry)
+            tiles = {
+                key: pyramid.tile(key[1], key[2], key[3], key[4]) for key in needed
+            }
+            out.append((entry.key, tiles, 1))
+        return out
+
+
+def _merge_fetches(
+    chunks: list[list[tuple[str, dict[TileKey, np.ndarray], int]]],
+) -> list[tuple[str, dict[TileKey, np.ndarray], int]]:
+    return [item for chunk in chunks for item in chunk]
+
+
+@dataclass
+class _RequestPlan:
+    """One request resolved to a product and concrete tile addresses."""
+
+    request: TileRequest
+    entry: CatalogEntry
+    zoom: int
+    tile_keys: tuple[TileKey, ...]
+
+
+class QueryEngine:
+    """Serve tile requests over a :class:`~repro.serve.catalog.ProductCatalog`."""
+
+    def __init__(
+        self,
+        catalog: ProductCatalog,
+        loader: ProductLoader | None = None,
+        serve: ServeConfig = DEFAULT_SERVE,
+        n_workers: int = 1,
+        executor: str = "serial",
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.catalog = catalog
+        self.serve = serve
+        self.loader = loader if loader is not None else ProductLoader(serve)
+        # The engine plans tile addresses from ITS serve config before any
+        # decode; a loader building pyramids with different tile geometry
+        # would serve mis-georeferenced tiles (or IndexError) silently.
+        loader_serve = getattr(self.loader, "serve", None)
+        if loader_serve is not None:
+            for field_name in ("tile_size", "max_levels", "weight_variable"):
+                if getattr(loader_serve, field_name) != getattr(serve, field_name):
+                    raise ValueError(
+                        f"loader/engine ServeConfig mismatch on {field_name!r}: "
+                        f"{getattr(loader_serve, field_name)!r} vs "
+                        f"{getattr(serve, field_name)!r} — the loader must build "
+                        "pyramids with the engine's tile geometry"
+                    )
+        self.n_workers = n_workers
+        self.executor = executor
+        self.tile_cache = _LRUCache(serve.tile_cache_size)
+        self.stats = QueryStats()
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(self, request: TileRequest) -> CatalogEntry:
+        """The product that serves one request.
+
+        Mosaics win over per-granule grids (they composite the whole fleet);
+        ties break towards the most recently registered product.  Raises
+        ``LookupError`` with the searched region when nothing matches — and
+        *before* any decode when the variable exists in products but is not
+        a servable pyramid layer (count layers are reduction weights).
+        """
+        candidates = self.catalog.query(bbox=request.bbox, variable=request.variable)
+        if not candidates:
+            raise LookupError(
+                f"no catalogued product with variable {request.variable!r} "
+                f"intersects bbox {request.bbox}"
+            )
+        servable = [e for e in candidates if request.variable in e.servable]
+        if not servable:
+            raise LookupError(
+                f"variable {request.variable!r} exists in matching products but "
+                "is not a servable pyramid layer (count/coverage layers are "
+                f"reduction weights); servable here: {sorted(candidates[-1].servable)}"
+            )
+        mosaics = [entry for entry in servable if entry.kind == "mosaic"]
+        pool = mosaics if mosaics else servable
+        return pool[-1]
+
+    def _plan(self, request: TileRequest) -> _RequestPlan:
+        entry = self.resolve(request)
+        levels = n_levels_for(entry.shape, self.serve.tile_size, self.serve.max_levels)
+        zoom = max(0, min(request.zoom, levels - 1))
+        addresses = tiles_for_bbox(
+            request.bbox,
+            (entry.x_min_m, entry.y_min_m),
+            entry.cell_size_m,
+            entry.shape,
+            zoom,
+            self.serve.tile_size,
+        )
+        keys = tuple(
+            (entry.key, request.variable, zoom, row, col) for row, col in addresses
+        )
+        return _RequestPlan(request=request, entry=entry, zoom=zoom, tile_keys=keys)
+
+    # -- serving -----------------------------------------------------------
+
+    def query(self, request: TileRequest) -> TileResponse:
+        """Serve one request (a batch of one)."""
+        return self.query_batch([request])[0]
+
+    def query_batch(self, requests: Sequence[TileRequest]) -> list[TileResponse]:
+        """Serve many concurrent requests with per-product decode batching.
+
+        Tiles already in the LRU are copied out without touching any file;
+        the remaining tiles are grouped by product — one decode per product
+        per batch, however many requests need it — and independent products
+        fan across the map-reduce engine.
+        """
+        sw = Stopwatch().start()
+        plans = [self._plan(request) for request in requests]
+
+        # 1. Probe the tile cache; collect the missing tiles per product.
+        served: dict[TileKey, np.ndarray] = {}
+        needed: dict[str, set[TileKey]] = {}
+        entries: dict[str, CatalogEntry] = {}
+        for plan in plans:
+            for key in plan.tile_keys:
+                if key in served:
+                    continue
+                cached = self.tile_cache.get(key)
+                if cached is not None:
+                    served[key] = cached
+                else:
+                    entries[plan.entry.key] = plan.entry
+                    needed.setdefault(plan.entry.key, set()).add(key)
+
+        # 2. One decode per product with cache-missing tiles; independent
+        #    products fan across the executors.
+        if needed:
+            work = [
+                (entries[product_key], tuple(sorted(keys)))
+                for product_key, keys in sorted(needed.items())
+            ]
+            engine = MapReduceEngine(
+                n_partitions=max(min(self.n_workers, len(work)), 1),
+                executor=self.executor if self.n_workers > 1 and len(work) > 1 else "serial",
+                max_workers=self.n_workers,
+            )
+            fetched = engine.run(
+                lambda: work, _ProductFetchTask(self.loader), _merge_fetches
+            )
+            for _, tiles, n_loads in fetched.value:
+                self.stats.loads += n_loads
+                for key, tile in tiles.items():
+                    served[key] = tile
+                    self.tile_cache.put(key, tile)
+
+        # 3. Assemble responses.  Cache accounting is per request against the
+        #    LRU state at batch start: a tile decoded in this batch counts as
+        #    *computed* for every request of the batch that needed it (two
+        #    identical requests in one batch share the decode — that is the
+        #    batching, not the cache); only tiles already resident count as
+        #    cached.
+        seconds = sw.stop()
+        responses: list[TileResponse] = []
+        computed_keys = {key for keys in needed.values() for key in keys}
+        for plan in plans:
+            n_computed = sum(1 for key in plan.tile_keys if key in computed_keys)
+            responses.append(
+                TileResponse(
+                    request=plan.request,
+                    product=plan.entry.key,
+                    zoom=plan.zoom,
+                    tiles={
+                        (key[3], key[4]): served[key].copy() for key in plan.tile_keys
+                    },
+                    n_cached=len(plan.tile_keys) - n_computed,
+                    n_computed=n_computed,
+                    seconds=seconds,
+                )
+            )
+            self.stats.tile_hits += len(plan.tile_keys) - n_computed
+            self.stats.tile_misses += n_computed
+        self.stats.requests += len(requests)
+        self.stats.batches += 1
+        self.stats.seconds += seconds
+        return responses

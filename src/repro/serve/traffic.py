@@ -1,0 +1,266 @@
+"""Zipf-distributed traffic over the query engine, with a scaling report.
+
+Real map-tile traffic is heavy-tailed: a few popular regions take most of
+the requests.  :class:`TrafficSimulator` reproduces that shape — it carves
+the catalog's footprint into candidate regions, ranks them with a Zipf law
+(``p(rank) ∝ rank^-s``), mixes variables and zoom levels per the configured
+request mix, and drives :class:`~repro.serve.query.QueryEngine` in batches
+of concurrent requests.  The heavy tail is exactly what makes the LRU tile
+cache pay: the hot regions are served from memory while the cold tail does
+the decoding.
+
+The emitted report follows the repo's simulated-cluster convention (the
+:class:`~repro.distributed.cluster.ClusterCostModel` scaling-table style of
+Tables II/V): the *measured* single-executor serving time is routed through
+the calibrated cost model to predict throughput and latency across executor
+counts, with speedups referenced to the first grid point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributed.cluster import ClusterCostModel
+from repro.serve.query import QueryEngine, QueryStats, TileRequest, TileResponse
+
+#: Per-configuration dispatch overhead of the serving scaling table.  The
+#: Table II/V default (0.3 s) models Spark *job submission*; tile serving
+#: dispatches in-process tasks, so its scheduling cost is milliseconds —
+#: with the Spark constant a sub-second traffic run would flatten to ~1x.
+SERVE_DISPATCH_OVERHEAD_S = 0.005
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of one simulated traffic run (region mix, volume, batching)."""
+
+    #: Total number of tile requests to issue.
+    n_requests: int = 256
+    #: Concurrent requests per batch (the engine batches decodes within one).
+    batch_size: int = 16
+    #: Number of candidate regions carved out of the catalog footprint.
+    n_regions: int = 12
+    #: Zipf exponent of the region popularity ranking (larger = hotter head).
+    zipf_exponent: float = 1.1
+    #: Linear size of each region as a fraction of the catalog extent.
+    region_fraction: float = 0.3
+    #: Variables in the request mix, with optional weights (uniform default).
+    variables: tuple[str, ...] = ("freeboard_mean",)
+    variable_weights: tuple[float, ...] | None = None
+    #: Zoom levels in the request mix (clamped per product by the engine).
+    zoom_levels: tuple[int, ...] = (0, 1)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.n_regions < 1:
+            raise ValueError("n_regions must be >= 1")
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+        if not 0.0 < self.region_fraction <= 1.0:
+            raise ValueError("region_fraction must be in (0, 1]")
+        if not self.variables:
+            raise ValueError("variables must name at least one layer")
+        if self.variable_weights is not None and (
+            len(self.variable_weights) != len(self.variables)
+            or any(w < 0 for w in self.variable_weights)
+            or sum(self.variable_weights) <= 0
+        ):
+            raise ValueError("variable_weights must align with variables and sum > 0")
+        if not self.zoom_levels or any(z < 0 for z in self.zoom_levels):
+            raise ValueError("zoom_levels must be non-empty and non-negative")
+
+
+@dataclass
+class TrafficResult:
+    """Measured outcome of one traffic run.
+
+    ``stats`` is a frozen **per-run snapshot** (the difference of the
+    engine's cumulative counters across the run), so reports never include
+    traffic served before the run and never mutate retroactively when the
+    engine keeps serving.
+    """
+
+    n_requests: int
+    seconds: float
+    latencies_s: np.ndarray
+    stats: QueryStats
+    region_counts: dict[int, int] = field(default_factory=dict)
+    responses: list[TileResponse] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_requests / self.seconds if self.seconds > 0 else float("inf")
+
+    def latency_ms(self, percentile: float | None = None) -> float:
+        """Mean request latency in ms, or a percentile when given."""
+        if self.latencies_s.size == 0:
+            return 0.0
+        if percentile is None:
+            return float(self.latencies_s.mean() * 1e3)
+        return float(np.percentile(self.latencies_s, percentile) * 1e3)
+
+    def summary_row(self) -> dict[str, object]:
+        """One table row: volume, throughput, latency, cache behaviour."""
+        return {
+            "Requests": self.n_requests,
+            "Serve Time (s)": round(self.seconds, 3),
+            "Throughput (req/s)": round(self.throughput_rps, 1),
+            "Mean Latency (ms)": round(self.latency_ms(), 2),
+            "P95 Latency (ms)": round(self.latency_ms(95.0), 2),
+            "Tile Hit Rate": round(self.stats.hit_rate, 3),
+            "Product Loads": self.stats.loads,
+        }
+
+
+def scaling_rows(
+    result: TrafficResult,
+    cost_model: ClusterCostModel | None = None,
+    executor_counts: Sequence[int] = (1, 2, 4),
+) -> list[dict[str, object]]:
+    """Throughput/latency table across executor counts, cost-model style.
+
+    Independent requests parallelise like the cost model's reduce profile
+    (they share nothing but the catalog); each configuration pays one
+    dispatch overhead (:data:`SERVE_DISPATCH_OVERHEAD_S` by default — not
+    the Spark job-submission constant).  Speedups are referenced to the
+    first grid point, exactly like the Table II/V scaling tables.
+    """
+    model = (
+        cost_model
+        if cost_model is not None
+        else ClusterCostModel(map_overhead_s=SERVE_DISPATCH_OVERHEAD_S)
+    )
+    baseline_s = max(result.seconds, model.min_time_s)
+
+    def served(executors: int) -> float:
+        return model.reduce_time(baseline_s, executors, 1) + model.map_time(executors, 1)
+
+    counts = tuple(executor_counts)
+    if not counts:
+        raise ValueError("executor_counts must be non-empty")
+    ref = served(counts[0])
+    rows: list[dict[str, object]] = []
+    for executors in counts:
+        total = served(executors)
+        scale = total / baseline_s
+        rows.append(
+            {
+                "Executors": executors,
+                "Serve Time (s)": round(total, 3),
+                "Throughput (req/s)": round(result.n_requests / total, 1),
+                "Mean Latency (ms)": round(result.latency_ms() * scale, 2),
+                "P95 Latency (ms)": round(result.latency_ms(95.0) * scale, 2),
+                "Speedup": round(ref / total, 2),
+            }
+        )
+    return rows
+
+
+class TrafficSimulator:
+    """Drive a query engine with a reproducible heavy-tailed request stream."""
+
+    def __init__(self, engine: QueryEngine, config: TrafficConfig | None = None) -> None:
+        self.engine = engine
+        self.config = config if config is not None else TrafficConfig()
+
+    # -- request generation ------------------------------------------------
+
+    def regions(self) -> list[tuple[float, float, float, float]]:
+        """Candidate region bboxes inside the catalog footprint, rank-ordered.
+
+        Deterministic in the traffic seed: region 0 is the most popular.
+        """
+        cfg = self.config
+        x_min, y_min, x_max, y_max = self.engine.catalog.extent()
+        width = (x_max - x_min) * cfg.region_fraction
+        height = (y_max - y_min) * cfg.region_fraction
+        rng = np.random.default_rng(cfg.seed)
+        boxes: list[tuple[float, float, float, float]] = []
+        for _ in range(cfg.n_regions):
+            x0 = float(rng.uniform(x_min, max(x_max - width, x_min)))
+            y0 = float(rng.uniform(y_min, max(y_max - height, y_min)))
+            boxes.append((x0, y0, x0 + width, y0 + height))
+        return boxes
+
+    def _stream(self) -> list[tuple[int, TileRequest]]:
+        """The full ``(region rank, request)`` stream (Zipf x variable/zoom mix)."""
+        cfg = self.config
+        boxes = self.regions()
+        ranks = np.arange(1, cfg.n_regions + 1, dtype=float)
+        popularity = ranks**-cfg.zipf_exponent
+        popularity /= popularity.sum()
+        weights = None
+        if cfg.variable_weights is not None:
+            weights = np.asarray(cfg.variable_weights, dtype=float)
+            weights = weights / weights.sum()
+        rng = np.random.default_rng(cfg.seed + 1)
+        region_ids = rng.choice(cfg.n_regions, size=cfg.n_requests, p=popularity)
+        variables = rng.choice(
+            np.asarray(cfg.variables, dtype=object), size=cfg.n_requests, p=weights
+        )
+        zooms = rng.choice(np.asarray(cfg.zoom_levels), size=cfg.n_requests)
+        return [
+            (int(rid), TileRequest(bbox=boxes[int(rid)], variable=str(var), zoom=int(zoom)))
+            for rid, var, zoom in zip(region_ids, variables, zooms)
+        ]
+
+    def generate(self) -> list[TileRequest]:
+        """The full request stream (Zipf regions x variable/zoom mix)."""
+        return [request for _, request in self._stream()]
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, keep_responses: bool = False) -> TrafficResult:
+        """Issue the stream in batches and measure the serving behaviour."""
+        cfg = self.config
+        stream = self._stream()
+        before = replace(self.engine.stats)
+
+        latencies: list[float] = []
+        responses: list[TileResponse] = []
+        region_counts: dict[int, int] = {}
+        total = 0.0
+        for start in range(0, len(stream), cfg.batch_size):
+            chunk = stream[start : start + cfg.batch_size]
+            batch_responses = self.engine.query_batch([req for _, req in chunk])
+            total += batch_responses[0].seconds if batch_responses else 0.0
+            for (rank, _), response in zip(chunk, batch_responses):
+                latencies.append(response.seconds)
+                region_counts[rank] = region_counts.get(rank, 0) + 1
+            if keep_responses:
+                responses.extend(batch_responses)
+        after = self.engine.stats
+        run_stats = QueryStats(
+            requests=after.requests - before.requests,
+            batches=after.batches - before.batches,
+            tile_hits=after.tile_hits - before.tile_hits,
+            tile_misses=after.tile_misses - before.tile_misses,
+            loads=after.loads - before.loads,
+            seconds=after.seconds - before.seconds,
+        )
+        return TrafficResult(
+            n_requests=len(stream),
+            seconds=total,
+            latencies_s=np.asarray(latencies),
+            stats=run_stats,
+            region_counts=dict(sorted(region_counts.items())),
+            responses=responses,
+        )
+
+    def scaling_report(
+        self,
+        result: TrafficResult | None = None,
+        cost_model: ClusterCostModel | None = None,
+        executor_counts: Sequence[int] = (1, 2, 4),
+    ) -> list[dict[str, object]]:
+        """Run (if needed) and extrapolate across executor counts."""
+        if result is None:
+            result = self.run()
+        return scaling_rows(result, cost_model=cost_model, executor_counts=executor_counts)

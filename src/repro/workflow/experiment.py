@@ -22,12 +22,14 @@ from repro.config import (
     DEFAULT_LSTM,
     DEFAULT_MLP,
     DEFAULT_SEA_SURFACE,
+    DEFAULT_SERVE,
     DEFAULT_TRAINING,
     L3GridConfig,
     LSTMConfig,
     MLPConfig,
     RESAMPLE_WINDOW_M,
     SeaSurfaceConfig,
+    ServeConfig,
     TrainingConfig,
 )
 from repro.freeboard.freeboard import FreeboardResult
@@ -56,6 +58,7 @@ class ExperimentConfig:
     segmentation: SegmentationConfig = field(default_factory=SegmentationConfig)
     sea_surface: SeaSurfaceConfig = DEFAULT_SEA_SURFACE
     l3: L3GridConfig = DEFAULT_L3_GRID
+    serve: ServeConfig = DEFAULT_SERVE
     training: TrainingConfig = DEFAULT_TRAINING
     lstm: LSTMConfig = DEFAULT_LSTM
     mlp: MLPConfig = DEFAULT_MLP

@@ -40,6 +40,65 @@ class TestDefinition:
             GridDefinition.from_extent(0.0, 0.0, 0.0, 100.0, 10.0)
 
 
+class TestDegenerateGrids:
+    """Degenerate grids fail at construction with a clear ValueError,
+    never later inside binning."""
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            GridDefinition.from_extent(5.0, 5.0, 0.0, 100.0, 10.0)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            GridDefinition.from_extent(0.0, 100.0, 50.0, -50.0, 10.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_extent_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            GridDefinition.from_extent(0.0, bad, 0.0, 100.0, 10.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0, -10.0])
+    def test_bad_cell_size_rejected_in_from_extent(self, bad):
+        # NaN is the historical trap: `nan <= 0` is False, so it used to
+        # slip through and produce rows/cols of 0 deep inside binning.
+        with pytest.raises(ValueError):
+            GridDefinition.from_extent(0.0, 100.0, 0.0, 100.0, bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0, -10.0])
+    def test_bad_cell_size_rejected_in_constructor(self, bad):
+        with pytest.raises(ValueError):
+            GridDefinition(0.0, 0.0, bad, 4, 4)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_origin_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            GridDefinition(bad, 0.0, 10.0, 4, 4)
+        with pytest.raises(ValueError, match="finite"):
+            GridDefinition(0.0, bad, 10.0, 4, 4)
+
+    @pytest.mark.parametrize("nx,ny", [(0, 4), (4, 0), (-1, 4), (4, -1)])
+    def test_zero_rows_or_cols_rejected(self, nx, ny):
+        with pytest.raises(ValueError, match="at least one column and one row"):
+            GridDefinition(0.0, 0.0, 10.0, nx, ny)
+
+    def test_boundary_extent_exactly_one_cell(self):
+        g = GridDefinition.from_extent(0.0, 10.0, 0.0, 10.0, 10.0)
+        assert (g.nx, g.ny) == (1, 1)
+
+    def test_boundary_extent_just_past_one_cell(self):
+        g = GridDefinition.from_extent(0.0, 10.0 + 1e-6, 0.0, 10.0, 10.0)
+        assert (g.nx, g.ny) == (2, 1)
+
+    def test_cell_size_larger_than_extent_is_one_cell(self):
+        g = GridDefinition.from_extent(0.0, 10.0, 0.0, 10.0, 1e6)
+        assert (g.nx, g.ny) == (1, 1)
+        assert g.contains(np.array([5.0]), np.array([5.0])).all()
+
+    def test_tiny_positive_extent_is_valid(self):
+        g = GridDefinition.from_extent(0.0, 1e-9, 0.0, 1e-9, 10.0)
+        assert (g.nx, g.ny) == (1, 1)
+
+
 class TestIndexing:
     def test_contains_half_open_edges(self, grid):
         x = np.array([-1000.0, 999.9999, 1000.0, -1000.1])

@@ -153,3 +153,37 @@ class TestProductRoundTrip:
         for name, arr in product.variables.items():
             assert reloaded.variables[name].tobytes() == arr.tobytes(), name
         assert reloaded.metadata["granule_id"] == gid
+
+
+class TestServe:
+    def test_serve_returns_an_engine_over_exactly_the_written_fleet(
+        self, config, first_run, tmp_path
+    ):
+        import json
+
+        from repro.serve import TileRequest
+
+        products = tmp_path / "products"
+        products.mkdir()
+        # Pre-existing junk in the directory must never be catalogued: only
+        # the products this serve() call writes belong to the campaign.
+        (products / "foreign.json").write_text(json.dumps({"hello": 1}))
+        (products / "stale.json").write_text(json.dumps({"format": "other/9"}))
+
+        runner = CampaignRunner(config)
+        engine = runner.serve(str(products), l3=first_run)
+        assert len(engine.catalog) == first_run.n_granules + 1
+        assert {entry.kind for entry in engine.catalog} == {"granule", "mosaic"}
+        served_ids = {gid for e in engine.catalog for gid in e.granule_ids}
+        assert served_ids == set(first_run.granules)
+
+        # End to end: a region query resolves to the mosaic, and its repeat
+        # is pure tile cache (no second decode of any product file).
+        x0, y0, _, _ = engine.catalog.extent()
+        request = TileRequest(bbox=(x0, y0, x0 + 2_000.0, y0 + 2_000.0), zoom=0)
+        first = engine.query(request)
+        assert engine.catalog.get(first.product).kind == "mosaic"
+        loads = engine.loader.n_loads
+        repeat = engine.query(request)
+        assert repeat.from_cache
+        assert engine.loader.n_loads == loads

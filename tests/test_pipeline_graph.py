@@ -89,7 +89,13 @@ class TestRequiredAndDownstream:
     def test_downstream_of_sea_surface(self):
         graph = default_graph()
         downstream = set(graph.downstream_stages("sea_surface"))
-        assert downstream == {"freeboard", "metrics", "grid_granule", "mosaic_campaign"}
+        assert downstream == {
+            "freeboard",
+            "metrics",
+            "grid_granule",
+            "mosaic_campaign",
+            "build_pyramid",
+        }
 
     def test_downstream_of_infer_covers_retrieval(self):
         graph = default_graph()
@@ -100,6 +106,7 @@ class TestRequiredAndDownstream:
             "metrics",
             "grid_granule",
             "mosaic_campaign",
+            "build_pyramid",
         }
 
 
@@ -128,6 +135,7 @@ class TestGraphDerivation:
         assert set(derived.downstream_stages("freeboard")) == {
             "grid_granule",
             "mosaic_campaign",
+            "build_pyramid",
             "metrics",
             "thickness",
         }

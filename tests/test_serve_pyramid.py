@@ -1,0 +1,258 @@
+"""Tile pyramids: geometry helpers, level semantics, the build_pyramid stage."""
+
+import numpy as np
+import pytest
+
+from repro.config import ServeConfig
+from repro.geodesy.grid import GridDefinition
+from repro.l3.product import Level3Grid
+from repro.serve.pyramid import (
+    TilePyramid,
+    build_pyramid,
+    default_pyramid_variables,
+    level_shape,
+    n_levels_for,
+    tile_grid,
+    tiles_for_bbox,
+)
+
+
+def make_product(ny=40, nx=60, cell=100.0, seed=0, with_freeboard_weights=True):
+    rng = np.random.default_rng(seed)
+    grid = GridDefinition(x_min_m=1000.0, y_min_m=-2000.0, cell_size_m=cell, nx=nx, ny=ny)
+    n_seg = np.where(rng.random(grid.shape) < 0.6, rng.integers(1, 9, grid.shape), 0)
+    n_fb = np.minimum(n_seg, rng.integers(0, 5, grid.shape))
+    fb = np.where(n_fb > 0, rng.normal(0.3, 0.1, grid.shape), np.nan)
+    variables = {
+        "n_segments": n_seg.astype(np.int64),
+        "freeboard_mean": fb,
+        "thickness_mean": np.where(np.isfinite(fb), fb * 8.0, np.nan),
+    }
+    if with_freeboard_weights:
+        variables["n_freeboard_segments"] = n_fb.astype(np.int64)
+    return Level3Grid(
+        grid=grid,
+        variables=variables,
+        metadata={"kind": "mosaic", "granule_ids": ["g000"], "fingerprint": "fp-test"},
+    )
+
+
+class TestGeometryHelpers:
+    def test_level_shape_ceil_halves(self):
+        assert level_shape((40, 60), 0) == (40, 60)
+        assert level_shape((40, 60), 1) == (20, 30)
+        assert level_shape((41, 1), 1) == (21, 1)
+        with pytest.raises(ValueError):
+            level_shape((4, 4), -1)
+
+    def test_n_levels_reduces_until_one_tile(self):
+        assert n_levels_for((40, 60), tile_size=64) == 1
+        assert n_levels_for((40, 60), tile_size=16) == 3  # 40x60 -> 20x30 -> 10x15
+        assert n_levels_for((1, 1), tile_size=1) == 1
+
+    def test_n_levels_respects_cap(self):
+        assert n_levels_for((512, 512), tile_size=8, max_levels=2) == 3
+
+    def test_tile_grid_rounds_up(self):
+        assert tile_grid((40, 60), 16) == (3, 4)
+        assert tile_grid((16, 16), 16) == (1, 1)
+
+    def test_tiles_for_bbox_clamps_to_grid(self):
+        tiles = tiles_for_bbox(
+            bbox=(900.0, -2100.0, 1900.0, -1100.0),  # overhangs the lower-left
+            origin=(1000.0, -2000.0),
+            base_cell_size_m=100.0,
+            base_shape=(40, 60),
+            zoom=0,
+            tile_size=16,
+        )
+        assert tiles == [(0, 0)]
+
+    def test_tiles_for_bbox_misses_grid(self):
+        tiles = tiles_for_bbox(
+            bbox=(1e6, 1e6, 2e6, 2e6),
+            origin=(1000.0, -2000.0),
+            base_cell_size_m=100.0,
+            base_shape=(40, 60),
+            zoom=0,
+            tile_size=16,
+        )
+        assert tiles == []
+
+    def test_degenerate_bbox_rejected(self):
+        with pytest.raises(ValueError, match="positive width"):
+            tiles_for_bbox((0, 0, 0, 10), (0, 0), 100.0, (4, 4), 0, 2)
+
+
+class TestBuildPyramid:
+    def test_levels_and_grids(self):
+        product = make_product()
+        pyramid = build_pyramid(product, serve=ServeConfig(tile_size=16))
+        assert pyramid.n_levels == 3
+        assert pyramid.levels[0].shape == (40, 60)
+        assert pyramid.levels[1].shape == (20, 30)
+        assert pyramid.levels[2].grid.cell_size_m == 400.0
+        assert pyramid.base_grid == product.grid
+        assert pyramid.metadata["fingerprint"] == "fp-test"
+
+    def test_default_variables_are_float_layers(self):
+        product = make_product()
+        names = default_pyramid_variables(product)
+        assert "freeboard_mean" in names and "thickness_mean" in names
+        assert "n_segments" not in names
+
+    def test_freeboard_layers_weight_by_freeboard_counts(self):
+        product = make_product()
+        pyramid = build_pyramid(product, serve=ServeConfig(tile_size=16))
+        level0 = pyramid.levels[0]
+        fb = product.variables["freeboard_mean"]
+        n_fb = product.variables["n_freeboard_segments"].astype(float)
+        expected = np.where(np.isfinite(fb), n_fb, 0.0)
+        np.testing.assert_array_equal(level0.weights["freeboard_mean"], expected)
+
+    def test_overview_conserves_weighted_sum(self):
+        # Count-weighted means must conserve sum(w * v) level to level.
+        product = make_product()
+        pyramid = build_pyramid(product, serve=ServeConfig(tile_size=8))
+        for name in ("freeboard_mean", "thickness_mean"):
+            prev = None
+            for level in pyramid.levels:
+                v, w = level.variables[name], level.weights[name]
+                total = np.where(w > 0, v * w, 0.0).sum()
+                if prev is not None:
+                    assert total == pytest.approx(prev, rel=1e-12)
+                prev = total
+
+    def test_coverage_is_base_fraction(self):
+        product = make_product()
+        pyramid = build_pyramid(product, serve=ServeConfig(tile_size=8))
+        base_covered = (product.variables["n_segments"] > 0).mean()
+        for level in pyramid.levels[1:]:
+            ny, nx = level.shape
+            # Phantom padding dilutes the area mean, so compare the totals:
+            # covered base cells are conserved exactly by the area reduction.
+            total_base_cells = level.coverage.sum() * 4 ** level.zoom
+            assert total_base_cells == pytest.approx(
+                base_covered * product.grid.n_cells, rel=1e-9
+            )
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValueError, match="not in the product"):
+            build_pyramid(make_product(), variables=("nope",))
+
+    def test_missing_weight_variable_rejected(self):
+        product = make_product()
+        with pytest.raises(ValueError, match="weight variable"):
+            build_pyramid(product, serve=ServeConfig(weight_variable="n_missing"))
+
+
+class TestTileAddressing:
+    def test_tiles_are_fixed_size_nan_padded(self):
+        pyramid = build_pyramid(make_product(), serve=ServeConfig(tile_size=16))
+        interior = pyramid.tile("freeboard_mean", 0, 0, 0)
+        edge = pyramid.tile("freeboard_mean", 0, 2, 3)  # 40x60 -> ragged edge
+        assert interior.shape == (16, 16) and edge.shape == (16, 16)
+        assert np.isnan(edge[8:, :]).all()  # rows past the grid
+        assert np.isnan(edge[:, 12:]).all()  # cols past the grid
+
+    def test_tile_matches_layer_window(self):
+        product = make_product()
+        pyramid = build_pyramid(product, serve=ServeConfig(tile_size=16))
+        tile = pyramid.tile("freeboard_mean", 0, 1, 2)
+        window = product.variables["freeboard_mean"][16:32, 32:48]
+        np.testing.assert_array_equal(tile, window)
+
+    def test_tile_out_of_range(self):
+        pyramid = build_pyramid(make_product(), serve=ServeConfig(tile_size=16))
+        with pytest.raises(IndexError, match="out of range"):
+            pyramid.tile("freeboard_mean", 0, 99, 0)
+        with pytest.raises(KeyError, match="no variable"):
+            pyramid.tile("nope", 0, 0, 0)
+        with pytest.raises(IndexError, match="zoom"):
+            pyramid.level(99)
+
+    def test_tile_bbox_and_lookup_roundtrip(self):
+        pyramid = build_pyramid(make_product(), serve=ServeConfig(tile_size=16))
+        bbox = pyramid.tile_bbox(1, 0, 1)
+        hits = pyramid.tiles_for_bbox(bbox, 1)
+        assert (0, 1) in hits
+
+    def test_tiles_for_bbox_rejects_out_of_range_zoom(self):
+        # Same contract as tile()/tile_bbox(): silently clamping would
+        # return addresses that are only valid at a different level.
+        pyramid = build_pyramid(make_product(), serve=ServeConfig(tile_size=16))
+        bbox = pyramid.tile_bbox(0, 0, 0)
+        with pytest.raises(IndexError, match="zoom"):
+            pyramid.tiles_for_bbox(bbox, pyramid.n_levels)
+
+    def test_figure_tile_map_pads_edge_coverage(self):
+        from repro.evaluation import figure_tile_map
+
+        pyramid = build_pyramid(make_product(), serve=ServeConfig(tile_size=16))
+        series = figure_tile_map(pyramid, "freeboard_mean", zoom=0, row=2, col=3)
+        assert series["tile"].shape == (16, 16)
+        assert series["coverage"].shape == (16, 16)  # padded like the tile
+        assert (series["coverage"][8:, :] == 0).all()  # past the grid: uncovered
+        assert series["bbox_m"] == pyramid.tile_bbox(0, 2, 3)
+        assert 0.0 <= series["finite_fraction"] <= 1.0
+
+    def test_clamp_zoom(self):
+        pyramid = build_pyramid(make_product(), serve=ServeConfig(tile_size=16))
+        assert pyramid.clamp_zoom(99) == pyramid.n_levels - 1
+        assert pyramid.clamp_zoom(-3) == 0
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError, match="base level"):
+            TilePyramid(tile_size=8, levels=())
+
+
+class TestPyramidStage:
+    def test_registered_and_content_addressed(self, tmp_path):
+        # The stage consumes l3_mosaic, declares the serve slice, and a
+        # serve-only config change re-executes exactly build_pyramid.
+        from dataclasses import replace
+
+        from repro.pipeline.cache import StageCache
+        from repro.pipeline.runner import GraphRunner
+        from repro.pipeline.stages import default_graph
+        from repro.surface.scene import SceneConfig
+        from repro.workflow.experiment import ExperimentConfig
+
+        config = ExperimentConfig(
+            scene=SceneConfig(width_m=5_000.0, height_m=5_000.0),
+            epochs=1,
+            model_kind="mlp",
+            seed=3,
+            serve=ServeConfig(tile_size=4),
+        )
+        cache = StageCache(tmp_path)
+        first = GraphRunner(default_graph(), cache=cache).run(
+            config, targets=("l3_pyramid",)
+        )
+        pyramid = first.value("l3_pyramid")
+        assert isinstance(pyramid, TilePyramid)
+        assert pyramid.tile_size == 4
+        assert any(key.startswith("build_pyramid-") for key in first.cache_misses)
+
+        warm = GraphRunner(default_graph(), cache=cache).run(
+            config, targets=("l3_pyramid",)
+        )
+        assert warm.cache_misses == ()
+
+        changed = replace(config, serve=ServeConfig(tile_size=8))
+        partial = GraphRunner(default_graph(), cache=cache).run(
+            changed, targets=("l3_pyramid",)
+        )
+        missed = sorted({key.rsplit("-", 1)[0] for key in partial.cache_misses})
+        assert missed == ["build_pyramid"]
+        assert partial.value("l3_pyramid").tile_size == 8
+
+        # A cache-size-only change is a query-engine runtime knob: it must
+        # not invalidate the content-addressed pyramid.
+        cache_only = replace(
+            config, serve=ServeConfig(tile_size=4, tile_cache_size=9999)
+        )
+        warm_again = GraphRunner(default_graph(), cache=cache).run(
+            cache_only, targets=("l3_pyramid",)
+        )
+        assert warm_again.cache_misses == ()
