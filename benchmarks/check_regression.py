@@ -3,14 +3,22 @@
 
 Reads a pytest-benchmark ``--benchmark-json`` file produced by the kernel
 benchmark suites (``benchmarks/bench_kernels.py``,
-``benchmarks/bench_l3_gridding.py`` and ``benchmarks/bench_pyramid.py``),
-pairs each ``*_reference`` benchmark
+``benchmarks/bench_l3_gridding.py``, ``benchmarks/bench_pyramid.py`` and
+``benchmarks/bench_router.py``), pairs each ``*_reference`` benchmark
 with its ``*_vectorized`` counterpart, and computes the vectorized speedup
 as the ratio of the per-round *minimum* times (the least noisy statistic on
 shared CI runners).  The speedups — not the absolute times — are compared
 against the committed baselines in
 ``benchmarks/results/kernel_baselines.json``, so the gate is independent of
 how fast the CI machine happens to be.
+
+The router benchmarks additionally feed a serving-tier **latency gate**:
+per kernel backend, the cold-start run (fresh caches, full decode) is
+ratioed against the hot run (pre-warmed LRU), and the ratio is held above
+``LATENCY_RATIO_FLOORS`` and within ``LATENCY_TOLERANCE`` of its committed
+baseline — with one generous absolute ceiling on the hot-path time
+(``HOT_LATENCY_CEILING_S``) as the backstop for cache-path logic
+regressions that scale both numbers together.
 
 The check fails when a kernel's measured speedup
 
@@ -59,9 +67,27 @@ NEAR_PARITY_FLOOR = 0.5
 REFERENCE_SUFFIX = "_reference"
 VECTORIZED_SUFFIX = "_vectorized"
 
+#: Serving-tier latency gate (``benchmarks/bench_router.py``): per kernel
+#: backend, the cold (fresh caches, full decode + pyramid build) run must
+#: stay at least this many times slower than the hot (pre-warmed LRU) run.
+#: A collapsing ratio means cache-path work leaked into the request path —
+#: the regression absolute times cannot see, because both runs slow down
+#: together on a slow runner.
+LATENCY_RATIO_FLOORS = {"router_latency": 3.0}
+#: Generous absolute ceiling on the hot-path minimum (seconds): the warmed
+#: router serves a whole request batch from memory, so even the slowest CI
+#: runner finishing above this is a logic regression, not machine noise.
+HOT_LATENCY_CEILING_S = 0.25
+#: Latency ratios are noisier than kernel speedups (the hot path is tens of
+#: milliseconds, scheduler-sensitive), so the vs-baseline tolerance is wider.
+LATENCY_TOLERANCE = 0.5
 
-def load_speedups(benchmark_json: Path) -> dict[str, dict[str, float]]:
-    """Pair reference/vectorized benchmarks into per-kernel speedups."""
+COLD_PREFIX = "router_cold_"
+HOT_PREFIX = "router_hot_"
+
+
+def load_minima(benchmark_json: Path) -> dict[str, float]:
+    """Per-benchmark minimum round times, keyed by bare benchmark name."""
     data = json.loads(benchmark_json.read_text())
     minima: dict[str, float] = {}
     for bench in data.get("benchmarks", []):
@@ -71,7 +97,11 @@ def load_speedups(benchmark_json: Path) -> dict[str, dict[str, float]]:
         # The per-round minimum is the least noisy statistic on shared CI
         # runners; ratios of minima are what the baselines store.
         minima[name] = float(bench["stats"]["min"])
+    return minima
 
+
+def load_speedups(minima: dict[str, float]) -> dict[str, dict[str, float]]:
+    """Pair reference/vectorized benchmarks into per-kernel speedups."""
     speedups: dict[str, dict[str, float]] = {}
     for name, ref_min in sorted(minima.items()):
         if not name.endswith(REFERENCE_SUFFIX):
@@ -88,10 +118,56 @@ def load_speedups(benchmark_json: Path) -> dict[str, dict[str, float]]:
     return speedups
 
 
+def load_latencies(minima: dict[str, float]) -> dict[str, dict[str, float]]:
+    """Pair the router's cold/hot runs into per-backend latency ratios."""
+    latencies: dict[str, dict[str, float]] = {}
+    for name, cold_s in sorted(minima.items()):
+        if not name.startswith(COLD_PREFIX):
+            continue
+        backend = name[len(COLD_PREFIX) :]
+        hot_s = minima.get(HOT_PREFIX + backend)
+        if hot_s is None or hot_s <= 0:
+            continue
+        latencies[f"router_latency_{backend}"] = {
+            "cold_s": cold_s,
+            "hot_s": hot_s,
+            "ratio": cold_s / hot_s,
+        }
+    return latencies
+
+
+def check_latencies(
+    latencies: dict[str, dict[str, float]],
+    baselines: dict[str, dict[str, float]],
+) -> list[str]:
+    failures: list[str] = []
+    for name, row in latencies.items():
+        measured = row["ratio"]
+        floor = LATENCY_RATIO_FLOORS.get(name.rsplit("_", 1)[0])
+        if floor is not None and measured < floor:
+            failures.append(
+                f"{name}: cold/hot ratio {measured:.2f}x below the "
+                f"{floor:.1f}x acceptance floor"
+            )
+        if row["hot_s"] > HOT_LATENCY_CEILING_S:
+            failures.append(
+                f"{name}: hot-path latency {row['hot_s'] * 1e3:.1f}ms above the "
+                f"{HOT_LATENCY_CEILING_S * 1e3:.0f}ms ceiling"
+            )
+        base = baselines.get(name, {}).get("ratio")
+        if base is not None and measured < base * (1.0 - LATENCY_TOLERANCE):
+            failures.append(
+                f"{name}: cold/hot ratio {measured:.2f}x regressed more than "
+                f"{LATENCY_TOLERANCE:.0%} from baseline {base:.2f}x"
+            )
+    return failures
+
+
 def check(
     speedups: dict[str, dict[str, float]],
     baselines: dict[str, dict[str, float]],
     tolerance: float,
+    also_present: set[str] = frozenset(),
 ) -> list[str]:
     failures: list[str] = []
     for kernel, row in speedups.items():
@@ -115,7 +191,7 @@ def check(
                 f"{kernel}: speedup {measured:.2f}x regressed more than "
                 f"{tolerance:.0%} from baseline {base:.2f}x"
             )
-    missing = sorted(set(baselines) - set(speedups))
+    missing = sorted(set(baselines) - set(speedups) - set(also_present))
     for kernel in missing:
         failures.append(f"{kernel}: present in baselines but not in this run")
     return failures
@@ -138,8 +214,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    speedups = load_speedups(args.benchmark_json)
-    if not speedups:
+    minima = load_minima(args.benchmark_json)
+    speedups = load_speedups(minima)
+    latencies = load_latencies(minima)
+    if not speedups and not latencies:
         print("no reference/vectorized benchmark pairs found", file=sys.stderr)
         return 2
 
@@ -149,35 +227,56 @@ def main(argv: list[str] | None = None) -> int:
 
     # Margins are printed in the pass case too, so CI logs show each
     # kernel's headroom trend long before a failure trips the gate.
-    width = max(len(k) for k in speedups)
-    print(
-        f"{'kernel':<{width}}  {'reference':>11}  {'vectorized':>11}  "
-        f"{'speedup':>8}  {'vs floor':>9}  {'vs baseline':>11}"
-    )
-    for kernel, row in speedups.items():
-        measured = row["speedup"]
-        floor = SPEEDUP_FLOORS.get(kernel)
-        floor_margin = f"{measured / floor:8.2f}x" if floor else f"{'-':>9}"
-        base = baselines.get(kernel, {}).get("speedup")
-        base_margin = f"{100.0 * (measured - base) / base:+10.1f}%" if base else f"{'-':>11}"
+    if speedups:
+        width = max(len(k) for k in speedups)
         print(
-            f"{kernel:<{width}}  {row['reference_s'] * 1e3:9.2f}ms  "
-            f"{row['vectorized_s'] * 1e3:9.2f}ms  {measured:7.2f}x  "
-            f"{floor_margin}  {base_margin}"
+            f"{'kernel':<{width}}  {'reference':>11}  {'vectorized':>11}  "
+            f"{'speedup':>8}  {'vs floor':>9}  {'vs baseline':>11}"
         )
+        for kernel, row in speedups.items():
+            measured = row["speedup"]
+            floor = SPEEDUP_FLOORS.get(kernel)
+            floor_margin = f"{measured / floor:8.2f}x" if floor else f"{'-':>9}"
+            base = baselines.get(kernel, {}).get("speedup")
+            base_margin = f"{100.0 * (measured - base) / base:+10.1f}%" if base else f"{'-':>11}"
+            print(
+                f"{kernel:<{width}}  {row['reference_s'] * 1e3:9.2f}ms  "
+                f"{row['vectorized_s'] * 1e3:9.2f}ms  {measured:7.2f}x  "
+                f"{floor_margin}  {base_margin}"
+            )
+
+    if latencies:
+        width = max(len(k) for k in latencies)
+        print(
+            f"\n{'latency':<{width}}  {'cold':>11}  {'hot':>11}  "
+            f"{'ratio':>8}  {'vs floor':>9}  {'vs baseline':>11}"
+        )
+        for name, row in latencies.items():
+            measured = row["ratio"]
+            floor = LATENCY_RATIO_FLOORS.get(name.rsplit("_", 1)[0])
+            floor_margin = f"{measured / floor:8.2f}x" if floor else f"{'-':>9}"
+            base = baselines.get(name, {}).get("ratio")
+            base_margin = f"{100.0 * (measured - base) / base:+10.1f}%" if base else f"{'-':>11}"
+            print(
+                f"{name:<{width}}  {row['cold_s'] * 1e3:9.2f}ms  "
+                f"{row['hot_s'] * 1e3:9.2f}ms  {measured:7.2f}x  "
+                f"{floor_margin}  {base_margin}"
+            )
 
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        args.baseline.write_text(json.dumps(speedups, indent=2, sort_keys=True) + "\n")
+        merged = {**speedups, **latencies}
+        args.baseline.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
         print(f"baselines written to {args.baseline}")
         return 0
 
-    failures = check(speedups, baselines, args.tolerance)
+    failures = check(speedups, baselines, args.tolerance, also_present=set(latencies))
+    failures += check_latencies(latencies, baselines)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("kernel speedups within tolerance of committed baselines")
+    print("kernel speedups and serving latencies within tolerance of committed baselines")
     return 0
 
 

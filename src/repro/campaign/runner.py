@@ -885,8 +885,9 @@ class CampaignRunner:
         l3: CampaignL3Result | None = None,
         n_workers: int | None = None,
         executor: str = "thread",
+        router: bool = False,
     ):
-        """Write the campaign's Level-3 products and return a query engine.
+        """Write the campaign's Level-3 products and return a serving front.
 
         Convenience end of the data path: grids the fleet (via :meth:`to_l3`
         unless ``l3`` is given), writes the mosaic and every granule grid as
@@ -899,6 +900,12 @@ class CampaignRunner:
         campaign's ``base.serve`` slice.  The engine defaults to the thread
         executor — serving is decode-bound NumPy work that releases the GIL,
         and the tile cache lives on the driver.
+
+        With ``router=True`` the catalog is hash-partitioned into the
+        ``base.serve.router`` shard count and the return value is a
+        :class:`~repro.serve.router.RequestRouter` fronting one engine per
+        shard — the service tier (single-flight coalescing, admission
+        control, quarantine) instead of a bare engine.
         """
         # Local imports: repro.serve sits downstream of the campaign layer,
         # mirroring to_l3's treatment of repro.l3.
@@ -916,10 +923,22 @@ class CampaignRunner:
         for granule_id, product in l3.granules.items():
             _, json_path = write_level3(product, out_dir / granule_id)
             catalog.register(json_path)
+        workers = n_workers if n_workers is not None else self.config.n_workers
+        if router:
+            from repro.serve.router import RequestRouter
+            from repro.serve.shard import ShardedCatalog
+
+            serve_cfg = self.config.base.serve
+            return RequestRouter(
+                ShardedCatalog.from_catalog(catalog, serve_cfg.router.n_shards),
+                serve=serve_cfg,
+                n_workers=workers,
+                executor=executor,
+            )
         return QueryEngine(
             catalog,
             serve=self.config.base.serve,
-            n_workers=n_workers if n_workers is not None else self.config.n_workers,
+            n_workers=workers,
             executor=executor,
         )
 

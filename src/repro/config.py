@@ -230,6 +230,46 @@ class L3GridConfig:
 
 
 @dataclass(frozen=True)
+class RouterConfig:
+    """Parameters of the async service tier (:mod:`repro.serve.router`).
+
+    Sizes the sharded catalog, the admission-control watermark of the
+    request router, shard quarantine, and the popularity-driven hot-tile
+    prefetcher.  Nested inside :class:`ServeConfig` so the whole serving
+    stack is one campaign-level config slice.
+    """
+
+    #: Number of catalog shards (each with its own engine and tile LRU).
+    n_shards: int = 4
+    #: Admission-control watermark: distinct underlying executions allowed
+    #: in flight before new (non-coalescable) requests are shed.
+    max_queue_depth: int = 64
+    #: ``Retry-After`` hint (seconds) attached to shed requests.
+    retry_after_s: float = 0.05
+    #: Consecutive product-decode failures before a shard is quarantined.
+    quarantine_errors: int = 3
+    #: Number of hottest flight keys the background prefetcher keeps warm
+    #: (0 disables prefetching).
+    prefetch_top_k: int = 8
+    #: Interval between prefetch sweeps, in (clock) seconds.
+    prefetch_interval_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.retry_after_s < 0:
+            raise ValueError("retry_after_s must be non-negative")
+        if self.quarantine_errors < 1:
+            raise ValueError("quarantine_errors must be >= 1")
+        if self.prefetch_top_k < 0:
+            raise ValueError("prefetch_top_k must be >= 0")
+        if self.prefetch_interval_s <= 0:
+            raise ValueError("prefetch_interval_s must be positive")
+
+
+@dataclass(frozen=True)
 class ServeConfig:
     """Parameters of the product-serving layer (:mod:`repro.serve`).
 
@@ -251,6 +291,9 @@ class ServeConfig:
     weight_variable: str = "n_segments"
     #: Capacity (in tiles) of the query engine's fingerprint-keyed LRU cache.
     tile_cache_size: int = 512
+    #: The async service tier built around the query engine
+    #: (:class:`RouterConfig`: sharding, admission control, prefetch).
+    router: RouterConfig = RouterConfig()
 
     def __post_init__(self) -> None:
         if self.tile_size < 1:
@@ -299,4 +342,5 @@ DEFAULT_CLUSTER = ClusterConfig()
 DEFAULT_GPU_CLUSTER = GPUClusterConfig()
 DEFAULT_SEA_SURFACE = SeaSurfaceConfig()
 DEFAULT_L3_GRID = L3GridConfig()
+DEFAULT_ROUTER = RouterConfig()
 DEFAULT_SERVE = ServeConfig()

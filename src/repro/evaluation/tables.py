@@ -149,3 +149,32 @@ def serve_scaling_table(
     from repro.serve.traffic import scaling_rows
 
     return scaling_rows(result, cost_model=cost_model, executor_counts=executor_counts)
+
+
+def router_latency_table(result) -> list[dict[str, object]]:
+    """Single-row summary of one open-loop run through the service tier.
+
+    ``result`` is an :class:`~repro.serve.traffic.OpenLoopResult`; the row
+    reports offered load, completed throughput, the shed rate and
+    coalescing ratio of the admission/single-flight layer, and the
+    p50/p95/p99 latency of completed requests.
+    """
+    return [result.summary_row()]
+
+
+def router_scaling_table(
+    result,
+    cost_model: ClusterCostModel | None = None,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+) -> list[dict[str, object]]:
+    """Saturation throughput of an open-loop run across shard counts.
+
+    The measured service work of ``result`` (an
+    :class:`~repro.serve.traffic.OpenLoopResult`) is routed through the
+    calibrated :class:`~repro.distributed.cluster.ClusterCostModel` with
+    the shard count in the executor column's role — the Table II/V
+    convention applied to the serving tier.
+    """
+    from repro.serve.traffic import router_scaling_rows
+
+    return router_scaling_rows(result, cost_model=cost_model, shard_counts=shard_counts)

@@ -20,10 +20,25 @@ ROADMAP's "heavy traffic" regime:
   LRU tile cache, decodes each product at most once per batch however many
   requests hit it, and fans independent products across the
   :class:`~repro.distributed.mapreduce.MapReduceEngine` executors;
+* :mod:`repro.serve.shard` — :class:`ShardedCatalog` hash-partitions the
+  archive by product footprint (:func:`shard_index`, bit-stable across
+  rebuilds) into shards that share nothing, while queries merge back into
+  global registration order so resolution is identical to the unsharded
+  catalog;
+* :mod:`repro.serve.router` — :class:`RequestRouter`, the async service
+  tier over the shards: single-flight coalescing of identical in-flight
+  queries, admission control with fast load-shedding
+  (:class:`RouterOverloadedError` carries the ``Retry-After`` hint),
+  popularity-driven hot-tile prefetching, and per-shard quarantine on
+  repeated product errors;
+* :mod:`repro.serve.clock` — the pluggable time source
+  (:class:`MonotonicClock` for production, :class:`VirtualClock` for
+  deterministic concurrency tests and simulated open-loop runs);
 * :mod:`repro.serve.traffic` — :class:`TrafficSimulator` drives the engine
-  with Zipf-distributed region traffic and emits a throughput/latency
-  report in the :class:`~repro.distributed.cluster.ClusterCostModel`
-  scaling-table style.
+  closed-loop with Zipf-distributed region traffic, or a router open-loop
+  on a Poisson arrival process, and emits throughput/latency reports in
+  the :class:`~repro.distributed.cluster.ClusterCostModel` scaling-table
+  style.
 
 Quick start (serving a campaign)::
 
@@ -34,9 +49,13 @@ Quick start (serving a campaign)::
     engine = runner.serve("products/")          # write products + catalog them
     response = engine.query(TileRequest(bbox=(0, 0, 10_000, 10_000), zoom=1))
     report = TrafficSimulator(engine).scaling_report()
+
+    router = runner.serve("products/", router=True)   # the sharded async tier
+    routed = router.serve([TileRequest(bbox=(0, 0, 10_000, 10_000), zoom=1)])
 """
 
 from repro.serve.catalog import CatalogEntry, ProductCatalog
+from repro.serve.clock import MonotonicClock, VirtualClock
 from repro.serve.pyramid import (
     PyramidLevel,
     TilePyramid,
@@ -51,30 +70,55 @@ from repro.serve.query import (
     QueryStats,
     TileRequest,
     TileResponse,
+    plan_request,
+    select_entry,
 )
+from repro.serve.router import (
+    RequestRouter,
+    RoutedResponse,
+    RouterOverloadedError,
+    RouterStats,
+    Shard,
+)
+from repro.serve.shard import ShardedCatalog, shard_index
 from repro.serve.traffic import (
+    OpenLoopResult,
     TrafficConfig,
     TrafficResult,
     TrafficSimulator,
+    router_scaling_rows,
     scaling_rows,
 )
 
 __all__ = [
     "CatalogEntry",
+    "MonotonicClock",
+    "OpenLoopResult",
     "ProductCatalog",
     "ProductLoader",
     "PyramidLevel",
     "QueryEngine",
     "QueryStats",
+    "RequestRouter",
+    "RoutedResponse",
+    "RouterOverloadedError",
+    "RouterStats",
+    "Shard",
+    "ShardedCatalog",
     "TilePyramid",
     "TileRequest",
     "TileResponse",
     "TrafficConfig",
     "TrafficResult",
     "TrafficSimulator",
+    "VirtualClock",
     "build_pyramid",
     "default_pyramid_variables",
     "n_levels_for",
+    "plan_request",
+    "router_scaling_rows",
     "scaling_rows",
+    "select_entry",
+    "shard_index",
     "tiles_for_bbox",
 ]

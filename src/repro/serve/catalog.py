@@ -170,6 +170,17 @@ class ProductCatalog:
                 skipped.append(sidecar)
         return registered, skipped
 
+    def remove(self, key: str) -> CatalogEntry:
+        """De-index one entry by key (``KeyError`` when absent)."""
+        try:
+            entry = self._entries.pop(key)
+        except KeyError:
+            raise KeyError(
+                f"no product {key!r} in the catalog ({len(self)} entries)"
+            ) from None
+        self._discard_from_indexes(entry)
+        return entry
+
     def _discard_from_indexes(self, entry: CatalogEntry) -> None:
         for variable in entry.variables:
             self._by_variable.get(variable, set()).discard(entry.key)

@@ -228,6 +228,59 @@ class _RequestPlan:
     tile_keys: tuple[TileKey, ...]
 
 
+def select_entry(candidates: Sequence[CatalogEntry], request: TileRequest) -> CatalogEntry:
+    """The resolution policy: which of the matching products serves a request.
+
+    Shared by :class:`QueryEngine` and the sharded router, so a sharded
+    deployment resolves every request to exactly the product the unsharded
+    engine would pick.  Mosaics win over per-granule grids (they composite
+    the whole fleet); ties break towards the most recently registered
+    product.  Raises ``LookupError`` when nothing matches — and *before*
+    any decode when the variable exists in products but is not a servable
+    pyramid layer (count layers are reduction weights).
+    """
+    if not candidates:
+        raise LookupError(
+            f"no catalogued product with variable {request.variable!r} "
+            f"intersects bbox {request.bbox}"
+        )
+    servable = [e for e in candidates if request.variable in e.servable]
+    if not servable:
+        raise LookupError(
+            f"variable {request.variable!r} exists in matching products but "
+            "is not a servable pyramid layer (count/coverage layers are "
+            f"reduction weights); servable here: {sorted(candidates[-1].servable)}"
+        )
+    mosaics = [entry for entry in servable if entry.kind == "mosaic"]
+    pool = mosaics if mosaics else servable
+    return pool[-1]
+
+
+def plan_request(entry: CatalogEntry, request: TileRequest, serve: ServeConfig) -> _RequestPlan:
+    """Resolve one request against one product to concrete tile addresses.
+
+    Pure geometry from catalog metadata — no decode.  The zoom is clamped
+    to the product's pyramid depth; the resulting ``tile_keys`` are the
+    fingerprint-based cache keys, which double as the router's
+    single-flight identity (two requests whose bboxes cover the same tiles
+    of the same product coalesce even if the bboxes differ).
+    """
+    levels = n_levels_for(entry.shape, serve.tile_size, serve.max_levels)
+    zoom = max(0, min(request.zoom, levels - 1))
+    addresses = tiles_for_bbox(
+        request.bbox,
+        (entry.x_min_m, entry.y_min_m),
+        entry.cell_size_m,
+        entry.shape,
+        zoom,
+        serve.tile_size,
+    )
+    keys = tuple(
+        (entry.key, request.variable, zoom, row, col) for row, col in addresses
+    )
+    return _RequestPlan(request=request, entry=entry, zoom=zoom, tile_keys=keys)
+
+
 class QueryEngine:
     """Serve tile requests over a :class:`~repro.serve.catalog.ProductCatalog`."""
 
@@ -267,47 +320,12 @@ class QueryEngine:
     # -- resolution --------------------------------------------------------
 
     def resolve(self, request: TileRequest) -> CatalogEntry:
-        """The product that serves one request.
-
-        Mosaics win over per-granule grids (they composite the whole fleet);
-        ties break towards the most recently registered product.  Raises
-        ``LookupError`` with the searched region when nothing matches — and
-        *before* any decode when the variable exists in products but is not
-        a servable pyramid layer (count layers are reduction weights).
-        """
+        """The product that serves one request (:func:`select_entry` policy)."""
         candidates = self.catalog.query(bbox=request.bbox, variable=request.variable)
-        if not candidates:
-            raise LookupError(
-                f"no catalogued product with variable {request.variable!r} "
-                f"intersects bbox {request.bbox}"
-            )
-        servable = [e for e in candidates if request.variable in e.servable]
-        if not servable:
-            raise LookupError(
-                f"variable {request.variable!r} exists in matching products but "
-                "is not a servable pyramid layer (count/coverage layers are "
-                f"reduction weights); servable here: {sorted(candidates[-1].servable)}"
-            )
-        mosaics = [entry for entry in servable if entry.kind == "mosaic"]
-        pool = mosaics if mosaics else servable
-        return pool[-1]
+        return select_entry(candidates, request)
 
     def _plan(self, request: TileRequest) -> _RequestPlan:
-        entry = self.resolve(request)
-        levels = n_levels_for(entry.shape, self.serve.tile_size, self.serve.max_levels)
-        zoom = max(0, min(request.zoom, levels - 1))
-        addresses = tiles_for_bbox(
-            request.bbox,
-            (entry.x_min_m, entry.y_min_m),
-            entry.cell_size_m,
-            entry.shape,
-            zoom,
-            self.serve.tile_size,
-        )
-        keys = tuple(
-            (entry.key, request.variable, zoom, row, col) for row, col in addresses
-        )
-        return _RequestPlan(request=request, entry=entry, zoom=zoom, tile_keys=keys)
+        return plan_request(self.resolve(request), request, self.serve)
 
     # -- serving -----------------------------------------------------------
 

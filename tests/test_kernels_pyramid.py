@@ -75,7 +75,10 @@ class TestReduceMeanEquivalence:
 
     @given(
         value=st.floats(min_value=-10, max_value=10, allow_nan=False),
-        weight=st.floats(min_value=0.0, max_value=50.0),
+        # Weights are segment counts; a subnormal weight (e.g. 5e-324) is
+        # unphysical and makes (w * v) lose nearly every mantissa bit, so
+        # the one-rounding tolerance below would not hold for it.
+        weight=st.floats(min_value=0.0, max_value=50.0, allow_subnormal=False),
     )
     @settings(**HYPOTHESIS_SETTINGS)
     def test_single_cell_tile(self, value, weight):

@@ -39,6 +39,105 @@ def engine(tmp_path):
     return QueryEngine(catalog, loader=ProductLoader(SERVE), serve=SERVE)
 
 
+class ConstantServiceEngine:
+    """An engine stub whose every batch takes exactly ``service_s``.
+
+    Duck-types the slice of :class:`QueryEngine` the simulator uses
+    (``catalog``, ``stats``, ``query_batch``), so the queue-wait/service
+    split can be asserted arithmetically instead of against wall time.
+    """
+
+    def __init__(self, catalog, service_s: float) -> None:
+        from repro.serve.query import QueryStats, TileResponse
+
+        self.catalog = catalog
+        self.service_s = service_s
+        self.stats = QueryStats()
+        self._response_cls = TileResponse
+
+    def query_batch(self, requests):
+        self.stats.requests += len(requests)
+        self.stats.batches += 1
+        self.stats.seconds += self.service_s
+        return [
+            self._response_cls(
+                request=request,
+                product="stub",
+                zoom=request.zoom,
+                tiles={},
+                n_cached=0,
+                n_computed=1,
+                seconds=self.service_s,
+            )
+            for request in requests
+        ]
+
+
+class TestLatencySplit:
+    """Closed-loop queue wait must be separated from service time.
+
+    Request k of batch b waited for batches ``0..b-1`` (queue) and then
+    took its own batch's execution (service); reporting their sum alone
+    would hide queueing collapse behind a flat number.
+    """
+
+    def test_split_on_a_constant_service_engine(self, engine):
+        service_s = 0.25
+        stub = ConstantServiceEngine(engine.catalog, service_s)
+        config = TrafficConfig(n_requests=20, batch_size=5, n_regions=3, seed=21)
+        result = TrafficSimulator(stub, config).run()
+
+        batches = np.repeat(np.arange(4), 5)  # 20 requests in 4 batches
+        np.testing.assert_allclose(result.queue_wait_s, batches * service_s)
+        np.testing.assert_allclose(result.service_s, np.full(20, service_s))
+        np.testing.assert_allclose(result.latencies_s, (batches + 1) * service_s)
+        assert result.seconds == pytest.approx(4 * service_s)
+
+        assert result.queue_wait_ms() == pytest.approx(1.5 * service_s * 1e3)
+        assert result.service_ms() == pytest.approx(service_s * 1e3)
+        assert result.latency_ms() == pytest.approx(2.5 * service_s * 1e3)
+        # P95 of queue wait: the last batch waited 3 service times.
+        assert result.queue_wait_ms(95.0) == pytest.approx(3 * service_s * 1e3)
+
+        row = result.summary_row()
+        assert row["Mean Queue Wait (ms)"] == pytest.approx(375.0)
+        assert row["Mean Service (ms)"] == pytest.approx(250.0)
+        assert row["Mean Latency (ms)"] == pytest.approx(625.0)
+
+    def test_split_sums_to_latency_on_the_real_engine(self, engine):
+        config = TrafficConfig(n_requests=30, batch_size=6, n_regions=3, seed=22)
+        result = TrafficSimulator(engine, config).run()
+        assert result.queue_wait_s.shape == (30,)
+        assert result.service_s.shape == (30,)
+        np.testing.assert_allclose(
+            result.latencies_s, result.queue_wait_s + result.service_s
+        )
+        # Queue wait is monotone in batch order and zero for the first batch.
+        assert result.queue_wait_s[0] == 0.0
+        assert np.all(np.diff(result.queue_wait_s) >= 0)
+
+
+class TestConstruction:
+    def test_requires_an_engine_or_a_catalog(self):
+        with pytest.raises(ValueError, match="engine or a catalog"):
+            TrafficSimulator()
+
+    def test_catalog_only_simulator_generates_streams(self, engine):
+        simulator = TrafficSimulator(
+            catalog=engine.catalog, config=TrafficConfig(n_requests=10, seed=3)
+        )
+        assert simulator.engine is None
+        assert len(simulator.generate()) == 10
+
+    def test_chunked_stream_covers_the_same_requests(self, engine):
+        simulator = TrafficSimulator(
+            engine, TrafficConfig(n_requests=64, n_regions=4, seed=14)
+        )
+        chunks = list(simulator._stream_chunks(64, 16))
+        assert [len(chunk) for chunk in chunks] == [16, 16, 16, 16]
+        assert sum(len(c) for c in simulator._stream_chunks(10, 4)) == 10
+
+
 class TestConfigValidation:
     @pytest.mark.parametrize(
         "kwargs",
