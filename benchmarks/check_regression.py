@@ -3,8 +3,9 @@
 
 Reads a pytest-benchmark ``--benchmark-json`` file produced by the kernel
 benchmark suites (``benchmarks/bench_kernels.py``,
-``benchmarks/bench_l3_gridding.py``, ``benchmarks/bench_pyramid.py`` and
-``benchmarks/bench_router.py``), pairs each ``*_reference`` benchmark
+``benchmarks/bench_l3_gridding.py``, ``benchmarks/bench_pyramid.py``,
+``benchmarks/bench_router.py`` and ``benchmarks/bench_ingest.py``), pairs
+each ``*_reference`` benchmark
 with its ``*_vectorized`` counterpart, and computes the vectorized speedup
 as the ratio of the per-round *minimum* times (the least noisy statistic on
 shared CI runners).  The speedups — not the absolute times — are compared
@@ -19,6 +20,12 @@ ratioed against the hot run (pre-warmed LRU), and the ratio is held above
 baseline — with one generous absolute ceiling on the hot-path time
 (``HOT_LATENCY_CEILING_S``) as the backstop for cache-path logic
 regressions that scale both numbers together.
+
+The ingest benchmarks feed the **live-ingest gate** the same way: per
+kernel backend, one incremental ingest (online mosaic merge + dirty-tile
+pyramid rebuild) is ratioed against the full rebuild it replaces, and the
+ratio is held above ``INGEST_RATIO_FLOOR`` (>= 3x, an acceptance
+criterion) and within ``INGEST_TOLERANCE`` of its committed baseline.
 
 The check fails when a kernel's measured speedup
 
@@ -85,6 +92,18 @@ LATENCY_TOLERANCE = 0.5
 COLD_PREFIX = "router_cold_"
 HOT_PREFIX = "router_hot_"
 
+#: Live-ingest gate (``benchmarks/bench_ingest.py``): per kernel backend,
+#: one incremental ingest (online merge + dirty-tile rebuild) must stay at
+#: least this many times cheaper than the full rebuild (batch mosaic +
+#: from-scratch pyramid) it replaces.  The products are byte-identical by
+#: contract, so a collapsing ratio means dirty-cell accounting regressed
+#: into full-grid work.
+INGEST_RATIO_FLOOR = 3.0
+INGEST_TOLERANCE = 0.5
+
+INGEST_INCREMENTAL_PREFIX = "ingest_incremental_"
+INGEST_FULL_PREFIX = "ingest_full_"
+
 
 def load_minima(benchmark_json: Path) -> dict[str, float]:
     """Per-benchmark minimum round times, keyed by bare benchmark name."""
@@ -134,6 +153,45 @@ def load_latencies(minima: dict[str, float]) -> dict[str, dict[str, float]]:
             "ratio": cold_s / hot_s,
         }
     return latencies
+
+
+def load_ingest(minima: dict[str, float]) -> dict[str, dict[str, float]]:
+    """Pair the incremental/full ingest runs into per-backend speedups."""
+    speedups: dict[str, dict[str, float]] = {}
+    for name, full_s in sorted(minima.items()):
+        if not name.startswith(INGEST_FULL_PREFIX):
+            continue
+        backend = name[len(INGEST_FULL_PREFIX) :]
+        incremental_s = minima.get(INGEST_INCREMENTAL_PREFIX + backend)
+        if incremental_s is None or incremental_s <= 0:
+            continue
+        speedups[f"ingest_speedup_{backend}"] = {
+            "full_s": full_s,
+            "incremental_s": incremental_s,
+            "ratio": full_s / incremental_s,
+        }
+    return speedups
+
+
+def check_ingest(
+    ingest: dict[str, dict[str, float]],
+    baselines: dict[str, dict[str, float]],
+) -> list[str]:
+    failures: list[str] = []
+    for name, row in ingest.items():
+        measured = row["ratio"]
+        if measured < INGEST_RATIO_FLOOR:
+            failures.append(
+                f"{name}: incremental ingest only {measured:.2f}x faster than a "
+                f"full rebuild (floor {INGEST_RATIO_FLOOR:.1f}x)"
+            )
+        base = baselines.get(name, {}).get("ratio")
+        if base is not None and measured < base * (1.0 - INGEST_TOLERANCE):
+            failures.append(
+                f"{name}: incremental/full ratio {measured:.2f}x regressed more "
+                f"than {INGEST_TOLERANCE:.0%} from baseline {base:.2f}x"
+            )
+    return failures
 
 
 def check_latencies(
@@ -217,7 +275,8 @@ def main(argv: list[str] | None = None) -> int:
     minima = load_minima(args.benchmark_json)
     speedups = load_speedups(minima)
     latencies = load_latencies(minima)
-    if not speedups and not latencies:
+    ingest = load_ingest(minima)
+    if not speedups and not latencies and not ingest:
         print("no reference/vectorized benchmark pairs found", file=sys.stderr)
         return 2
 
@@ -263,20 +322,43 @@ def main(argv: list[str] | None = None) -> int:
                 f"{floor_margin}  {base_margin}"
             )
 
+    if ingest:
+        width = max(len(k) for k in ingest)
+        print(
+            f"\n{'ingest':<{width}}  {'full':>11}  {'incremental':>11}  "
+            f"{'ratio':>8}  {'vs floor':>9}  {'vs baseline':>11}"
+        )
+        for name, row in ingest.items():
+            measured = row["ratio"]
+            floor_margin = f"{measured / INGEST_RATIO_FLOOR:8.2f}x"
+            base = baselines.get(name, {}).get("ratio")
+            base_margin = f"{100.0 * (measured - base) / base:+10.1f}%" if base else f"{'-':>11}"
+            print(
+                f"{name:<{width}}  {row['full_s'] * 1e3:9.2f}ms  "
+                f"{row['incremental_s'] * 1e3:9.2f}ms  {measured:7.2f}x  "
+                f"{floor_margin}  {base_margin}"
+            )
+
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        merged = {**speedups, **latencies}
+        merged = {**speedups, **latencies, **ingest}
         args.baseline.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
         print(f"baselines written to {args.baseline}")
         return 0
 
-    failures = check(speedups, baselines, args.tolerance, also_present=set(latencies))
+    failures = check(
+        speedups, baselines, args.tolerance, also_present=set(latencies) | set(ingest)
+    )
     failures += check_latencies(latencies, baselines)
+    failures += check_ingest(ingest, baselines)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("kernel speedups and serving latencies within tolerance of committed baselines")
+    print(
+        "kernel speedups, serving latencies and ingest ratios within "
+        "tolerance of committed baselines"
+    )
     return 0
 
 

@@ -4,9 +4,9 @@
 Demonstrates the `repro.serve` router on top of the query engine:
 
 1. run a small two-granule campaign and mount its products behind a
-   `RequestRouter` (`CampaignRunner.serve(..., router=True)`): the catalog
-   is hash-partitioned by bbox into shards, each with its own engine and
-   LRU tile cache;
+   `RequestRouter` (`CampaignRunner.serve(...).with_router()`): the
+   catalog is hash-partitioned by bbox into shards, each with its own
+   engine and LRU tile cache;
 2. serve a batch of region queries through the router and show the shard
    fan-out plus the cache-hot repeat;
 3. drive the router open loop on a `VirtualClock` — Poisson arrivals at
@@ -80,7 +80,8 @@ def main() -> None:
 
         # 1. Campaign -> written products -> sharded catalog -> router.
         runner = CampaignRunner(config)
-        router = runner.serve(str(workdir / "products"), router=True)
+        handle = runner.serve(str(workdir / "products")).with_router()
+        router = handle.router
         counts = router.catalog.counts()
         print(
             f"\nsharded catalog: {len(router.catalog)} products over "

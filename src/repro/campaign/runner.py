@@ -33,6 +33,7 @@ cluster scaling report.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
@@ -876,6 +877,39 @@ class CampaignRunner:
             seconds=sw.stop(),
         )
 
+    def grid_new_granule(
+        self, spec: GranuleSpec, result: CampaignResult | None = None
+    ) -> "Level3Grid":
+        """Grid one granule that was not part of the original fleet.
+
+        The live-ingest entry point: runs the full curation → inference →
+        retrieval → gridding graph for ``spec`` with the campaign's trained
+        classifier injected at its content fingerprint, so every stage is
+        served from the stage cache when the granule (or any prefix of its
+        pipeline) was seen before.  Returns the per-granule Level-3 product
+        with its content fingerprint in metadata, ready for
+        :meth:`repro.ingest.IngestService.ingest`.
+        """
+        if result is None:
+            result = self.run()
+        _, pooled_fp, _ = self._fingerprint_maps(self.config.expand())
+        classifier_fp = pooled_fp if pooled_fp is not None else "external:classifier"
+        runner = GraphRunner(default_graph(), cache=_stage_cache(self.stage_root))
+        run = runner.run(
+            spec.config,
+            targets=("l3_granule",),
+            precomputed={
+                "classifier": external_artifact(
+                    "classifier", result.classifier, classifier_fp
+                )
+            },
+            granule_id=spec.granule_id,
+            scenario=spec.scenario,
+        )
+        product = run.value("l3_granule")
+        product.metadata["fingerprint"] = run.artifacts["l3_granule"].fingerprint
+        return product
+
     # -- serving ---------------------------------------------------------------
 
     def serve(
@@ -885,9 +919,9 @@ class CampaignRunner:
         l3: CampaignL3Result | None = None,
         n_workers: int | None = None,
         executor: str = "thread",
-        router: bool = False,
+        router: bool | None = None,
     ):
-        """Write the campaign's Level-3 products and return a serving front.
+        """Write the campaign's Level-3 products and return a serving handle.
 
         Convenience end of the data path: grids the fleet (via :meth:`to_l3`
         unless ``l3`` is given), writes the mosaic and every granule grid as
@@ -896,22 +930,31 @@ class CampaignRunner:
         (stale products from earlier campaigns or foreign files in the same
         directory are never picked up — use ``ProductCatalog.scan`` to serve
         a whole archive) and returns a
-        :class:`~repro.serve.query.QueryEngine` configured from the
-        campaign's ``base.serve`` slice.  The engine defaults to the thread
-        executor — serving is decode-bound NumPy work that releases the GIL,
-        and the tile cache lives on the driver.
+        :class:`~repro.serve.handle.ServeHandle` configured from the
+        campaign's ``base.serve`` slice.  Chain builder steps onto the
+        handle for the rest of the stack::
 
-        With ``router=True`` the catalog is hash-partitioned into the
-        ``base.serve.router`` shard count and the return value is a
-        :class:`~repro.serve.router.RequestRouter` fronting one engine per
-        shard — the service tier (single-flight coalescing, admission
-        control, quarantine) instead of a bare engine.
+            handle = runner.serve(products_dir)          # bare query engine
+            handle = runner.serve(products_dir).with_router()       # + router
+            handle = runner.serve(products_dir).with_router().with_ingest()
+
+        The handle queries through the thread executor by default — serving
+        is decode-bound NumPy work that releases the GIL, and the tile
+        caches live on the driver.  Its ``gridder`` hook is wired to
+        :meth:`grid_new_granule`, so an attached ingest service can grid
+        newly arrived granule specs through the cached pipeline stages.
+
+        ``router`` is a **deprecated** boolean shim: ``router=True`` returns
+        the raw :class:`~repro.serve.router.RequestRouter` and
+        ``router=False`` the raw :class:`~repro.serve.query.QueryEngine`,
+        as before this parameter was replaced by the builder — both under a
+        ``DeprecationWarning``.
         """
         # Local imports: repro.serve sits downstream of the campaign layer,
         # mirroring to_l3's treatment of repro.l3.
         from repro.l3.writer import write_level3
         from repro.serve.catalog import ProductCatalog
-        from repro.serve.query import QueryEngine
+        from repro.serve.handle import ServeHandle
 
         if l3 is None:
             l3 = self.to_l3(result)
@@ -924,23 +967,39 @@ class CampaignRunner:
             _, json_path = write_level3(product, out_dir / granule_id)
             catalog.register(json_path)
         workers = n_workers if n_workers is not None else self.config.n_workers
-        if router:
-            from repro.serve.router import RequestRouter
-            from repro.serve.shard import ShardedCatalog
 
-            serve_cfg = self.config.base.serve
-            return RequestRouter(
-                ShardedCatalog.from_catalog(catalog, serve_cfg.router.n_shards),
-                serve=serve_cfg,
-                n_workers=workers,
-                executor=executor,
-            )
-        return QueryEngine(
+        campaign_result = result
+
+        def gridder(spec: GranuleSpec) -> "Level3Grid":
+            nonlocal campaign_result
+            if campaign_result is None:
+                # Resolved lazily, on the first spec ingest: with a stage
+                # cache this replays from disk; without one it is a real run,
+                # which only ingest-by-spec should ever pay for.
+                campaign_result = self.run()
+            return self.grid_new_granule(spec, result=campaign_result)
+
+        handle = ServeHandle(
             catalog,
             serve=self.config.base.serve,
+            products_dir=out_dir,
             n_workers=workers,
             executor=executor,
+            gridder=gridder,
+            seed_l3=l3,
         )
+        if router is not None:
+            warnings.warn(
+                "CampaignRunner.serve(router=...) is deprecated: serve() now "
+                "returns a ServeHandle — use serve(dir).with_router(...) for "
+                "the service tier, or the bare handle for a query engine",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if router:
+                return handle.with_router().router
+            return handle.engine
+        return handle
 
 
 def run_campaign(config: CampaignConfig, **kwargs) -> CampaignResult:

@@ -270,6 +270,34 @@ class RouterConfig:
 
 
 @dataclass(frozen=True)
+class IngestConfig:
+    """Parameters of the live-ingest tier (:mod:`repro.ingest`).
+
+    Controls how :class:`repro.ingest.IngestService` folds newly arrived
+    granules into a served campaign: whether per-granule products are
+    written alongside the refreshed mosaic, and whether every online merge
+    is cross-checked against a from-scratch batch mosaic (a debugging aid —
+    the merge is bit-identical by construction, but the check is O(fleet)).
+    Nested inside :class:`ServeConfig` so the whole serving stack remains
+    one campaign-level config slice.
+    """
+
+    #: Base name (under the products directory) of the live mosaic product
+    #: rewritten on every ingest.
+    mosaic_name: str = "mosaic"
+    #: Write a standalone Level-3 product for each ingested granule and
+    #: register it in the catalog alongside the refreshed mosaic.
+    write_granule_products: bool = True
+    #: Debugging cross-check: after every merge, rebuild the batch mosaic
+    #: from scratch and assert byte-identity.  O(fleet) per ingest.
+    verify_merge: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.mosaic_name:
+            raise ValueError("mosaic_name must be a non-empty product name")
+
+
+@dataclass(frozen=True)
 class ServeConfig:
     """Parameters of the product-serving layer (:mod:`repro.serve`).
 
@@ -294,6 +322,9 @@ class ServeConfig:
     #: The async service tier built around the query engine
     #: (:class:`RouterConfig`: sharding, admission control, prefetch).
     router: RouterConfig = RouterConfig()
+    #: The live-ingest tier that keeps served products fresh without a
+    #: restart (:class:`IngestConfig`).
+    ingest: IngestConfig = IngestConfig()
 
     def __post_init__(self) -> None:
         if self.tile_size < 1:
@@ -343,4 +374,5 @@ DEFAULT_GPU_CLUSTER = GPUClusterConfig()
 DEFAULT_SEA_SURFACE = SeaSurfaceConfig()
 DEFAULT_L3_GRID = L3GridConfig()
 DEFAULT_ROUTER = RouterConfig()
+DEFAULT_INGEST = IngestConfig()
 DEFAULT_SERVE = ServeConfig()

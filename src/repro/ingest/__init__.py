@@ -1,0 +1,19 @@
+"""Live ingest: fold newly arrived granules into served campaign products.
+
+The batch path (:meth:`CampaignRunner.serve`) writes products once and
+serves them read-only.  This package closes the loop for granules that
+arrive *after* the campaign is serving: :class:`IngestService` grids the
+new granule through the cached pipeline stages, merges it into the fleet
+mosaic online (bit-identical to a from-scratch batch mosaic — the
+:mod:`repro.l3.merge` contract), rebuilds only the pyramid tiles whose
+footprint the granule touched, republishes the product, and invalidates
+exactly the affected tile cache entries — the served campaign stays live
+without a restart or a full rebuild.
+
+Attach it to a serving stack with
+``runner.serve(products_dir).with_router().with_ingest()``.
+"""
+
+from repro.ingest.service import IngestReport, IngestService
+
+__all__ = ["IngestReport", "IngestService"]

@@ -16,7 +16,14 @@ with, mirroring operational Level-3 processors such as pysiral:
   contributing granule means, granule counts, coverage);
 * :mod:`repro.l3.writer` — self-describing on-disk products (npz arrays +
   JSON metadata incl. grid definition, config fingerprint and kernel
-  backend) that reload **bit-identically**.
+  backend) that reload **bit-identically**;
+* :mod:`repro.l3.merge` — :class:`~repro.l3.merge.MosaicAccumulator`, the
+  online counterpart of :meth:`Level3Processor.mosaic
+  <repro.l3.processor.Level3Processor.mosaic>`: granules join the fleet
+  mosaic one at a time (the live-ingest path), with dirty-cell accounting
+  and a bit-identity guarantee against the batch mosaic — both share
+  :func:`~repro.l3.processor.mean_and_std_across` as the single source of
+  the merge math.
 
 Gridding runs as the registered ``grid_granule`` / ``mosaic_campaign``
 pipeline stages (content-fingerprinted, so warm-cache campaigns re-grid
@@ -35,7 +42,8 @@ Quick start::
 """
 
 from repro.geodesy.grid import GridDefinition
-from repro.l3.processor import Level3Processor
+from repro.l3.merge import MERGED_COUNT_LAYERS, MERGED_MEAN_LAYERS, MosaicAccumulator
+from repro.l3.processor import Level3Processor, mean_and_std_across
 from repro.l3.product import Level3Grid, VARIABLE_ATTRS
 from repro.l3.writer import (
     L3_FORMAT,
@@ -51,8 +59,12 @@ __all__ = [
     "Level3Grid",
     "Level3ProductError",
     "Level3Processor",
+    "MERGED_COUNT_LAYERS",
+    "MERGED_MEAN_LAYERS",
+    "MosaicAccumulator",
     "VARIABLE_ATTRS",
     "load_sidecar",
+    "mean_and_std_across",
     "read_level3",
     "write_level3",
 ]

@@ -224,7 +224,7 @@ class Level3Processor:
             "coverage_fraction": n_granules / float(n_fleet),
         }
         for name in ("freeboard_mean", "freeboard_median", "thickness_mean"):
-            mean, std = _mean_and_std_across(
+            mean, std = mean_and_std_across(
                 np.stack([g.variable(name) for g in grids])
             )
             variables[name] = mean
@@ -232,7 +232,7 @@ class Level3Processor:
                 variables[name.replace("_mean", "_std")] = std
         for class_name in CLASS_NAMES:
             name = f"class_fraction_{class_name}"
-            mean, _ = _mean_and_std_across(np.stack([g.variable(name) for g in grids]))
+            mean, _ = mean_and_std_across(np.stack([g.variable(name) for g in grids]))
             variables[name] = mean
 
         return Level3Grid(
@@ -279,13 +279,21 @@ def _pooled_arrays(
     )
 
 
-def _mean_and_std_across(stacked: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def mean_and_std_across(stacked: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """NaN-aware per-cell mean and sample std across the granule axis.
 
-    ``stacked`` has shape (n_granules, ny, nx); NaN entries (granule did not
+    ``stacked`` has shape (n_granules, ...); NaN entries (granule did not
     observe the cell) do not contribute.  The std is ``ddof=1`` across the
     contributing granule means — NaN for fewer than two contributors, by
     the documented mosaic convention.
+
+    This is the single source of the mosaic merge math: the batch
+    :meth:`Level3Processor.mosaic` calls it on (n_granules, ny, nx) stacks
+    and the online :class:`repro.l3.merge.MosaicAccumulator` calls it on
+    (n_granules, n_dirty_cells) column stacks.  Both reduce over the outer
+    axis, which NumPy accumulates sequentially per cell with non-finite
+    entries as exact ``0.0`` terms — so the incremental path is
+    bit-identical to the batch path by construction.
     """
     finite = np.isfinite(stacked)
     n = finite.sum(axis=0)
@@ -295,3 +303,7 @@ def _mean_and_std_across(stacked: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         squared = np.where(finite, (stacked - mean) ** 2, 0.0).sum(axis=0)
         std = np.where(n > 1, np.sqrt(squared / np.maximum(n - 1, 1)), np.nan)
     return mean, std
+
+
+#: Backwards-compatible private alias (pre-ingest callers).
+_mean_and_std_across = mean_and_std_across

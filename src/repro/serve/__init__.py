@@ -31,6 +31,17 @@ ROADMAP's "heavy traffic" regime:
   (:class:`RouterOverloadedError` carries the ``Retry-After`` hint),
   popularity-driven hot-tile prefetching, and per-shard quarantine on
   repeated product errors;
+* :mod:`repro.serve.handle` — :class:`ServeHandle`, the single
+  construction surface: ``runner.serve(dir)`` returns a handle owning the
+  catalog/engine/router/ingest lifecycle, with chainable builder steps
+  (``.with_router(...)``, ``.with_ingest(...)``) and a unified
+  :class:`TileResponse` query surface whichever front serves;
+* :mod:`repro.serve.live` — the live-product seam under
+  :mod:`repro.ingest`: :class:`IncrementalPyramidBuilder` rebuilds only
+  the pyramid tiles whose footprint a new granule touched (byte-identical
+  to a full rebuild), and :class:`LivePyramidLoader` serves installed
+  in-memory pyramids with per-tile-region revision fingerprints and the
+  stale-while-revalidate flag;
 * :mod:`repro.serve.clock` — the pluggable time source
   (:class:`MonotonicClock` for production, :class:`VirtualClock` for
   deterministic concurrency tests and simulated open-loop runs);
@@ -46,16 +57,19 @@ Quick start (serving a campaign)::
     from repro.serve import TileRequest, TrafficSimulator
 
     runner = CampaignRunner(CampaignConfig(grid={"cloud_fraction": (0.1, 0.4)}))
-    engine = runner.serve("products/")          # write products + catalog them
-    response = engine.query(TileRequest(bbox=(0, 0, 10_000, 10_000), zoom=1))
-    report = TrafficSimulator(engine).scaling_report()
+    handle = runner.serve("products/")          # write products + catalog them
+    response = handle.query(TileRequest(bbox=(0, 0, 10_000, 10_000), zoom=1))
+    report = TrafficSimulator(handle.engine).scaling_report()
 
-    router = runner.serve("products/", router=True)   # the sharded async tier
-    routed = router.serve([TileRequest(bbox=(0, 0, 10_000, 10_000), zoom=1)])
+    live = runner.serve("products/").with_router().with_ingest()
+    live.ingest(new_granule_spec)               # merged + served, no restart
+    routed = live.query_batch([TileRequest(bbox=(0, 0, 10_000, 10_000), zoom=1)])
 """
 
 from repro.serve.catalog import CatalogEntry, ProductCatalog
 from repro.serve.clock import MonotonicClock, VirtualClock
+from repro.serve.handle import ServeHandle
+from repro.serve.live import IncrementalPyramidBuilder, LivePyramidLoader
 from repro.serve.pyramid import (
     PyramidLevel,
     TilePyramid,
@@ -63,6 +77,7 @@ from repro.serve.pyramid import (
     default_pyramid_variables,
     n_levels_for,
     tiles_for_bbox,
+    tiles_for_cells,
 )
 from repro.serve.query import (
     ProductLoader,
@@ -92,6 +107,8 @@ from repro.serve.traffic import (
 
 __all__ = [
     "CatalogEntry",
+    "IncrementalPyramidBuilder",
+    "LivePyramidLoader",
     "MonotonicClock",
     "OpenLoopResult",
     "ProductCatalog",
@@ -103,6 +120,7 @@ __all__ = [
     "RoutedResponse",
     "RouterOverloadedError",
     "RouterStats",
+    "ServeHandle",
     "Shard",
     "ShardedCatalog",
     "TilePyramid",
@@ -121,4 +139,5 @@ __all__ = [
     "select_entry",
     "shard_index",
     "tiles_for_bbox",
+    "tiles_for_cells",
 ]

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.l3.writer import Level3ProductError, load_sidecar, parse_sidecar_description
 from repro.serve.pyramid import is_pyramid_variable
 
@@ -153,6 +155,38 @@ class ProductCatalog:
     def register(self, path: str | Path) -> CatalogEntry:
         """Register one written product from its sidecar path (or base path)."""
         return self.add(CatalogEntry.from_sidecar(path))
+
+    def append(self, path: str | Path) -> CatalogEntry:
+        """Validate and index one newly written product — no directory re-scan.
+
+        Unlike :meth:`register` (which trusts the sidecar), ``append`` also
+        verifies the npz half: the file must exist and its zip directory
+        must list every variable the sidecar declares (arrays stay
+        compressed — this reads the archive index only).  O(1) in catalog
+        size, which is what lets the live-ingest tier publish a refreshed
+        product per granule without re-scanning the whole directory.
+        Raises :class:`~repro.l3.writer.Level3ProductError` on any mismatch.
+        """
+        entry = CatalogEntry.from_sidecar(path)
+        npz = entry.npz_path
+        if not npz.is_file():
+            raise Level3ProductError(
+                f"cannot append {entry.base_path!r}: missing array file {npz}"
+            )
+        try:
+            with np.load(npz) as payload:
+                present = set(payload.files)
+        except (OSError, ValueError) as exc:
+            raise Level3ProductError(
+                f"cannot append {entry.base_path!r}: unreadable array file {npz}: {exc}"
+            ) from exc
+        missing = sorted(set(entry.variables) - present)
+        if missing:
+            raise Level3ProductError(
+                f"cannot append {entry.base_path!r}: sidecar declares variables "
+                f"absent from {npz.name}: {missing}"
+            )
+        return self.add(entry)
 
     def scan(self, directory: str | Path) -> tuple[list[CatalogEntry], list[Path]]:
         """Register every ``*.json`` sidecar under a directory (recursively).

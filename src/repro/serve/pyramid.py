@@ -118,6 +118,39 @@ def tiles_for_bbox(
     ]
 
 
+def tiles_for_cells(
+    cells: np.ndarray | Sequence[int],
+    base_shape: tuple[int, int],
+    zoom: int,
+    tile_size: int,
+) -> list[tuple[int, int]]:
+    """Tile (row, col) addresses of one level touched by base-grid cells.
+
+    ``cells`` are flat row-major indices into the *base* grid — e.g. the
+    dirty set reported by :meth:`repro.l3.merge.MosaicAccumulator.add`.
+    Under ceil-halving, base cell ``(r, c)`` lands in level-``zoom`` cell
+    ``(r >> zoom, c >> zoom)``, hence in tile
+    ``(r >> zoom // tile_size, c >> zoom // tile_size)``.  The result is
+    row-major sorted and deduplicated; an empty input returns no tiles.
+    This is how the ingest tier turns dirty cells into the exact set of
+    pyramid tiles to rebuild (and cache entries to invalidate).
+    """
+    flat = np.asarray(cells, dtype=np.int64).ravel()
+    if flat.size == 0:
+        return []
+    ny, nx = int(base_shape[0]), int(base_shape[1])
+    if flat.min() < 0 or flat.max() >= ny * nx:
+        raise ValueError(
+            f"cell indices must lie in [0, {ny * nx}) for base shape {base_shape}"
+        )
+    shape = level_shape(base_shape, zoom)  # also validates zoom >= 0
+    _, tile_cols = tile_grid(shape, tile_size)
+    level_rows = (flat // nx) >> zoom
+    level_cols = (flat % nx) >> zoom
+    keys = np.unique((level_rows // tile_size) * tile_cols + (level_cols // tile_size))
+    return [(int(key // tile_cols), int(key % tile_cols)) for key in keys]
+
+
 # ---------------------------------------------------------------------------
 # The pyramid product
 # ---------------------------------------------------------------------------

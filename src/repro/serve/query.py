@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Hashable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -66,7 +66,16 @@ class TileRequest:
 
 @dataclass
 class TileResponse:
-    """One served request: the tiles plus provenance and cache accounting."""
+    """One served request — the single response shape of the serve tier.
+
+    Both :meth:`QueryEngine.query` and
+    :meth:`repro.serve.router.RequestRouter.query` return this dataclass:
+    the tiles, per-tile provenance fingerprints, cache accounting
+    (``n_cached``/``n_computed``), and the service-tier flags the router
+    fills in (``coalesced``, ``queue_wait_s``, ``shard``).  ``stale`` marks
+    a response served from the previous product revision while a live
+    ingest rebuild is in flight (stale-while-revalidate).
+    """
 
     request: TileRequest
     product: str
@@ -75,6 +84,16 @@ class TileResponse:
     n_cached: int
     n_computed: int
     seconds: float
+    #: Per-tile provenance: ``(row, col) -> tile-region fingerprint``.
+    fingerprints: dict[tuple[int, int], str] = field(default_factory=dict)
+    #: Served from the previous revision while a rebuild is in flight.
+    stale: bool = False
+    #: Router flags: joined an identical in-flight execution / time spent
+    #: waiting on it / the shard that served the request (``None`` when the
+    #: response came straight from an engine, not through the router).
+    coalesced: bool = False
+    queue_wait_s: float = 0.0
+    shard: int | None = None
 
     @property
     def n_tiles(self) -> int:
@@ -84,6 +103,23 @@ class TileResponse:
     def from_cache(self) -> bool:
         """True when every tile came from the LRU (no decode, no filesystem)."""
         return self.n_computed == 0
+
+    @property
+    def service_s(self) -> float:
+        """Execution time of the underlying engine work."""
+        return self.seconds
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end request latency: queue wait plus service time."""
+        return self.queue_wait_s + self.seconds
+
+    @property
+    def response(self) -> "TileResponse":
+        """Self — compatibility with the pre-unification ``RoutedResponse``
+        wrapper, whose consumers reached the engine payload via
+        ``routed.response``.  New code should use the fields directly."""
+        return self
 
     def mosaic_array(self) -> np.ndarray:
         """The response's tiles stitched into one array (row-major window)."""
@@ -155,6 +191,27 @@ class ProductLoader:
             self.loaded.append(entry.key)
         return self.decode(entry)
 
+    def tile_fingerprint(self, key: TileKey) -> str:
+        """Provenance fingerprint of one tile region.
+
+        For immutable (batch-written) products the product key *is* the
+        content fingerprint, so the tile region is fully identified by
+        appending its address.  Live loaders
+        (:class:`repro.serve.live.LivePyramidLoader`) refine this with a
+        per-region revision that advances only when an ingest actually
+        rebuilt that tile.
+        """
+        product, variable, zoom, row, col = key
+        return f"{product}/{variable}@z{zoom}/{row},{col}"
+
+    def is_stale(self, product_key: str) -> bool:
+        """Whether a product is mid-rebuild (stale-while-revalidate flag).
+
+        Batch products are immutable, hence never stale; the live loader
+        overrides this during an in-flight ingest.
+        """
+        return False
+
 
 class _LRUCache:
     """A size-bounded LRU mapping (the tile cache)."""
@@ -182,6 +239,10 @@ class _LRUCache:
         self._data.move_to_end(key)
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
+
+    def pop(self, key: Hashable) -> bool:
+        """Drop one entry; True when it was resident (targeted invalidation)."""
+        return self._data.pop(key, None) is not None
 
 
 class _ProductFetchTask:
@@ -333,6 +394,13 @@ class QueryEngine:
         """Serve one request (a batch of one)."""
         return self.query_batch([request])[0]
 
+    def invalidate_tiles(self, keys: Iterable[TileKey]) -> int:
+        """Drop exactly the given tiles from the LRU; return how many were
+        resident.  The live-ingest tier calls this with the dirty tiles of
+        one merge, so every *untouched* cached tile stays warm across an
+        ingest — the point of dirty-tile accounting."""
+        return sum(1 for key in keys if self.tile_cache.pop(key))
+
     def query_batch(self, requests: Sequence[TileRequest]) -> list[TileResponse]:
         """Serve many concurrent requests with per-product decode batching.
 
@@ -402,6 +470,11 @@ class QueryEngine:
                     n_cached=len(plan.tile_keys) - n_computed,
                     n_computed=n_computed,
                     seconds=seconds,
+                    fingerprints={
+                        (key[3], key[4]): self.loader.tile_fingerprint(key)
+                        for key in plan.tile_keys
+                    },
+                    stale=self.loader.is_stale(plan.entry.key),
                 )
             )
             self.stats.tile_hits += len(plan.tile_keys) - n_computed

@@ -51,6 +51,7 @@ from repro.serve.clock import MonotonicClock, VirtualClock
 from repro.serve.query import (
     ProductLoader,
     QueryEngine,
+    TileKey,
     TileRequest,
     TileResponse,
     plan_request,
@@ -139,26 +140,15 @@ class RouterStats:
         return replace(self)
 
 
-@dataclass
-class RoutedResponse:
-    """One request served through the router, with the service-tier split.
-
-    ``queue_wait_s`` is the time spent waiting on another request's
-    execution (coalesced joiners) or on scheduling; ``service_s`` is the
-    underlying engine's execution time.  Coalesced responses share the
-    executing request's :class:`TileResponse` — treat the tiles read-only.
-    """
-
-    request: TileRequest
-    response: TileResponse
-    shard: int
-    coalesced: bool
-    queue_wait_s: float
-    service_s: float
-
-    @property
-    def latency_s(self) -> float:
-        return self.queue_wait_s + self.service_s
+#: The router returns the same unified :class:`TileResponse` the engine
+#: does, with the service-tier fields (``shard``, ``coalesced``,
+#: ``queue_wait_s``) filled in.  ``RoutedResponse`` survives as an alias of
+#: the pre-unification wrapper name; its old attribute surface
+#: (``.response``, ``.service_s``, ``.latency_s``) lives on as properties
+#: of :class:`TileResponse`.  Coalesced joiners get their own response
+#: object but *share* the executing request's tiles dict — treat it
+#: read-only.
+RoutedResponse = TileResponse
 
 
 @dataclass
@@ -276,9 +266,11 @@ class RequestRouter:
     async def _engine_execute(self, shard: Shard, request: TileRequest) -> TileResponse:
         return shard.engine.query(request)
 
-    async def query(self, request: TileRequest) -> RoutedResponse:
+    async def query(self, request: TileRequest) -> TileResponse:
         """Serve one request through the service tier.
 
+        Returns the unified :class:`TileResponse` with the service-tier
+        fields (``shard``, ``coalesced``, ``queue_wait_s``) filled in.
         Raises :class:`RouterOverloadedError` when shed, ``LookupError``
         when no healthy product matches, and propagates the underlying
         engine error (to every coalesced waiter) when execution fails.
@@ -358,19 +350,21 @@ class RequestRouter:
         shard: int,
         arrived: float,
         coalesced: bool,
-    ) -> RoutedResponse:
+    ) -> TileResponse:
         elapsed = self.clock.now() - arrived
         service = response.seconds
-        return RoutedResponse(
+        # Each caller (including every coalesced joiner) gets its own
+        # response object with its own timing, sharing the executing
+        # request's tiles/fingerprints dicts.
+        return replace(
+            response,
             request=request,
-            response=response,
             shard=shard,
             coalesced=coalesced,
             queue_wait_s=max(elapsed - service, 0.0),
-            service_s=service,
         )
 
-    def serve(self, requests: Sequence[TileRequest]) -> list[RoutedResponse]:
+    def serve(self, requests: Sequence[TileRequest]) -> list[TileResponse]:
         """Synchronous convenience: serve a batch concurrently on a fresh loop.
 
         Shed requests propagate their :class:`RouterOverloadedError`; use
@@ -378,10 +372,33 @@ class RequestRouter:
         return_exceptions=True)``) to collect partial results under load.
         """
 
-        async def _run() -> list[RoutedResponse]:
+        async def _run() -> list[TileResponse]:
             return list(await asyncio.gather(*(self.query(req) for req in requests)))
 
         return asyncio.run(_run())
+
+    # -- live invalidation ---------------------------------------------------
+
+    def invalidate_tiles(self, keys: Sequence[TileKey]) -> int:
+        """Drop exactly the given tiles from the owning shards' LRU caches.
+
+        Keys are grouped by product and routed to the shard that owns each
+        product (unknown products are ignored — the tile cannot be cached
+        anywhere).  Returns how many tiles were actually resident.  This is
+        the router half of the ingest tier's dirty-tile invalidation:
+        untouched tiles on every shard stay warm.
+        """
+        dropped = 0
+        by_shard: dict[int, list[TileKey]] = {}
+        for key in keys:
+            try:
+                shard_id = self.catalog.shard_of(key[0])
+            except KeyError:
+                continue
+            by_shard.setdefault(shard_id, []).append(key)
+        for shard_id, shard_keys in by_shard.items():
+            dropped += self.shards[shard_id].engine.invalidate_tiles(shard_keys)
+        return dropped
 
     # -- prefetch ----------------------------------------------------------
 

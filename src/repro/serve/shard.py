@@ -97,6 +97,15 @@ class ShardedCatalog:
         """Register one written product from its sidecar path (or base path)."""
         return self.add(CatalogEntry.from_sidecar(path))
 
+    def append(self, path: str | Path) -> CatalogEntry:
+        """Validate and index one product on its owning shard — no re-scan.
+
+        Same validation contract as :meth:`ProductCatalog.append` (npz must
+        exist and hold every declared variable); the entry then routes to
+        its bbox-hashed shard like any :meth:`add`.
+        """
+        return self.add(ProductCatalog().append(path))
+
     def scan(self, directory: str | Path) -> tuple[list[CatalogEntry], list[Path]]:
         """Register every sidecar under a directory; collect bad files.
 
@@ -108,6 +117,14 @@ class ShardedCatalog:
         for entry in registered:
             self.add(entry)
         return registered, skipped
+
+    def remove(self, key: str) -> CatalogEntry:
+        """De-index one entry from its owning shard (``KeyError`` when absent)."""
+        shard = self.shard_of(key)
+        entry = self._shards[shard].remove(key)
+        del self._assignment[key]
+        self._sequence.pop(key, None)
+        return entry
 
     # -- lookup ------------------------------------------------------------
 

@@ -81,6 +81,61 @@ class TestRegistration:
         assert entry.key.startswith("path:")
 
 
+class TestAppend:
+    """append = register + npz validation, no directory re-scan (ingest path)."""
+
+    def test_append_validates_and_indexes_one_product(self, tmp_path):
+        _, json_path = write_product(tmp_path / "p0")
+        write_product(tmp_path / "unrelated", fingerprint="fp9")
+        catalog = ProductCatalog()
+        entry = catalog.append(json_path)
+        assert entry.key == "fp0"
+        # Only the appended product is indexed -- no sibling was scanned.
+        assert [e.key for e in catalog.entries] == ["fp0"]
+
+    def test_append_rejects_missing_npz(self, tmp_path):
+        npz_path, json_path = write_product(tmp_path / "p0")
+        npz_path.unlink()
+        with pytest.raises(Level3ProductError, match="missing array file"):
+            ProductCatalog().append(json_path)
+
+    def test_append_rejects_corrupt_npz(self, tmp_path):
+        npz_path, json_path = write_product(tmp_path / "p0")
+        npz_path.write_bytes(b"not a zip archive")
+        with pytest.raises(Level3ProductError, match="unreadable"):
+            ProductCatalog().append(json_path)
+
+    def test_append_rejects_sidecar_declaring_absent_variables(self, tmp_path):
+        npz_path, json_path = write_product(tmp_path / "p0")
+        payload = json.loads(json_path.read_text())
+        payload["variables"]["thickness_mean"] = dict(
+            payload["variables"]["freeboard_mean"]
+        )
+        json_path.write_text(json.dumps(payload))
+        with pytest.raises(Level3ProductError, match="thickness_mean"):
+            ProductCatalog().append(json_path)
+
+    def test_sharded_append_routes_to_the_bbox_shard(self, tmp_path):
+        from repro.serve.shard import ShardedCatalog, shard_index
+
+        _, json_path = write_product(tmp_path / "p0")
+        sharded = ShardedCatalog(n_shards=4)
+        entry = sharded.append(json_path)
+        assert sharded.shard_of(entry.key) == shard_index(entry.bbox, 4)
+
+    def test_sharded_remove_deindexes(self, tmp_path):
+        from repro.serve.shard import ShardedCatalog
+
+        _, json_path = write_product(tmp_path / "p0")
+        sharded = ShardedCatalog(n_shards=4)
+        entry = sharded.append(json_path)
+        removed = sharded.remove(entry.key)
+        assert removed.key == entry.key
+        assert len(sharded) == 0
+        with pytest.raises(KeyError):
+            sharded.shard_of(entry.key)
+
+
 class TestQueries:
     @pytest.fixture()
     def catalog(self, tmp_path):

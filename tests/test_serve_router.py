@@ -176,10 +176,13 @@ class TestSingleFlight:
         assert stats.shed == 0
         assert stats.coalesced == 999
         assert stats.coalescing_ratio == pytest.approx(999 / 1000)
-        shared = results[0].response
+        # One execution, one tile payload: every joiner's TileResponse is its
+        # own object (distinct shard/coalesced/queue_wait_s fields) but shares
+        # the executed response's tiles dict -- the single-flight guarantee.
+        shared = results[0].tiles
         for routed in results:
             assert not isinstance(routed, BaseException)
-            assert routed.response is shared
+            assert routed.tiles is shared
         assert sum(1 for r in results if r.coalesced) == 999
 
     def test_coalesced_latency_splits_wait_from_service(self):
@@ -689,13 +692,14 @@ class TestCampaignIntegration:
             grid={"cloud_fraction": (0.1, 0.3)},
         )
         runner = CampaignRunner(config)
-        router = runner.serve(str(tmp_path / "products"), router=True)
+        handle = runner.serve(str(tmp_path / "products")).with_router()
+        router = handle.router
         assert isinstance(router, RequestRouter)
         assert router.catalog.n_shards == config.base.serve.router.n_shards
         x0, y0, x1, y1 = router.catalog.extent()
         request = TileRequest(
             bbox=(x0, y0, x0 + (x1 - x0) / 2, y0 + (y1 - y0) / 2), zoom=0
         )
-        routed = router.serve([request, request])
+        routed = handle.query_batch([request, request])
         assert routed[0].response.n_tiles > 0
-        assert router.health()["healthy_shards"] == router.catalog.n_shards
+        assert handle.health()["healthy_shards"] == router.catalog.n_shards
