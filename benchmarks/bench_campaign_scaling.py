@@ -37,8 +37,10 @@ _BASE = ExperimentConfig(
 _GRID = {"season": ("winter", "freeze_up"), "cloud_fraction": (0.15, 0.4)}
 
 
-def _campaign_config(n_workers: int) -> CampaignConfig:
-    return CampaignConfig(base=_BASE, grid=_GRID, seed=17, n_workers=n_workers)
+def _campaign_config(n_workers: int, use_shm: bool = True) -> CampaignConfig:
+    return CampaignConfig(
+        base=_BASE, grid=_GRID, seed=17, n_workers=n_workers, use_shm=use_shm
+    )
 
 
 def test_campaign_scaling(benchmark):
@@ -51,10 +53,23 @@ def test_campaign_scaling(benchmark):
     sweep = SpeedupTable("campaign workers")
     for n_workers in (1, 2, 4):
         start = time.perf_counter()
-        parallel = CampaignRunner(_campaign_config(n_workers)).run()
+        with CampaignRunner(_campaign_config(n_workers)) as runner:
+            parallel = runner.run()
         elapsed = time.perf_counter() - start
         assert parallel.metrics.n_segments == result.metrics.n_segments
         sweep.add(f"{n_workers} workers", n_workers, max(elapsed, 1e-6))
+
+    # Whole-campaign zero-copy delta: the same 4-worker fleet with the
+    # process fan-out's shared-memory transport on vs off (pickled arrays).
+    # Both runs produce identical science by contract; only wall time moves.
+    shm_rows = []
+    for label, use_shm in (("shm fan-out", True), ("pickled fan-out", False)):
+        start = time.perf_counter()
+        with CampaignRunner(_campaign_config(4, use_shm=use_shm)) as runner:
+            delta_run = runner.run()
+        elapsed = time.perf_counter() - start
+        assert delta_run.metrics.n_segments == result.metrics.n_segments
+        shm_rows.append({"transport": label, "wall_s": round(max(elapsed, 1e-6), 3)})
 
     text = "\n\n".join(
         [
@@ -63,6 +78,9 @@ def test_campaign_scaling(benchmark):
                 "Campaign scaling on the simulated Dataproc cluster (cost model)",
             ),
             format_table(sweep.rows(), "Measured campaign wall time (this machine)"),
+            format_table(
+                shm_rows, "Campaign wall time, 4 workers: shm vs pickled fan-out"
+            ),
             result.summary(),
         ]
     )

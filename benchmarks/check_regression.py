@@ -4,7 +4,8 @@
 Reads a pytest-benchmark ``--benchmark-json`` file produced by the kernel
 benchmark suites (``benchmarks/bench_kernels.py``,
 ``benchmarks/bench_l3_gridding.py``, ``benchmarks/bench_pyramid.py``,
-``benchmarks/bench_router.py`` and ``benchmarks/bench_ingest.py``), pairs
+``benchmarks/bench_router.py``, ``benchmarks/bench_ingest.py`` and
+``benchmarks/bench_zero_copy.py``), pairs
 each ``*_reference`` benchmark
 with its ``*_vectorized`` counterpart, and computes the vectorized speedup
 as the ratio of the per-round *minimum* times (the least noisy statistic on
@@ -26,6 +27,14 @@ kernel backend, one incremental ingest (online mosaic merge + dirty-tile
 pyramid rebuild) is ratioed against the full rebuild it replaces, and the
 ratio is held above ``INGEST_RATIO_FLOOR`` (>= 3x, an acceptance
 criterion) and within ``INGEST_TOLERANCE`` of its committed baseline.
+
+The zero-copy benchmarks (``benchmarks/bench_zero_copy.py``) feed two more
+ratio gates: the pickled/shm fan-out time ratio must stay above
+``ZERO_COPY_FANOUT_FLOOR`` (>= 2x — the shared-memory executor transport),
+and per kernel backend the npz/raw cold single-tile decode ratio must stay
+above ``ZERO_COPY_DECODE_FLOOR`` (>= 3x — the memory-mapped product
+layout).  ``--emit-json PATH`` additionally writes every section measured
+in this run to one committed JSON snapshot (``BENCH_zero_copy.json``).
 
 The check fails when a kernel's measured speedup
 
@@ -104,6 +113,22 @@ INGEST_TOLERANCE = 0.5
 INGEST_INCREMENTAL_PREFIX = "ingest_incremental_"
 INGEST_FULL_PREFIX = "ingest_full_"
 
+#: Zero-copy gates (``benchmarks/bench_zero_copy.py``).  The fan-out gate
+#: holds the pickled/shm time ratio of one ~48 MB struct-of-arrays
+#: map-reduce above an acceptance floor: shipping descriptors through
+#: shared memory must stay at least 2x faster than pickling the arrays
+#: through the executor pipe.  The decode gate holds the npz/raw cold
+#: single-tile ratio per kernel backend above 3x: a memory-mapped window
+#: read must beat inflating the archive and building the full pyramid.
+ZERO_COPY_FANOUT_FLOOR = 2.0
+ZERO_COPY_DECODE_FLOOR = 3.0
+ZERO_COPY_TOLERANCE = 0.5
+
+ZERO_COPY_FANOUT_SHM = "zero_copy_fanout_shm"
+ZERO_COPY_FANOUT_PICKLED = "zero_copy_fanout_pickled"
+ZERO_COPY_DECODE_NPZ_PREFIX = "zero_copy_decode_npz_"
+ZERO_COPY_DECODE_RAW_PREFIX = "zero_copy_decode_raw_"
+
 
 def load_minima(benchmark_json: Path) -> dict[str, float]:
     """Per-benchmark minimum round times, keyed by bare benchmark name."""
@@ -171,6 +196,57 @@ def load_ingest(minima: dict[str, float]) -> dict[str, dict[str, float]]:
             "ratio": full_s / incremental_s,
         }
     return speedups
+
+
+def load_zero_copy(minima: dict[str, float]) -> dict[str, dict[str, float]]:
+    """Pair the zero-copy runs into fan-out and per-backend decode ratios."""
+    zero_copy: dict[str, dict[str, float]] = {}
+    pickled_s = minima.get(ZERO_COPY_FANOUT_PICKLED)
+    shm_s = minima.get(ZERO_COPY_FANOUT_SHM)
+    if pickled_s is not None and shm_s is not None and shm_s > 0:
+        zero_copy["zero_copy_fanout"] = {
+            "pickled_s": pickled_s,
+            "shm_s": shm_s,
+            "ratio": pickled_s / shm_s,
+        }
+    for name, npz_s in sorted(minima.items()):
+        if not name.startswith(ZERO_COPY_DECODE_NPZ_PREFIX):
+            continue
+        backend = name[len(ZERO_COPY_DECODE_NPZ_PREFIX) :]
+        raw_s = minima.get(ZERO_COPY_DECODE_RAW_PREFIX + backend)
+        if raw_s is None or raw_s <= 0:
+            continue
+        zero_copy[f"zero_copy_decode_{backend}"] = {
+            "npz_s": npz_s,
+            "raw_s": raw_s,
+            "ratio": npz_s / raw_s,
+        }
+    return zero_copy
+
+
+def check_zero_copy(
+    zero_copy: dict[str, dict[str, float]],
+    baselines: dict[str, dict[str, float]],
+) -> list[str]:
+    failures: list[str] = []
+    for name, row in zero_copy.items():
+        measured = row["ratio"]
+        if name == "zero_copy_fanout":
+            floor, label = ZERO_COPY_FANOUT_FLOOR, "shm fan-out only"
+        else:
+            floor, label = ZERO_COPY_DECODE_FLOOR, "raw mmap decode only"
+        if measured < floor:
+            failures.append(
+                f"{name}: {label} {measured:.2f}x faster "
+                f"(floor {floor:.1f}x)"
+            )
+        base = baselines.get(name, {}).get("ratio")
+        if base is not None and measured < base * (1.0 - ZERO_COPY_TOLERANCE):
+            failures.append(
+                f"{name}: ratio {measured:.2f}x regressed more than "
+                f"{ZERO_COPY_TOLERANCE:.0%} from baseline {base:.2f}x"
+            )
+    return failures
 
 
 def check_ingest(
@@ -270,13 +346,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rewrite the baseline file from this run instead of checking",
     )
+    parser.add_argument(
+        "--emit-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write every section measured in this run to PATH "
+        "(the committed BENCH_zero_copy.json snapshot)",
+    )
     args = parser.parse_args(argv)
 
     minima = load_minima(args.benchmark_json)
     speedups = load_speedups(minima)
     latencies = load_latencies(minima)
     ingest = load_ingest(minima)
-    if not speedups and not latencies and not ingest:
+    zero_copy = load_zero_copy(minima)
+    if not speedups and not latencies and not ingest and not zero_copy:
         print("no reference/vectorized benchmark pairs found", file=sys.stderr)
         return 2
 
@@ -339,25 +424,63 @@ def main(argv: list[str] | None = None) -> int:
                 f"{floor_margin}  {base_margin}"
             )
 
+    if zero_copy:
+        width = max(len(k) for k in zero_copy)
+        print(
+            f"\n{'zero-copy':<{width}}  {'copied':>11}  {'zero-copy':>11}  "
+            f"{'ratio':>8}  {'vs floor':>9}  {'vs baseline':>11}"
+        )
+        for name, row in zero_copy.items():
+            measured = row["ratio"]
+            if name == "zero_copy_fanout":
+                slow_s, fast_s = row["pickled_s"], row["shm_s"]
+                floor = ZERO_COPY_FANOUT_FLOOR
+            else:
+                slow_s, fast_s = row["npz_s"], row["raw_s"]
+                floor = ZERO_COPY_DECODE_FLOOR
+            base = baselines.get(name, {}).get("ratio")
+            base_margin = f"{100.0 * (measured - base) / base:+10.1f}%" if base else f"{'-':>11}"
+            print(
+                f"{name:<{width}}  {slow_s * 1e3:9.2f}ms  "
+                f"{fast_s * 1e3:9.2f}ms  {measured:7.2f}x  "
+                f"{measured / floor:8.2f}x  {base_margin}"
+            )
+
+    if args.emit_json is not None:
+        snapshot = {
+            "source": str(args.benchmark_json),
+            "kernels": speedups,
+            "latencies": latencies,
+            "ingest": ingest,
+            "zero_copy": zero_copy,
+        }
+        args.emit_json.parent.mkdir(parents=True, exist_ok=True)
+        args.emit_json.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"measured snapshot written to {args.emit_json}")
+
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        merged = {**speedups, **latencies, **ingest}
+        merged = {**speedups, **latencies, **ingest, **zero_copy}
         args.baseline.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
         print(f"baselines written to {args.baseline}")
         return 0
 
     failures = check(
-        speedups, baselines, args.tolerance, also_present=set(latencies) | set(ingest)
+        speedups,
+        baselines,
+        args.tolerance,
+        also_present=set(latencies) | set(ingest) | set(zero_copy),
     )
     failures += check_latencies(latencies, baselines)
     failures += check_ingest(ingest, baselines)
+    failures += check_zero_copy(zero_copy, baselines)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print(
-        "kernel speedups, serving latencies and ingest ratios within "
-        "tolerance of committed baselines"
+        "kernel speedups, serving latencies, ingest and zero-copy ratios "
+        "within tolerance of committed baselines"
     )
     return 0
 

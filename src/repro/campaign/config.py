@@ -181,6 +181,10 @@ class CampaignConfig:
     n_workers / executor:
         Parallel fan-out width and executor kind for the curation and
         inference stages (``n_workers=1`` always runs serially).
+    use_shm:
+        Route process-executor fan-out payloads through shared memory
+        (zero-copy array transport); execution knob only, excluded from the
+        fingerprint like ``n_workers``/``executor``.
     cache_dir:
         Directory for the resumable on-disk result cache; ``None`` disables
         caching.
@@ -192,6 +196,7 @@ class CampaignConfig:
     seed: int = 0
     n_workers: int = 1
     executor: str = "process"
+    use_shm: bool = True
     cache_dir: str | None = None
 
     def __post_init__(self) -> None:

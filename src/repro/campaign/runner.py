@@ -424,21 +424,41 @@ class CampaignRunner:
 
     # -- engine ----------------------------------------------------------------
 
-    def _engine(self, n_items: int) -> MapReduceEngine:
-        """Granule-chunking engine: one partition per worker, capped by items."""
-        executor = self.config.executor if self.config.n_workers > 1 and n_items > 1 else "serial"
-        n_partitions = max(min(self.config.n_workers, n_items), 1)
+    @cached_property
+    def engine(self) -> MapReduceEngine:
+        """The runner's one persistent fan-out engine.
+
+        Created lazily and reused across every fleet fan-out — the process
+        pool spawns once per campaign, not once per job.  Width varies per
+        fan-out via the ``n_partitions`` override; single-item fan-outs run
+        inline in the engine, preserving the old serial-when-single
+        semantics.
+        """
+        executor = self.config.executor if self.config.n_workers > 1 else "serial"
         return MapReduceEngine(
-            n_partitions=n_partitions,
+            n_partitions=self.config.n_workers,
             executor=executor,
             max_workers=self.config.n_workers,
+            use_shm=self.config.use_shm,
         )
+
+    def close(self) -> None:
+        """Release the fan-out worker pool (idempotent; respawns on reuse)."""
+        if "engine" in self.__dict__:
+            self.engine.close()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def _fan_out(self, items: list, task) -> list:
         """Run ``task`` over worker-count chunks of ``items``; order-preserving."""
         if not items:
             return []
-        result = self._engine(len(items)).run(lambda: items, task, _flatten)
+        width = max(min(self.config.n_workers, len(items)), 1)
+        result = self.engine.run(lambda: items, task, _flatten, n_partitions=width)
         return list(result.value)
 
     # -- cache helpers ---------------------------------------------------------
@@ -961,10 +981,11 @@ class CampaignRunner:
         out_dir = Path(products_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         catalog = ProductCatalog()
-        _, json_path = write_level3(l3.mosaic, out_dir / "mosaic")
+        fmt = self.config.base.serve.product_format
+        _, json_path = write_level3(l3.mosaic, out_dir / "mosaic", format=fmt)
         catalog.register(json_path)
         for granule_id, product in l3.granules.items():
-            _, json_path = write_level3(product, out_dir / granule_id)
+            _, json_path = write_level3(product, out_dir / granule_id, format=fmt)
             catalog.register(json_path)
         workers = n_workers if n_workers is not None else self.config.n_workers
 
@@ -1004,4 +1025,5 @@ class CampaignRunner:
 
 def run_campaign(config: CampaignConfig, **kwargs) -> CampaignResult:
     """Convenience wrapper: ``CampaignRunner(config, **kwargs).run()``."""
-    return CampaignRunner(config, **kwargs).run()
+    with CampaignRunner(config, **kwargs) as runner:
+        return runner.run()

@@ -319,6 +319,12 @@ class ServeConfig:
     weight_variable: str = "n_segments"
     #: Capacity (in tiles) of the query engine's fingerprint-keyed LRU cache.
     tile_cache_size: int = 512
+    #: Array-container layout for products the campaign/ingest tiers write:
+    #: ``"npz"`` (zip archive, the classic default) or ``"raw"`` (flat blob
+    #: with sidecar offsets — memory-mapped reads, single-tile decodes touch
+    #: only the bytes they serve).  Readers auto-detect from the sidecar, so
+    #: mixed-format catalogs are fine.
+    product_format: str = "npz"
     #: The async service tier built around the query engine
     #: (:class:`RouterConfig`: sharding, admission control, prefetch).
     router: RouterConfig = RouterConfig()
@@ -335,6 +341,10 @@ class ServeConfig:
             raise ValueError("weight_variable must be a non-empty variable name")
         if self.tile_cache_size < 1:
             raise ValueError("tile_cache_size must be >= 1")
+        if self.product_format not in ("npz", "raw"):
+            raise ValueError(
+                f"product_format must be 'npz' or 'raw', got {self.product_format!r}"
+            )
 
 
 # ---------------------------------------------------------------------------

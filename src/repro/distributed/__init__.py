@@ -5,6 +5,9 @@ Replaces the paper's two scaling technologies with purpose-built equivalents:
 * :mod:`repro.distributed.mapreduce` — a mini map-reduce engine (the PySpark
   replacement): deterministic partitioning, serial/threaded/process
   executors, and per-stage load/map/reduce timing.
+* :mod:`repro.distributed.shm` — shared-memory array transport for the
+  process executor: publish-once :class:`SharedArrayStore` segments,
+  lightweight descriptors, and read-only worker-side views.
 * :mod:`repro.distributed.cluster` — a simulated Google-Cloud-Dataproc-style
   cluster with a calibrated cost model that regenerates the shape of the
   paper's Tables II and V on a single machine.
@@ -19,6 +22,7 @@ Replaces the paper's two scaling technologies with purpose-built equivalents:
 """
 
 from repro.distributed.mapreduce import MapReduceEngine, MapReduceResult, partition_indices
+from repro.distributed.shm import ArrayDescriptor, SharedArrayStore, attach_view, dumps_shared
 from repro.distributed.cluster import ClusterCostModel, ClusterSimulation, ScalingRow
 from repro.distributed.allreduce import ring_allreduce, ring_allreduce_average, tree_allreduce
 from repro.distributed.ddp import DistributedTrainer, DDPTimingModel, GpuScalingRow
@@ -28,6 +32,10 @@ __all__ = [
     "MapReduceEngine",
     "MapReduceResult",
     "partition_indices",
+    "ArrayDescriptor",
+    "SharedArrayStore",
+    "attach_view",
+    "dumps_shared",
     "ClusterCostModel",
     "ClusterSimulation",
     "ScalingRow",

@@ -14,18 +14,39 @@ model in-process:
 * separate *load*, *map* and *reduce* timing, matching the columns of the
   paper's Tables II and V.
 
+Two zero-copy properties of the process executor:
+
+* **Persistent pools.**  The engine keeps one lazily created worker pool
+  and reuses it across jobs — a campaign fleet or query batch no longer
+  pays pool spawn per fan-out.  ``close()`` (or the context manager, or a
+  GC finalizer) shuts it down; a closed engine transparently respawns on
+  next use.
+* **Shared-memory task payloads.**  With ``use_shm`` (the default), task
+  inputs for the process executor travel through
+  :mod:`repro.distributed.shm`: large arrays are copied once into
+  shared-memory segments and workers reattach them as read-only views,
+  instead of pickling every partition's arrays through a pipe.
+  ``map_arrays`` publishes each input array exactly once and workers
+  slice their partitions out of the shared views.  Results still return
+  by value.  All segments are unlinked when the job finishes, even when
+  a worker raises.
+
 Results from every executor are checked against the serial reference in the
 test suite — parallel execution never changes the answer, only the time.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import pickle
+import weakref
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from repro.distributed.shm import ArrayDescriptor, SharedArrayStore, attach_view, dumps_shared
 from repro.utils.timing import Stopwatch, TimingRecord
 
 T = TypeVar("T")
@@ -74,6 +95,13 @@ class MapReduceResult:
         return self.timing.total()
 
 
+def _shutdown_pool(pool_box: list) -> None:
+    """Finalizer target: shut down whatever pool the engine left behind."""
+    while pool_box:
+        pool = pool_box.pop()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
 class MapReduceEngine:
     """Run load → partition → map → reduce jobs with a pluggable executor.
 
@@ -87,6 +115,18 @@ class MapReduceEngine:
     max_workers:
         Worker count for the thread/process executors (defaults to
         ``n_partitions``).
+    use_shm:
+        Route process-executor task payloads through shared memory
+        (:mod:`repro.distributed.shm`) instead of pickling array contents.
+        Ignored by the serial and thread executors, which already share
+        the driver's memory.
+    shm_min_bytes:
+        Arrays smaller than this are pickled by value even with ``use_shm``
+        (descriptor overhead beats copying only past a threshold).
+
+    The engine keeps its worker pool alive between jobs; call :meth:`close`
+    (or use the engine as a context manager) to release the workers.  A
+    closed engine may be reused — the pool respawns on the next job.
     """
 
     def __init__(
@@ -94,6 +134,8 @@ class MapReduceEngine:
         n_partitions: int = 4,
         executor: str = "serial",
         max_workers: int | None = None,
+        use_shm: bool = True,
+        shm_min_bytes: int | None = None,
     ) -> None:
         if n_partitions <= 0:
             raise ValueError("n_partitions must be positive")
@@ -104,48 +146,124 @@ class MapReduceEngine:
         self.n_partitions = n_partitions
         self.executor = executor
         self.max_workers = max_workers if max_workers is not None else n_partitions
+        self.use_shm = bool(use_shm)
+        self.shm_min_bytes = shm_min_bytes
+        self._pool_box: list[Executor] = []
+        self._pool_workers = 0
+        self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool_box)
+
+    # -- pool lifecycle --------------------------------------------------------
+
+    def _pool(self, n_workers: int) -> Executor:
+        """The persistent worker pool, (re)created lazily.
+
+        A pool sized below the current job's worker demand is replaced —
+        callers cap ``n_workers`` by task count, so demand only grows up to
+        ``max_workers`` and the pool settles after the first full-width job.
+        """
+        if self._pool_box and self._pool_workers >= n_workers:
+            return self._pool_box[0]
+        self._shutdown()
+        if self.executor == "thread":
+            pool: Executor = ThreadPoolExecutor(max_workers=n_workers)
+        else:
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+        self._pool_box.append(pool)
+        self._pool_workers = n_workers
+        return pool
+
+    def _shutdown(self) -> None:
+        while self._pool_box:
+            pool = self._pool_box.pop()
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._pool_workers = 0
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; engine reusable afterwards)."""
+        self._shutdown()
+
+    def __enter__(self) -> "MapReduceEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- execution -------------------------------------------------------------
 
     def _run_tasks(self, tasks: list[Callable[[], R]]) -> list[R]:
-        if self.executor == "serial":
+        """Run ready-made thunks on the configured executor.
+
+        Single-task jobs run inline whatever the executor: spinning up (or
+        even dispatching to) a pool for one task only adds latency, and the
+        campaign/serve layers rely on this to keep single-item fan-outs
+        serial.
+        """
+        if self.executor == "serial" or len(tasks) <= 1:
             return [task() for task in tasks]
+        n_workers = min(self.max_workers, len(tasks))
         if self.executor == "thread":
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                return list(pool.map(lambda f: f(), tasks))
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = [pool.submit(task) for task in tasks]
+            pool = self._pool(n_workers)
+            return list(pool.map(lambda f: f(), tasks))
+        pool = self._pool(n_workers)
+        store = SharedArrayStore() if self.use_shm else None
+        try:
+            if store is None:
+                payloads = [pickle.dumps(t, protocol=pickle.HIGHEST_PROTOCOL) for t in tasks]
+            else:
+                kwargs = {} if self.shm_min_bytes is None else {"min_bytes": self.shm_min_bytes}
+                payloads = [dumps_shared(t, store, **kwargs) for t in tasks]
+            futures = [pool.submit(_call_pickled, payload) for payload in payloads]
             return [f.result() for f in futures]
+        except BrokenProcessPool:
+            # A worker died (OOM, signal): the pool is unusable.  Drop it so
+            # the next job gets a fresh one, and let the caller see the error.
+            self._shutdown()
+            raise
+        finally:
+            # Segments outlive every worker attach (results are in, or the
+            # exception already fired) — unlink them now, crash or not.
+            if store is not None:
+                store.close()
+
+    def _map_stage(self, tasks: list[Callable[[], R]], timing: TimingRecord) -> list[R]:
+        sw = Stopwatch().start()
+        try:
+            mapped = self._run_tasks(tasks)
+        finally:
+            timing.add("map", sw.stop())
+        return mapped
 
     def run(
         self,
         load: Callable[[], Sequence[T]],
         map_fn: Callable[[Sequence[T]], R],
         reduce_fn: Callable[[list[R]], object],
+        n_partitions: int | None = None,
     ) -> MapReduceResult:
         """Execute one job: ``reduce_fn(map_fn(partition) for each partition)``.
 
         ``load`` produces the full input collection (e.g. reads granules from
         disk); it is timed as the *load* stage.  ``map_fn`` receives a list of
         items belonging to one partition; ``reduce_fn`` receives the list of
-        per-partition map outputs in partition order.
+        per-partition map outputs in partition order.  ``n_partitions``
+        overrides the engine default for this job only, so one persistent
+        engine can serve fan-outs of different widths.
         """
+        width = self.n_partitions if n_partitions is None else n_partitions
         timing = TimingRecord()
 
         sw = Stopwatch().start()
         items = list(load())
         timing.add("load", sw.stop())
 
-        parts = partition_indices(len(items), self.n_partitions)
+        parts = partition_indices(len(items), width)
         partitions = [[items[i] for i in part] for part in parts]
 
         if self.executor == "process":
             tasks = [_PartitionTask(map_fn, partition) for partition in partitions]
         else:
             tasks = [(lambda p=partition: map_fn(p)) for partition in partitions]
-        sw = Stopwatch().start()
-        mapped = self._run_tasks(tasks)
-        timing.add("map", sw.stop())
+        mapped = self._map_stage(tasks, timing)
 
         sw = Stopwatch().start()
         value = reduce_fn(list(mapped))
@@ -153,7 +271,7 @@ class MapReduceEngine:
 
         return MapReduceResult(
             value=value,
-            n_partitions=self.n_partitions,
+            n_partitions=width,
             executor=self.executor,
             timing=timing,
         )
@@ -163,37 +281,51 @@ class MapReduceEngine:
         arrays: dict[str, np.ndarray],
         map_fn: Callable[[dict[str, np.ndarray]], R],
         reduce_fn: Callable[[list[R]], object],
+        n_partitions: int | None = None,
     ) -> MapReduceResult:
         """Map-reduce over a struct-of-arrays input.
 
         The arrays (all the same length) are partitioned along axis 0; each
-        partition is passed to ``map_fn`` as a dictionary of array slices
-        (views, no copies in the serial and thread executors).
+        partition is passed to ``map_fn`` as a dictionary of array slices.
+        The serial and thread executors pass views of the caller's arrays.
+        The process executor with ``use_shm`` publishes every array **once**
+        into shared memory and ships workers ``(lo, hi)`` row ranges — each
+        worker slices its partition out of the attached views, so the input
+        crosses the process boundary zero times per partition.
         """
         lengths = {name: a.shape[0] for name, a in arrays.items()}
         if len(set(lengths.values())) > 1:
             raise ValueError(f"arrays must share their first dimension, got {lengths}")
         n_items = next(iter(lengths.values())) if lengths else 0
+        width = self.n_partitions if n_partitions is None else n_partitions
 
         timing = TimingRecord()
         sw = Stopwatch().start()
-        parts = partition_indices(n_items, self.n_partitions)
-        slices = []
-        for part in parts:
-            if part.size and np.all(np.diff(part) == 1):
-                sl = slice(int(part[0]), int(part[-1]) + 1)
-                slices.append({name: a[sl] for name, a in arrays.items()})
-            else:
-                slices.append({name: a[part] for name, a in arrays.items()})
+        parts = partition_indices(n_items, width)
         timing.add("load", sw.stop())
 
-        if self.executor == "process":
-            tasks = [_PartitionTask(map_fn, chunk) for chunk in slices]
+        shared = (
+            self.executor == "process"
+            and self.use_shm
+            and len(parts) > 1
+            and arrays
+            and any(np.asarray(a).nbytes for a in arrays.values())
+        )
+        if shared:
+            mapped = self._map_arrays_shared(arrays, map_fn, parts, timing)
         else:
-            tasks = [(lambda c=chunk: map_fn(c)) for chunk in slices]
-        sw = Stopwatch().start()
-        mapped = self._run_tasks(tasks)
-        timing.add("map", sw.stop())
+            slices = []
+            for part in parts:
+                if part.size and np.all(np.diff(part) == 1):
+                    sl = slice(int(part[0]), int(part[-1]) + 1)
+                    slices.append({name: a[sl] for name, a in arrays.items()})
+                else:
+                    slices.append({name: a[part] for name, a in arrays.items()})
+            if self.executor == "process":
+                tasks = [_PartitionTask(map_fn, chunk) for chunk in slices]
+            else:
+                tasks = [(lambda c=chunk: map_fn(c)) for chunk in slices]
+            mapped = self._map_stage(tasks, timing)
 
         sw = Stopwatch().start()
         value = reduce_fn(list(mapped))
@@ -201,10 +333,52 @@ class MapReduceEngine:
 
         return MapReduceResult(
             value=value,
-            n_partitions=self.n_partitions,
+            n_partitions=width,
             executor=self.executor,
             timing=timing,
         )
+
+    def _map_arrays_shared(
+        self,
+        arrays: dict[str, np.ndarray],
+        map_fn: Callable[[dict[str, np.ndarray]], R],
+        parts: list[np.ndarray],
+        timing: TimingRecord,
+    ) -> list[R]:
+        """Publish-once shared-memory path for :meth:`map_arrays`."""
+        contiguous = {name: np.ascontiguousarray(a) for name, a in arrays.items()}
+        sw = Stopwatch().start()
+        try:
+            with SharedArrayStore() as store:
+                descriptors = store.publish(contiguous)
+                tasks: list[Callable[[], R]] = []
+                for part in parts:
+                    lo = int(part[0]) if part.size else 0
+                    hi = int(part[-1]) + 1 if part.size else 0
+                    tasks.append(_ShmSliceTask(map_fn, descriptors, lo, hi))
+                pool = self._pool(min(self.max_workers, len(tasks)))
+                try:
+                    futures = [
+                        pool.submit(_call_pickled, pickle.dumps(t, protocol=pickle.HIGHEST_PROTOCOL))
+                        for t in tasks
+                    ]
+                    return [f.result() for f in futures]
+                except BrokenProcessPool:
+                    self._shutdown()
+                    raise
+        finally:
+            timing.add("map", sw.stop())
+
+
+def _call_pickled(payload: bytes):
+    """Worker entry point: decode a pickled thunk and run it.
+
+    Decoding in the worker (rather than letting the pool's own pickler do
+    it) is what lets the driver pre-encode tasks with the shared-memory
+    pickler — array leaves arrive as descriptors and materialise as
+    read-only views here.
+    """
+    return pickle.loads(payload)()
 
 
 class _PartitionTask:
@@ -219,3 +393,35 @@ class _PartitionTask:
 
     def __call__(self):
         return self.map_fn(self.partition)
+
+
+class _ShmSliceTask:
+    """Picklable task slicing one row range out of published shared arrays.
+
+    Pickles as descriptors + two ints regardless of input size; the worker
+    attaches the shared views and hands ``map_fn`` read-only slices of the
+    exact rows the driver would have copied.
+    """
+
+    def __init__(
+        self,
+        map_fn: Callable,
+        descriptors: dict[str, ArrayDescriptor],
+        lo: int,
+        hi: int,
+    ) -> None:
+        self.map_fn = map_fn
+        self.descriptors = descriptors
+        self.lo = lo
+        self.hi = hi
+
+    def __call__(self):
+        chunk = {}
+        for name, desc in self.descriptors.items():
+            if desc.nbytes == 0:
+                arr = np.empty(desc.shape, dtype=np.dtype(desc.dtype))
+                arr.flags.writeable = False
+                chunk[name] = arr[self.lo : self.hi]
+            else:
+                chunk[name] = attach_view(desc)[self.lo : self.hi]
+        return self.map_fn(chunk)

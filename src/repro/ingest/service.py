@@ -174,7 +174,9 @@ class IngestService:
                     and entry.key != self.key
                 ):
                     catalog.remove(entry.key)
-        _, json_path = write_level3(snapshot, base)
+        _, json_path = write_level3(
+            snapshot, base, format=self.handle.serve.product_format
+        )
         catalog.append(json_path)
         return base
 
@@ -218,7 +220,9 @@ class IngestService:
             written = [str(self._publish_mosaic(snapshot))]
             if self.config.write_granule_products and granule_id:
                 base = self.handle.products_dir / granule_id
-                _, json_path = write_level3(granule, base)
+                _, json_path = write_level3(
+                    granule, base, format=self.handle.serve.product_format
+                )
                 self.handle.catalog.append(json_path)
                 written.append(str(base))
 

@@ -47,6 +47,7 @@ from repro.l3.processor import Level3Processor, mean_and_std_across
 from repro.l3.product import Level3Grid, VARIABLE_ATTRS
 from repro.l3.writer import (
     L3_FORMAT,
+    PRODUCT_FORMATS,
     Level3ProductError,
     load_sidecar,
     read_level3,
@@ -56,6 +57,7 @@ from repro.l3.writer import (
 __all__ = [
     "GridDefinition",
     "L3_FORMAT",
+    "PRODUCT_FORMATS",
     "Level3Grid",
     "Level3ProductError",
     "Level3Processor",

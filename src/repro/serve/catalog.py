@@ -24,7 +24,12 @@ from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.l3.writer import Level3ProductError, load_sidecar, parse_sidecar_description
+from repro.l3.writer import (
+    Level3ProductError,
+    load_sidecar,
+    parse_sidecar_description,
+    parse_sidecar_storage,
+)
 from repro.serve.pyramid import is_pyramid_variable
 
 #: Projected-metre bounding box: (x_min, y_min, x_max, y_max).
@@ -55,6 +60,9 @@ class CatalogEntry:
     cell_size_m: float
     shape: tuple[int, int]
     kernel_backend: str = ""
+    #: Array-container layout, from the sidecar's ``storage`` section:
+    #: ``"npz"`` (zip archive) or ``"raw"`` (flat memmap-able blob).
+    storage: str = "npz"
     metadata: Mapping[str, Any] = field(default_factory=dict, hash=False, compare=False)
 
     @property
@@ -71,6 +79,11 @@ class CatalogEntry:
         return Path(self.base_path + ".npz")
 
     @property
+    def array_path(self) -> Path:
+        """The product's array container, whatever its layout."""
+        return Path(self.base_path + ("." + self.storage))
+
+    @property
     def json_path(self) -> Path:
         return Path(self.base_path + ".json")
 
@@ -82,9 +95,10 @@ class CatalogEntry:
         """Index one product from its JSON sidecar (the npz stays closed)."""
         payload = load_sidecar(path)
         base = Path(path)
-        if base.suffix in (".npz", ".json"):
+        if base.suffix in (".npz", ".json", ".raw"):
             base = base.with_suffix("")
         grid, declared = parse_sidecar_description(payload, f"{base}.json")
+        storage = parse_sidecar_storage(payload, f"{base}.json")
         variables = tuple(sorted(declared))
         servable = tuple(
             sorted(
@@ -117,6 +131,7 @@ class CatalogEntry:
             cell_size_m=grid.cell_size_m,
             shape=grid.shape,
             kernel_backend=str(metadata.get("kernel_backend", "")),
+            storage="raw" if storage is not None else "npz",
             metadata=dict(metadata),
         )
 
@@ -160,31 +175,52 @@ class ProductCatalog:
         """Validate and index one newly written product — no directory re-scan.
 
         Unlike :meth:`register` (which trusts the sidecar), ``append`` also
-        verifies the npz half: the file must exist and its zip directory
-        must list every variable the sidecar declares (arrays stay
-        compressed — this reads the archive index only).  O(1) in catalog
-        size, which is what lets the live-ingest tier publish a refreshed
-        product per granule without re-scanning the whole directory.
-        Raises :class:`~repro.l3.writer.Level3ProductError` on any mismatch.
+        verifies the array half: the container must exist, and either its
+        zip directory must list every declared variable (npz — arrays stay
+        compressed, this reads the archive index only) or the blob must be
+        at least as large as the sidecar's offsets require and the storage
+        section must cover every declared variable (raw — nothing is
+        mapped).  O(1) in catalog size, which is what lets the live-ingest
+        tier publish a refreshed product per granule without re-scanning
+        the whole directory.  Raises
+        :class:`~repro.l3.writer.Level3ProductError` on any mismatch.
         """
         entry = CatalogEntry.from_sidecar(path)
-        npz = entry.npz_path
-        if not npz.is_file():
+        container = entry.array_path
+        if not container.is_file():
             raise Level3ProductError(
-                f"cannot append {entry.base_path!r}: missing array file {npz}"
+                f"cannot append {entry.base_path!r}: missing array file {container}"
             )
-        try:
-            with np.load(npz) as payload:
-                present = set(payload.files)
-        except (OSError, ValueError) as exc:
-            raise Level3ProductError(
-                f"cannot append {entry.base_path!r}: unreadable array file {npz}: {exc}"
-            ) from exc
+        if entry.storage == "raw":
+            storage = parse_sidecar_storage(
+                load_sidecar(entry.json_path), entry.json_path
+            )
+            arrays = storage["arrays"] if storage is not None else {}
+            present = set(arrays)
+            needed = max(
+                (spec["offset"] + spec["nbytes"] for spec in arrays.values()),
+                default=0,
+            )
+            size = container.stat().st_size
+            if size < needed:
+                raise Level3ProductError(
+                    f"cannot append {entry.base_path!r}: raw blob {container.name} "
+                    f"is truncated ({size} bytes, sidecar declares {needed})"
+                )
+        else:
+            try:
+                with np.load(container) as payload:
+                    present = set(payload.files)
+            except (OSError, ValueError) as exc:
+                raise Level3ProductError(
+                    f"cannot append {entry.base_path!r}: unreadable array file "
+                    f"{container}: {exc}"
+                ) from exc
         missing = sorted(set(entry.variables) - present)
         if missing:
             raise Level3ProductError(
                 f"cannot append {entry.base_path!r}: sidecar declares variables "
-                f"absent from {npz.name}: {missing}"
+                f"absent from {container.name}: {missing}"
             )
         return self.add(entry)
 

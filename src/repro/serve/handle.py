@@ -230,3 +230,25 @@ class ServeHandle:
     def health(self) -> dict[str, object]:
         """The router health summary (requires a router front)."""
         return self.router.health()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every worker pool this handle's engines own.
+
+        Idempotent, and safe whatever was built: the bare engine, a
+        router's per-shard engines, or nothing yet.  Engines remain usable
+        afterwards (their pools respawn on the next query) — close is about
+        not leaking worker processes, not about tearing down the handle.
+        """
+        if self._router is not None:
+            for shard in self._router.shards:
+                shard.engine.close()
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "ServeHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -209,6 +209,14 @@ class LivePyramidLoader(ProductLoader):
             return live
         return super().decode(entry)
 
+    def _window_tiles(self, entry, needed):
+        # Installed keys serve from the in-memory pyramid (which the ingest
+        # tier mutates in place); the on-disk blob may be a revision behind,
+        # so the raw windowed-read fast path must not bypass it.
+        if entry.key in self._live:
+            return None
+        return super()._window_tiles(entry, needed)
+
     def tile_fingerprint(self, key: TileKey) -> str:
         base = super().tile_fingerprint(key)
         revisions = self._revisions.get(key[0])

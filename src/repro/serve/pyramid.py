@@ -151,6 +151,26 @@ def tiles_for_cells(
     return [(int(key // tile_cols), int(key % tile_cols)) for key in keys]
 
 
+def cut_tile(window: np.ndarray, tile_size: int) -> np.ndarray:
+    """Turn one layer window into a read-only ``tile_size``-square tile.
+
+    Interior windows come back as **zero-copy read-only views** of the
+    layer; only edge windows (short of a full tile) allocate, NaN-padded to
+    size.  Every tile the serve tier hands out flows through here, so the
+    no-copy hot path and the immutability contract live in one place —
+    consumers that need scratch space copy at the mutation site.
+    """
+    if window.shape == (tile_size, tile_size):
+        if window.flags.writeable:
+            window = window.view()
+            window.flags.writeable = False
+        return window
+    padded = np.full((tile_size, tile_size), np.nan)
+    padded[: window.shape[0], : window.shape[1]] = window
+    padded.flags.writeable = False
+    return padded
+
+
 # ---------------------------------------------------------------------------
 # The pyramid product
 # ---------------------------------------------------------------------------
@@ -238,11 +258,7 @@ class TilePyramid:
             ) from None
         ts = self.tile_size
         window = layer[row * ts : (row + 1) * ts, col * ts : (col + 1) * ts]
-        if window.shape == (ts, ts):
-            return window.copy()
-        padded = np.full((ts, ts), np.nan)
-        padded[: window.shape[0], : window.shape[1]] = window
-        return padded
+        return cut_tile(window, ts)
 
     def tile_bbox(self, zoom: int, row: int, col: int) -> tuple[float, float, float, float]:
         """Projected-metre ``(x_min, y_min, x_max, y_max)`` of one tile."""

@@ -36,6 +36,7 @@ from repro.serve.catalog import CatalogEntry, ProductCatalog
 from repro.serve.pyramid import (
     TilePyramid,
     build_pyramid,
+    cut_tile,
     n_levels_for,
     tiles_for_bbox,
 )
@@ -191,6 +192,54 @@ class ProductLoader:
             self.loaded.append(entry.key)
         return self.decode(entry)
 
+    def fetch(
+        self, entry: CatalogEntry, needed: Sequence[TileKey]
+    ) -> dict[TileKey, np.ndarray]:
+        """The requested tiles of one product, decoding only what's required.
+
+        Counts as exactly one load either way.  Base-resolution requests
+        against raw-format products take the **windowed read** fast path:
+        the blob is memory-mapped and each tile is a read-only view of its
+        own window, so the decode touches one tile's worth of pages — no
+        archive inflation, no pyramid build.  Everything else (npz
+        products, overview zooms, live in-memory products) decodes the full
+        pyramid as before.
+        """
+        tiles = self._window_tiles(entry, needed)
+        if tiles is not None:
+            with self._lock:
+                self.n_loads += 1
+                self.loaded.append(entry.key)
+            return tiles
+        pyramid = self.load(entry)
+        return {key: pyramid.tile(key[1], key[2], key[3], key[4]) for key in needed}
+
+    def _window_tiles(
+        self, entry: CatalogEntry, needed: Sequence[TileKey]
+    ) -> dict[TileKey, np.ndarray] | None:
+        """Zoom-0 window reads for raw products; ``None`` -> full decode.
+
+        Bit-identical to ``pyramid.tile`` at zoom 0: the base level's value
+        layers are ``asarray(variable, dtype=float)`` windows, and tiles go
+        through the same :func:`~repro.serve.pyramid.cut_tile` NaN-padding.
+        Only applies when every needed tile is base resolution — overview
+        tiles need the reduction kernels, hence the full pyramid.
+        """
+        if entry.storage != "raw" or any(key[2] != 0 for key in needed):
+            return None
+        product = read_level3(entry.base_path)
+        ts = self.serve.tile_size
+        tiles: dict[TileKey, np.ndarray] = {}
+        for key in needed:
+            _, variable, _, row, col = key
+            layer = product.variables[variable]
+            window = np.asarray(
+                layer[row * ts : (row + 1) * ts, col * ts : (col + 1) * ts],
+                dtype=float,
+            )
+            tiles[key] = cut_tile(window, ts)
+        return tiles
+
     def tile_fingerprint(self, key: TileKey) -> str:
         """Provenance fingerprint of one tile region.
 
@@ -252,7 +301,7 @@ class _ProductFetchTask:
     extract.  Returns ``(key, tiles, n_loads)`` triples so the driver can
     fold worker-side loads into its own accounting even under the process
     executor (where loader counters live and die in the worker).  Every
-    ``load()`` call is exactly one decode, so the count is the constant 1 —
+    ``fetch()`` call is exactly one decode, so the count is the constant 1 —
     never a delta of the shared loader's counter, which concurrent thread
     partitions would race on.
     """
@@ -265,11 +314,7 @@ class _ProductFetchTask:
     ) -> list[tuple[str, dict[TileKey, np.ndarray], int]]:
         out: list[tuple[str, dict[TileKey, np.ndarray], int]] = []
         for entry, needed in items:
-            pyramid = self.loader.load(entry)
-            tiles = {
-                key: pyramid.tile(key[1], key[2], key[3], key[4]) for key in needed
-            }
-            out.append((entry.key, tiles, 1))
+            out.append((entry.key, self.loader.fetch(entry, needed), 1))
         return out
 
 
@@ -377,6 +422,24 @@ class QueryEngine:
         self.executor = executor
         self.tile_cache = _LRUCache(serve.tile_cache_size)
         self.stats = QueryStats()
+        # One persistent fan-out engine for the engine's lifetime: the worker
+        # pool spawns once, not once per batch.  Width adapts per batch via
+        # the n_partitions override; single-product batches run inline.
+        self._engine = MapReduceEngine(
+            n_partitions=n_workers,
+            executor=executor if n_workers > 1 else "serial",
+            max_workers=n_workers,
+        )
+
+    def close(self) -> None:
+        """Release the fan-out worker pool (idempotent; respawns on reuse)."""
+        self._engine.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- resolution --------------------------------------------------------
 
@@ -434,17 +497,19 @@ class QueryEngine:
                 (entries[product_key], tuple(sorted(keys)))
                 for product_key, keys in sorted(needed.items())
             ]
-            engine = MapReduceEngine(
+            fetched = self._engine.run(
+                lambda: work,
+                _ProductFetchTask(self.loader),
+                _merge_fetches,
                 n_partitions=max(min(self.n_workers, len(work)), 1),
-                executor=self.executor if self.n_workers > 1 and len(work) > 1 else "serial",
-                max_workers=self.n_workers,
-            )
-            fetched = engine.run(
-                lambda: work, _ProductFetchTask(self.loader), _merge_fetches
             )
             for _, tiles, n_loads in fetched.value:
                 self.stats.loads += n_loads
                 for key, tile in tiles.items():
+                    # Tiles that crossed a process boundary unpickled as
+                    # fresh writeable arrays; freeze so every cached/served
+                    # tile is immutable whatever the executor.
+                    tile.flags.writeable = False
                     served[key] = tile
                     self.tile_cache.put(key, tile)
 
@@ -464,8 +529,11 @@ class QueryEngine:
                     request=plan.request,
                     product=plan.entry.key,
                     zoom=plan.zoom,
+                    # Read-only views, shared with the LRU — never copies.
+                    # Consumers that need scratch space copy at the mutation
+                    # site (mosaic_array() already writes into its own array).
                     tiles={
-                        (key[3], key[4]): served[key].copy() for key in plan.tile_keys
+                        (key[3], key[4]): served[key] for key in plan.tile_keys
                     },
                     n_cached=len(plan.tile_keys) - n_computed,
                     n_computed=n_computed,

@@ -192,6 +192,7 @@ class TestFingerprint:
         assert config.fingerprint() == replace(config, n_workers=8).fingerprint()
         assert config.fingerprint() == replace(config, executor="thread").fingerprint()
         assert config.fingerprint() == replace(config, cache_dir="/tmp/x").fingerprint()
+        assert config.fingerprint() == replace(config, use_shm=False).fingerprint()
 
     def test_sensitive_to_science_knobs(self):
         config = CampaignConfig(grid={"cloud_fraction": (0.1, 0.2)}, seed=3)

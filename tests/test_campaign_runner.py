@@ -204,3 +204,45 @@ class TestSixGranuleCampaign:
                 original.products.freeboard[beam].freeboard_m,
                 recomputed.products.freeboard[beam].freeboard_m,
             )
+
+
+class TestEngineLifecycle:
+    """The runner owns one persistent map-reduce engine across fan-outs."""
+
+    def test_runner_reuses_one_engine(self):
+        config = CampaignConfig(
+            base=BASE, grid=PARITY_GRID, seed=11, n_workers=2, executor="process"
+        )
+        with CampaignRunner(config) as runner:
+            assert runner.engine is runner.engine  # cached_property, one engine
+            result = runner.run()
+            assert len(result.granules) == 3
+            # The fan-outs left a live worker pool behind for reuse.
+            assert runner.engine._pool_box
+        # The context manager released it.
+        assert runner.engine._pool_box == []
+
+    def test_close_is_idempotent_and_safe_before_use(self):
+        config = CampaignConfig(base=BASE, grid=PARITY_GRID, seed=11)
+        runner = CampaignRunner(config)
+        runner.close()  # engine never built: must be a no-op
+        runner.close()
+
+    def test_shm_off_campaign_matches_shm_on(self, parallel_result):
+        config = CampaignConfig(
+            base=BASE, grid=PARITY_GRID, seed=11, n_workers=2,
+            executor="process", use_shm=False,
+        )
+        with CampaignRunner(config) as runner:
+            plain = runner.run()
+        assert plain.fingerprint == parallel_result.fingerprint
+        for a, b in zip(plain.granules, parallel_result.granules):
+            assert a.granule_id == b.granule_id
+            for beam in a.products.freeboard:
+                np.testing.assert_array_equal(
+                    a.products.freeboard[beam].freeboard_m,
+                    b.products.freeboard[beam].freeboard_m,
+                )
+        np.testing.assert_array_equal(
+            plain.metrics.confusion, parallel_result.metrics.confusion
+        )

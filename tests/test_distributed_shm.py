@@ -1,0 +1,423 @@
+"""Tests for the shared-memory array transport (:mod:`repro.distributed.shm`).
+
+The invariants under test, in rough order of importance:
+
+* **byte identity** — results through the shm process path equal the serial
+  reference bit for bit (Hypothesis-driven across executors);
+* **no leaks** — no ``/dev/shm/repro_shm_*`` segment survives a job, a
+  worker exception, or an engine close;
+* **read-only views** — workers (and in-process attachers) can never mutate
+  the driver's pages through an attached view;
+* **safe eviction** — the worker attachment cache never closes a segment
+  that still has live views on it (the silent-corruption regression).
+"""
+
+import os
+import pickle
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import shm
+from repro.distributed.mapreduce import MapReduceEngine
+from repro.distributed.shm import (
+    SHM_PREFIX,
+    ArrayDescriptor,
+    SharedArrayStore,
+    attach_view,
+    dumps_shared,
+)
+
+_DEV_SHM = Path("/dev/shm")
+
+needs_dev_shm = pytest.mark.skipif(
+    not _DEV_SHM.is_dir(), reason="requires a /dev/shm filesystem to audit"
+)
+
+
+def _live_segments() -> set[str]:
+    """Names of every repro-owned shared-memory segment currently linked."""
+    if not _DEV_SHM.is_dir():
+        return set()
+    return {p.name for p in _DEV_SHM.glob(f"{SHM_PREFIX}*")}
+
+
+# -- module-level map/reduce functions (process executor needs picklables) --
+
+
+def _sum_chunk(chunk):
+    return {name: float(np.sum(np.asarray(a, dtype=np.float64))) for name, a in chunk.items()}
+
+
+def _merge_sums(parts):
+    out: dict = {}
+    for part in parts:
+        for name, value in part.items():
+            out[name] = out.get(name, 0.0) + value
+    return out
+
+
+def _identity_chunk(chunk):
+    return {name: np.array(a, copy=True) for name, a in chunk.items()}
+
+
+def _concat_chunks(parts):
+    return {
+        name: np.concatenate([p[name] for p in parts])
+        for name in (parts[0] if parts else {})
+    }
+
+
+def _raise_chunk(chunk):
+    raise ValueError("intentional worker failure")
+
+
+def _attempt_write(chunk):
+    flags = {}
+    for name, a in chunk.items():
+        flags[name] = bool(a.flags.writeable)
+        try:
+            a[...] = 0
+        except (ValueError, TypeError):
+            pass
+    return flags
+
+
+def _die_abruptly(chunk):
+    os._exit(17)
+
+
+class TestSharedArrayStore:
+    def test_put_round_trip_bytes_identical(self):
+        rng = np.random.default_rng(7)
+        arr = rng.standard_normal((64, 33))
+        with SharedArrayStore() as store:
+            desc = store.put(arr)
+            view = attach_view(desc)
+            assert view.dtype == arr.dtype
+            assert view.shape == arr.shape
+            assert view.tobytes() == arr.tobytes()
+            del view
+
+    def test_put_copies_input(self):
+        arr = np.arange(100.0)
+        with SharedArrayStore() as store:
+            desc = store.put(arr)
+            arr[...] = -1.0  # mutate the original after publishing
+            view = attach_view(desc)
+            np.testing.assert_array_equal(view, np.arange(100.0))
+            del view
+
+    def test_put_rejects_object_and_empty_arrays(self):
+        with SharedArrayStore() as store:
+            with pytest.raises(ValueError):
+                store.put(np.array([{"a": 1}], dtype=object))
+            with pytest.raises(ValueError):
+                store.put(np.empty((0, 3)))
+
+    def test_publish_single_segment_with_aligned_offsets(self):
+        rng = np.random.default_rng(11)
+        arrays = {
+            "a": rng.standard_normal(1000),
+            "b": rng.integers(0, 2**31, size=777, dtype=np.int64),
+            "c": rng.standard_normal((13, 17)).astype(np.float32),
+            "empty": np.empty(0, dtype=np.float64),
+        }
+        with SharedArrayStore() as store:
+            descriptors = store.publish(arrays)
+            segments = {d.segment for d in descriptors.values()}
+            assert len(segments) == 1  # one arena, however many arrays
+            assert len(store.segment_names) == 1
+            for name, desc in descriptors.items():
+                assert desc.offset % 64 == 0
+                if desc.nbytes:
+                    view = attach_view(desc)
+                    assert view.tobytes() == arrays[name].tobytes()
+                    del view
+
+    def test_publish_all_empty_raises(self):
+        with SharedArrayStore() as store:
+            with pytest.raises(ValueError):
+                store.publish({"a": np.empty(0), "b": np.empty((0, 4))})
+
+    @needs_dev_shm
+    def test_close_unlinks_and_is_idempotent(self):
+        store = SharedArrayStore()
+        store.put(np.ones(2048))
+        names = set(store.segment_names)
+        assert names <= _live_segments()
+        store.close()
+        assert not (names & _live_segments())
+        store.close()  # idempotent
+
+    @needs_dev_shm
+    def test_finalizer_unlinks_on_garbage_collection(self):
+        store = SharedArrayStore()
+        store.put(np.ones(2048))
+        names = set(store.segment_names)
+        assert names <= _live_segments()
+        del store
+        assert not (names & _live_segments())
+
+    @needs_dev_shm
+    def test_close_with_live_driver_view_still_unlinks(self):
+        store = SharedArrayStore()
+        view = attach_view(store.put(np.arange(4096.0)))
+        names = set(store.segment_names)
+        store.close()
+        # The file is unlinked even though this process still maps it; the
+        # mapping stays valid until the view dies.
+        assert not (names & _live_segments())
+        np.testing.assert_array_equal(view, np.arange(4096.0))
+        del view
+
+
+class TestAttachView:
+    def test_views_are_read_only(self):
+        with SharedArrayStore() as store:
+            view = attach_view(store.put(np.ones(512)))
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0] = 2.0
+            del view
+
+    def test_eviction_never_closes_segments_with_live_views(self):
+        """Regression: evicting an attached segment under live views silently
+        remapped their pages to the *next* attached segment's data."""
+        n = shm._ATTACH_CAPACITY * 2
+        with SharedArrayStore() as store:
+            descriptors = [store.put(np.full(1024, float(i))) for i in range(n)]
+            views = [attach_view(d) for d in descriptors]
+            # Every view must still read its own segment's data, even though
+            # attachments exceeded the cache capacity while all were live.
+            for i, view in enumerate(views):
+                np.testing.assert_array_equal(view, np.full(1024, float(i)))
+            assert len(shm._ATTACHED) >= n  # nothing evictable was evicted
+            del views
+            # With the views dead, a fresh attach shrinks the cache back.
+            extra = attach_view(store.put(np.zeros(1024)))
+            assert len(shm._ATTACHED) <= shm._ATTACH_CAPACITY
+            del extra
+
+    def test_attach_same_segment_twice_reuses_mapping(self):
+        with SharedArrayStore() as store:
+            desc = store.put(np.arange(256.0))
+            before = len(shm._ATTACHED)
+            v1 = attach_view(desc)
+            v2 = attach_view(desc)
+            assert len(shm._ATTACHED) <= before + 1
+            np.testing.assert_array_equal(v1, v2)
+            del v1, v2
+
+    def test_descriptor_nbytes(self):
+        desc = ArrayDescriptor(segment="x", dtype="<f8", shape=(10, 3), offset=0)
+        assert desc.nbytes == 240
+        empty = ArrayDescriptor(segment="x", dtype="<f8", shape=(0, 3), offset=0)
+        assert empty.nbytes == 0
+
+
+class TestDumpsShared:
+    def test_round_trip_nested_payload(self):
+        rng = np.random.default_rng(3)
+        payload = {
+            "big": rng.standard_normal(4096),
+            "small": np.arange(4.0),
+            "meta": ("granule", 17, {"nested": rng.standard_normal((64, 64))}),
+        }
+        with SharedArrayStore() as store:
+            blob = dumps_shared(payload, store, min_bytes=1024)
+            out = pickle.loads(blob)
+            np.testing.assert_array_equal(out["big"], payload["big"])
+            np.testing.assert_array_equal(out["small"], payload["small"])
+            np.testing.assert_array_equal(
+                out["meta"][2]["nested"], payload["meta"][2]["nested"]
+            )
+            # Large leaves travelled as descriptors → reattached read-only;
+            # small ones were pickled by value and stay writable.
+            assert not out["big"].flags.writeable
+            assert out["small"].flags.writeable
+            del out
+
+    def test_min_bytes_threshold_controls_routing(self):
+        arr = np.ones(100)  # 800 bytes
+        with SharedArrayStore() as store:
+            dumps_shared({"a": arr}, store, min_bytes=10_000)
+            assert store.segment_names == ()
+            dumps_shared({"a": arr}, store, min_bytes=1)
+            assert len(store.segment_names) == 1
+
+
+@needs_dev_shm
+class TestNoLeaks:
+    def test_map_arrays_process_leaves_no_segments(self):
+        before = _live_segments()
+        with MapReduceEngine(
+            n_partitions=3, executor="process", max_workers=2, shm_min_bytes=1
+        ) as engine:
+            rng = np.random.default_rng(5)
+            arrays = {"x": rng.standard_normal(10_000), "y": rng.standard_normal(10_000)}
+            result = engine.map_arrays(arrays, _sum_chunk, _merge_sums)
+            assert result.value["x"] == pytest.approx(float(arrays["x"].sum()))
+        assert _live_segments() <= before
+
+    def test_worker_exception_leaves_no_segments(self):
+        before = _live_segments()
+        with MapReduceEngine(
+            n_partitions=3, executor="process", max_workers=2, shm_min_bytes=1
+        ) as engine:
+            arrays = {"x": np.ones(10_000)}
+            with pytest.raises(ValueError, match="intentional worker failure"):
+                engine.map_arrays(arrays, _raise_chunk, _merge_sums)
+            # The engine survives the failure and still computes correctly.
+            result = engine.map_arrays(arrays, _sum_chunk, _merge_sums)
+            assert result.value["x"] == pytest.approx(10_000.0)
+        assert _live_segments() <= before
+
+    def test_run_with_array_items_leaves_no_segments(self):
+        before = _live_segments()
+        items = [np.full(5_000, float(i)) for i in range(6)]
+        with MapReduceEngine(
+            n_partitions=3, executor="process", max_workers=2, shm_min_bytes=1
+        ) as engine:
+            result = engine.run(
+                lambda: items,
+                _sum_items,
+                sum,
+            )
+            assert result.value == pytest.approx(sum(float(a.sum()) for a in items))
+        assert _live_segments() <= before
+
+    def test_broken_pool_recovers_and_leaves_no_segments(self):
+        before = _live_segments()
+        from concurrent.futures.process import BrokenProcessPool
+
+        with MapReduceEngine(
+            n_partitions=2, executor="process", max_workers=2, shm_min_bytes=1
+        ) as engine:
+            arrays = {"x": np.ones(10_000)}
+            with pytest.raises(BrokenProcessPool):
+                engine.map_arrays(arrays, _die_abruptly, _merge_sums)
+            # The broken pool was discarded; the next job respawns and works.
+            result = engine.map_arrays(arrays, _sum_chunk, _merge_sums)
+            assert result.value["x"] == pytest.approx(10_000.0)
+        assert _live_segments() <= before
+
+
+def _sum_items(partition):
+    return sum(float(np.sum(a)) for a in partition)
+
+
+class TestEngineIntegration:
+    def test_workers_see_read_only_views(self):
+        with MapReduceEngine(
+            n_partitions=2, executor="process", max_workers=2, shm_min_bytes=1
+        ) as engine:
+            arrays = {"x": np.ones(10_000)}
+            result = engine.map_arrays(arrays, _attempt_write, _keep_parts)
+            assert all(not flags["x"] for flags in result.value)
+            # The driver's copy was never corrupted through the view.
+            np.testing.assert_array_equal(arrays["x"], np.ones(10_000))
+
+    def test_pool_reused_across_jobs(self):
+        with MapReduceEngine(
+            n_partitions=2, executor="process", max_workers=2, shm_min_bytes=1
+        ) as engine:
+            arrays = {"x": np.ones(10_000)}
+            engine.map_arrays(arrays, _sum_chunk, _merge_sums)
+            pool_first = engine._pool_box[0]
+            engine.map_arrays(arrays, _sum_chunk, _merge_sums)
+            assert engine._pool_box[0] is pool_first
+
+    def test_closed_engine_respawns(self):
+        engine = MapReduceEngine(
+            n_partitions=2, executor="process", max_workers=2, shm_min_bytes=1
+        )
+        try:
+            arrays = {"x": np.ones(10_000)}
+            first = engine.map_arrays(arrays, _sum_chunk, _merge_sums)
+            engine.close()
+            assert engine._pool_box == []
+            second = engine.map_arrays(arrays, _sum_chunk, _merge_sums)
+            assert second.value == first.value
+        finally:
+            engine.close()
+
+    def test_shm_off_matches_shm_on(self):
+        rng = np.random.default_rng(23)
+        arrays = {
+            "x": rng.standard_normal(9_999),
+            "y": rng.integers(0, 100, size=9_999).astype(np.float32),
+        }
+        with MapReduceEngine(
+            n_partitions=3, executor="process", max_workers=2, shm_min_bytes=1
+        ) as shm_engine, MapReduceEngine(
+            n_partitions=3, executor="process", max_workers=2, use_shm=False
+        ) as plain_engine:
+            a = shm_engine.map_arrays(arrays, _identity_chunk, _concat_chunks)
+            b = plain_engine.map_arrays(arrays, _identity_chunk, _concat_chunks)
+            for name in arrays:
+                assert a.value[name].tobytes() == b.value[name].tobytes()
+
+
+def _keep_parts(parts):
+    return list(parts)
+
+
+# -- Hypothesis: executor equivalence through the shm path -------------------
+
+_ENGINES: dict[str, MapReduceEngine] = {}
+
+
+@pytest.fixture(scope="module")
+def engines():
+    """Persistent engines shared across Hypothesis examples (pool reuse)."""
+    if not _ENGINES:
+        _ENGINES["serial"] = MapReduceEngine(n_partitions=3, executor="serial")
+        _ENGINES["thread"] = MapReduceEngine(n_partitions=3, executor="thread", max_workers=2)
+        _ENGINES["process"] = MapReduceEngine(
+            n_partitions=3, executor="process", max_workers=2, shm_min_bytes=1
+        )
+    yield _ENGINES
+    for engine in _ENGINES.values():
+        engine.close()
+    _ENGINES.clear()
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=0,
+        max_size=400,
+    ),
+    dtype=st.sampled_from(["float64", "float32", "int32"]),
+    n_partitions=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_executors_byte_identical(engines, values, dtype, n_partitions):
+    """serial == thread == process(+shm) on the exact output bytes."""
+    data = np.asarray(values, dtype=np.float64).astype(dtype)
+    arrays = {"v": data, "w": np.arange(data.shape[0], dtype=np.float64)}
+    outputs = {}
+    for name, engine in engines.items():
+        result = engine.map_arrays(
+            arrays, _identity_chunk, _concat_chunks, n_partitions=n_partitions
+        )
+        outputs[name] = result.value
+    reference = outputs["serial"]
+    for name in ("thread", "process"):
+        for key in arrays:
+            assert outputs[name][key].dtype == reference[key].dtype
+            assert outputs[name][key].tobytes() == reference[key].tobytes()
+
+
+@needs_dev_shm
+def test_property_runs_leaked_nothing():
+    """Companion to the property test above: the module leaves /dev/shm clean.
+
+    Runs after the Hypothesis test in file order; any segment named with our
+    prefix still linked at this point escaped a store's lifetime.
+    """
+    assert not _live_segments()

@@ -18,6 +18,7 @@ from repro.geodesy.grid import GridDefinition
 from repro.l3.product import Level3Grid
 from repro.l3.writer import (
     L3_FORMAT,
+    PRODUCT_FORMATS,
     Level3ProductError,
     load_sidecar,
     read_level3,
@@ -196,11 +197,11 @@ def products(draw):
 
 
 class TestRoundTrip:
-    @given(product=products())
+    @given(product=products(), format=st.sampled_from(PRODUCT_FORMATS))
     @settings(**HYPOTHESIS_SETTINGS)
-    def test_round_trip_is_byte_identical(self, product, tmp_path_factory):
+    def test_round_trip_is_byte_identical(self, product, format, tmp_path_factory):
         base = tmp_path_factory.mktemp("l3rt") / "product"
-        write_level3(product, base)
+        write_level3(product, base, format=format)
         reloaded = read_level3(base)
 
         assert set(reloaded.variables) == set(product.variables)
@@ -224,3 +225,88 @@ class TestRoundTrip:
         for path in (tmp_path / "p", tmp_path / "p.json", tmp_path / "p.npz"):
             reloaded = read_level3(path)
             assert set(reloaded.variables) == set(product.variables)
+
+    def test_raw_accepts_either_sibling_path(self, tmp_path):
+        product = make_product()
+        write_level3(product, tmp_path / "p", format="raw")
+        for path in (tmp_path / "p", tmp_path / "p.json", tmp_path / "p.raw"):
+            reloaded = read_level3(path)
+            assert set(reloaded.variables) == set(product.variables)
+
+
+class TestRawFormat:
+    def test_raw_equals_npz_byte_for_byte(self, tmp_path):
+        product = make_product(seed=42)
+        write_level3(product, tmp_path / "npz_p", format="npz")
+        write_level3(product, tmp_path / "raw_p", format="raw")
+        from_npz = read_level3(tmp_path / "npz_p")
+        from_raw = read_level3(tmp_path / "raw_p")
+        assert set(from_raw.variables) == set(from_npz.variables)
+        for name, expected in from_npz.variables.items():
+            value = from_raw.variables[name]
+            assert value.dtype == expected.dtype
+            assert value.tobytes() == expected.tobytes()
+        assert from_raw.grid == from_npz.grid
+        assert from_raw.metadata == from_npz.metadata
+        assert from_raw.attrs == from_npz.attrs
+
+    def test_raw_variables_are_lazy_read_only_views(self, tmp_path):
+        product = make_product(seed=3)
+        write_level3(product, tmp_path / "p", format="raw")
+        reloaded = read_level3(tmp_path / "p")
+        for value in reloaded.variables.values():
+            assert not value.flags.writeable
+            assert not value.flags.owndata  # memmap-backed, not a copy
+            with pytest.raises(ValueError):
+                value[...] = 0
+
+    def test_raw_views_survive_product_garbage_collection(self, tmp_path):
+        product = make_product(seed=4)
+        write_level3(product, tmp_path / "p", format="raw")
+        reloaded = read_level3(tmp_path / "p")
+        view = reloaded.variables["freeboard_mean"]
+        expected = product.variables["freeboard_mean"]
+        del reloaded  # the view's base chain pins the mapping
+        assert view.tobytes() == expected.tobytes()
+
+    def test_invalid_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            write_level3(make_product(), tmp_path / "p", format="parquet")
+
+    def test_truncated_blob(self, tmp_path):
+        write_level3(make_product(), tmp_path / "p", format="raw")
+        raw_path = tmp_path / "p.raw"
+        blob = raw_path.read_bytes()
+        raw_path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(Level3ProductError, match="truncat"):
+            read_level3(tmp_path / "p")
+
+    def test_missing_blob_is_file_not_found(self, tmp_path):
+        write_level3(make_product(), tmp_path / "p", format="raw")
+        (tmp_path / "p.raw").unlink()
+        with pytest.raises(FileNotFoundError):
+            read_level3(tmp_path / "p")
+
+    def test_storage_section_missing_variable(self, tmp_path):
+        write_level3(make_product(), tmp_path / "p", format="raw")
+        payload = json.loads((tmp_path / "p.json").read_text())
+        del payload["storage"]["arrays"]["freeboard_mean"]
+        (tmp_path / "p.json").write_text(json.dumps(payload))
+        with pytest.raises(Level3ProductError, match="freeboard_mean"):
+            read_level3(tmp_path / "p")
+
+    def test_malformed_storage_section(self, tmp_path):
+        write_level3(make_product(), tmp_path / "p", format="raw")
+        payload = json.loads((tmp_path / "p.json").read_text())
+        payload["storage"] = {"layout": "raw"}  # no file / arrays
+        (tmp_path / "p.json").write_text(json.dumps(payload))
+        with pytest.raises(Level3ProductError, match="storage"):
+            read_level3(tmp_path / "p")
+
+    def test_storage_nbytes_inconsistent_with_declaration(self, tmp_path):
+        write_level3(make_product(), tmp_path / "p", format="raw")
+        payload = json.loads((tmp_path / "p.json").read_text())
+        payload["storage"]["arrays"]["freeboard_mean"]["nbytes"] = 1
+        (tmp_path / "p.json").write_text(json.dumps(payload))
+        with pytest.raises(Level3ProductError):
+            read_level3(tmp_path / "p")

@@ -12,7 +12,8 @@ from repro.serve.catalog import CatalogEntry, ProductCatalog
 
 
 def write_product(path, kind="granule", granule_ids=("g000",), fingerprint="fp0",
-                  x_min=0.0, y_min=0.0, nx=20, ny=10, cell=100.0, seed=0):
+                  x_min=0.0, y_min=0.0, nx=20, ny=10, cell=100.0, seed=0,
+                  format="npz"):
     rng = np.random.default_rng(seed)
     grid = GridDefinition(x_min_m=x_min, y_min_m=y_min, cell_size_m=cell, nx=nx, ny=ny)
     n_seg = rng.integers(0, 4, grid.shape).astype(np.int64)
@@ -29,7 +30,7 @@ def write_product(path, kind="granule", granule_ids=("g000",), fingerprint="fp0"
         },
         metadata=metadata,
     )
-    return write_level3(product, path)
+    return write_level3(product, path, format=format)
 
 
 class TestRegistration:
@@ -114,6 +115,42 @@ class TestAppend:
         json_path.write_text(json.dumps(payload))
         with pytest.raises(Level3ProductError, match="thickness_mean"):
             ProductCatalog().append(json_path)
+
+    def test_append_accepts_raw_product(self, tmp_path):
+        _, json_path = write_product(tmp_path / "p0", format="raw")
+        catalog = ProductCatalog()
+        entry = catalog.append(json_path)
+        assert entry.storage == "raw"
+        assert entry.array_path == tmp_path / "p0.raw"
+
+    def test_append_rejects_missing_raw_blob(self, tmp_path):
+        _, json_path = write_product(tmp_path / "p0", format="raw")
+        (tmp_path / "p0.raw").unlink()
+        with pytest.raises(Level3ProductError, match="missing array file"):
+            ProductCatalog().append(json_path)
+
+    def test_append_rejects_truncated_raw_blob(self, tmp_path):
+        _, json_path = write_product(tmp_path / "p0", format="raw")
+        raw_path = tmp_path / "p0.raw"
+        blob = raw_path.read_bytes()
+        raw_path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(Level3ProductError, match="truncated"):
+            ProductCatalog().append(json_path)
+
+    def test_append_rejects_raw_storage_missing_a_variable(self, tmp_path):
+        _, json_path = write_product(tmp_path / "p0", format="raw")
+        payload = json.loads(json_path.read_text())
+        del payload["storage"]["arrays"]["freeboard_mean"]
+        json_path.write_text(json.dumps(payload))
+        with pytest.raises(Level3ProductError, match="freeboard_mean"):
+            ProductCatalog().append(json_path)
+
+    def test_register_accepts_raw_sibling_path(self, tmp_path):
+        write_product(tmp_path / "p0", format="raw")
+        catalog = ProductCatalog()
+        for path in (tmp_path / "p0", tmp_path / "p0.json", tmp_path / "p0.raw"):
+            assert catalog.register(path).key == "fp0"
+        assert len(catalog) == 1
 
     def test_sharded_append_routes_to_the_bbox_shard(self, tmp_path):
         from repro.serve.shard import ShardedCatalog, shard_index

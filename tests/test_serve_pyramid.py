@@ -9,6 +9,7 @@ from repro.l3.product import Level3Grid
 from repro.serve.pyramid import (
     TilePyramid,
     build_pyramid,
+    cut_tile,
     default_pyramid_variables,
     level_shape,
     n_levels_for,
@@ -161,6 +162,29 @@ class TestTileAddressing:
         tile = pyramid.tile("freeboard_mean", 0, 1, 2)
         window = product.variables["freeboard_mean"][16:32, 32:48]
         np.testing.assert_array_equal(tile, window)
+
+    def test_tiles_are_immutable_views(self):
+        # Full-size tiles are zero-copy windows of the level arrays; serving
+        # them read-only is what makes skipping the per-query copy safe.
+        pyramid = build_pyramid(make_product(), serve=ServeConfig(tile_size=16))
+        interior = pyramid.tile("freeboard_mean", 0, 0, 0)
+        edge = pyramid.tile("freeboard_mean", 0, 2, 3)
+        for tile in (interior, edge):
+            assert not tile.flags.writeable
+            with pytest.raises(ValueError):
+                tile[0, 0] = 123.0
+        # The failed writes never reached the backing level array.
+        assert not np.any(pyramid.levels[0].variables["freeboard_mean"] == 123.0)
+
+    def test_cut_tile_window_semantics(self):
+        window = np.arange(12.0).reshape(3, 4)
+        full = cut_tile(np.arange(16.0).reshape(4, 4), 4)
+        assert full.shape == (4, 4) and not full.flags.writeable
+        np.testing.assert_array_equal(full, np.arange(16.0).reshape(4, 4))
+        padded = cut_tile(window, 4)
+        assert padded.shape == (4, 4) and not padded.flags.writeable
+        np.testing.assert_array_equal(padded[:3, :4], window)
+        assert np.isnan(padded[3, :]).all()
 
     def test_tile_out_of_range(self):
         pyramid = build_pyramid(make_product(), serve=ServeConfig(tile_size=16))

@@ -19,7 +19,8 @@ SERVE = ServeConfig(tile_size=8, tile_cache_size=64)
 
 
 def write_product(path, kind="mosaic", fingerprint="fp-m", x_min=0.0, nx=40, ny=24,
-                  cell=100.0, seed=0, variables=("freeboard_mean", "thickness_mean")):
+                  cell=100.0, seed=0, variables=("freeboard_mean", "thickness_mean"),
+                  format="npz"):
     rng = np.random.default_rng(seed)
     grid = GridDefinition(x_min_m=x_min, y_min_m=0.0, cell_size_m=cell, nx=nx, ny=ny)
     n_seg = rng.integers(0, 4, grid.shape).astype(np.int64)
@@ -31,7 +32,9 @@ def write_product(path, kind="mosaic", fingerprint="fp-m", x_min=0.0, nx=40, ny=
         metadata["granule_ids"] = ["g000"]
     else:
         metadata["granule_id"] = "g000"
-    write_level3(Level3Grid(grid=grid, variables=layers, metadata=metadata), path)
+    write_level3(
+        Level3Grid(grid=grid, variables=layers, metadata=metadata), path, format=format
+    )
 
 
 @pytest.fixture()
@@ -218,3 +221,63 @@ class TestServing:
             QueryEngine(engine.catalog, executor="bogus")
         with pytest.raises(ValueError, match="n_workers"):
             QueryEngine(engine.catalog, n_workers=0)
+
+
+class _DecodeCountingLoader(ProductLoader):
+    """Counts full pyramid decodes separately from window-read loads."""
+
+    def __init__(self, serve):
+        super().__init__(serve)
+        self.n_decodes = 0
+
+    def decode(self, entry):
+        self.n_decodes += 1
+        return super().decode(entry)
+
+
+class TestRawProducts:
+    def _engine(self, directory, format):
+        write_product(directory / "mosaic", format=format)
+        catalog = ProductCatalog()
+        catalog.scan(directory)
+        return QueryEngine(catalog, loader=_DecodeCountingLoader(SERVE), serve=SERVE)
+
+    def test_raw_responses_match_npz_byte_for_byte(self, tmp_path):
+        npz_engine = self._engine(tmp_path / "npz", "npz")
+        raw_engine = self._engine(tmp_path / "raw", "raw")
+        for zoom in (0, 1):
+            request = TileRequest(bbox=(0.0, 0.0, 3000.0, 2000.0), zoom=zoom)
+            want = npz_engine.query(request)
+            got = raw_engine.query(request)
+            assert set(got.tiles) == set(want.tiles)
+            for key in want.tiles:
+                assert got.tiles[key].tobytes() == want.tiles[key].tobytes()
+            assert got.fingerprints == want.fingerprints
+
+    def test_zoom0_raw_query_skips_pyramid_build(self, tmp_path):
+        engine = self._engine(tmp_path, "raw")
+        response = engine.query(TileRequest(bbox=(0.0, 0.0, 1500.0, 1500.0), zoom=0))
+        assert response.n_computed == response.n_tiles
+        assert engine.loader.n_loads == 1  # the windowed read counts as a load
+        assert engine.loader.n_decodes == 0  # ...but built no pyramid
+
+    def test_overview_zoom_still_decodes_pyramid(self, tmp_path):
+        engine = self._engine(tmp_path, "raw")
+        engine.query(TileRequest(bbox=(0.0, 0.0, 3000.0, 2000.0), zoom=1))
+        assert engine.loader.n_decodes == 1
+
+    def test_served_tiles_are_immutable(self, tmp_path):
+        for format in ("npz", "raw"):
+            engine = self._engine(tmp_path / format, format)
+            request = TileRequest(bbox=(0.0, 0.0, 1500.0, 1500.0), zoom=0)
+            first = engine.query(request)
+            for tile in first.tiles.values():
+                assert not tile.flags.writeable
+                with pytest.raises(ValueError):
+                    tile[0, 0] = 1e9
+            # The failed writes above corrupted nothing: a cached repeat
+            # serves the same bytes.
+            repeat = engine.query(request)
+            assert repeat.from_cache
+            for key in first.tiles:
+                assert repeat.tiles[key].tobytes() == first.tiles[key].tobytes()
