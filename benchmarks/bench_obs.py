@@ -1,0 +1,156 @@
+"""Telemetry overhead benchmarks: the same work with obs on and off.
+
+Two enabled/disabled pairs, mirroring the two hot paths the instrumentation
+rides on:
+
+* **query**: a pre-warmed router serving a request batch from the shard LRU
+  caches — the serving steady state, where every request crosses the
+  ``router.request`` -> ``engine.query_batch`` span pair and a dozen
+  counters.  This is the path with the least real work per span, so it is
+  the most overhead-sensitive.
+* **campaign**: one small end-to-end campaign run — curation, pooled
+  training, retrieval, aggregation — where spans and stage counters wrap
+  seconds of numeric work and the overhead must disappear in the noise.
+
+``benchmarks/check_regression.py`` pairs each ``obs_enabled_*`` benchmark
+with its ``obs_disabled_*`` twin and holds the enabled/disabled time ratio
+under ``OBS_OVERHEAD_CEILING`` (1.05: telemetry may cost at most 5 % of
+either hot path).
+
+Run:  python -m pytest benchmarks/bench_obs.py --benchmark-json=obs-bench.json
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.campaign import CampaignConfig, CampaignRunner
+from repro.config import RouterConfig, ServeConfig
+from repro.geodesy.grid import GridDefinition
+from repro.l3.product import Level3Grid
+from repro.l3.writer import write_level3
+from repro.obs.core import Obs
+from repro.serve.catalog import ProductCatalog
+from repro.serve.clock import VirtualClock
+from repro.serve.query import TileRequest
+from repro.serve.router import RequestRouter
+from repro.serve.shard import ShardedCatalog
+from repro.surface.scene import SceneConfig
+from repro.workflow.end_to_end import ExperimentConfig
+
+ROUNDS = dict(rounds=5, iterations=1, warmup_rounds=1)
+
+SERVE = ServeConfig(tile_size=64, tile_cache_size=512)
+CONFIG = RouterConfig(n_shards=2, max_queue_depth=64)
+
+GRID_NX, GRID_NY = 512, 384
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    root = tmp_path_factory.mktemp("obs-bench")
+    rng = np.random.default_rng(11)
+    grid = GridDefinition(
+        x_min_m=0.0, y_min_m=0.0, cell_size_m=100.0, nx=GRID_NX, ny=GRID_NY
+    )
+    occupancy = rng.random(grid.shape) < 0.4
+    n_seg = np.where(occupancy, rng.integers(1, 40, grid.shape), 0).astype(np.int64)
+    product = Level3Grid(
+        grid=grid,
+        variables={
+            "n_segments": n_seg,
+            "freeboard_mean": np.where(
+                occupancy, rng.normal(0.3, 0.15, grid.shape), np.nan
+            ),
+        },
+        metadata={"kind": "mosaic", "granule_ids": ["bench"], "fingerprint": "fp-obs"},
+    )
+    write_level3(product, root / "mosaic")
+    catalog = ProductCatalog()
+    catalog.scan(root)
+    return catalog
+
+
+def make_requests() -> list[TileRequest]:
+    requests = []
+    for i, zoom in ((0, 0), (1, 0), (2, 1), (3, 1), (4, 2)):
+        x0, y0 = i * 8_000.0, (i % 3) * 8_000.0
+        requests.append(
+            TileRequest(
+                bbox=(x0, y0, x0 + 12_800.0, y0 + 9_600.0),
+                variable="freeboard_mean",
+                zoom=zoom,
+            )
+        )
+    return requests
+
+
+def _bench_query(benchmark, archive, obs: Obs) -> None:
+    router = RequestRouter(
+        ShardedCatalog.from_catalog(archive, CONFIG.n_shards),
+        serve=SERVE,
+        config=CONFIG,
+        obs=obs,
+    )
+    requests = make_requests()
+    warmed = router.serve(requests)
+    assert all(r.response.n_tiles > 0 for r in warmed)
+
+    def serve_many() -> None:
+        # 10 warm batches per round: enough spans/counter increments that
+        # per-call overhead, not timer resolution, is what gets measured.
+        for _ in range(10):
+            router.serve(requests)
+
+    benchmark.pedantic(serve_many, **ROUNDS)
+
+
+def test_obs_enabled_query(benchmark, archive):
+    _bench_query(benchmark, archive, Obs(clock=VirtualClock()))
+
+
+def test_obs_disabled_query(benchmark, archive):
+    _bench_query(benchmark, archive, Obs.disabled())
+
+
+_BASE = ExperimentConfig(
+    scene=SceneConfig(
+        width_m=6_000.0,
+        height_m=6_000.0,
+        open_water_fraction=0.12,
+        thin_ice_fraction=0.18,
+        thick_ice_fraction=0.70,
+        n_leads=6,
+    ),
+    epochs=1,
+    model_kind="mlp",
+)
+
+_GRID = {"season": ("winter", "freeze_up")}
+
+
+def _bench_campaign(benchmark, obs: Obs) -> None:
+    config = CampaignConfig(base=_BASE, grid=_GRID, seed=23, n_workers=1)
+
+    def run_campaign():
+        with CampaignRunner(config, obs=obs) as runner:
+            return runner.run()
+
+    result = benchmark.pedantic(run_campaign, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.n_granules == 2
+
+
+def test_obs_enabled_campaign(benchmark):
+    _bench_campaign(benchmark, Obs())
+
+
+def test_obs_disabled_campaign(benchmark):
+    _bench_campaign(benchmark, Obs.disabled())

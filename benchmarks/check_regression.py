@@ -36,6 +36,12 @@ above ``ZERO_COPY_DECODE_FLOOR`` (>= 3x — the memory-mapped product
 layout).  ``--emit-json PATH`` additionally writes every section measured
 in this run to one committed JSON snapshot (``BENCH_zero_copy.json``).
 
+The telemetry benchmarks (``benchmarks/bench_obs.py``) feed the **obs
+overhead gate**: per instrumented hot path (warm router serving, one small
+campaign run), the obs-enabled time is ratioed against the same work under
+the null no-op twins, and the ratio is held under ``OBS_OVERHEAD_CEILING``
+(1.05 — telemetry may cost at most 5 % of either path).
+
 The check fails when a kernel's measured speedup
 
 * regresses by more than ``--tolerance`` (default 25 %) relative to its
@@ -128,6 +134,16 @@ ZERO_COPY_FANOUT_SHM = "zero_copy_fanout_shm"
 ZERO_COPY_FANOUT_PICKLED = "zero_copy_fanout_pickled"
 ZERO_COPY_DECODE_NPZ_PREFIX = "zero_copy_decode_npz_"
 ZERO_COPY_DECODE_RAW_PREFIX = "zero_copy_decode_raw_"
+
+#: Telemetry overhead gate (``benchmarks/bench_obs.py``): the same hot path
+#: — warm router serving and one small campaign — timed with obs enabled
+#: and with the null twins, ratioed enabled/disabled.  Spans and counters
+#: may cost at most 5 % of either path; anything above that means an
+#: allocation or a lock leaked into the per-request instrumentation.
+OBS_OVERHEAD_CEILING = 1.05
+
+OBS_ENABLED_PREFIX = "obs_enabled_"
+OBS_DISABLED_PREFIX = "obs_disabled_"
 
 
 def load_minima(benchmark_json: Path) -> dict[str, float]:
@@ -222,6 +238,36 @@ def load_zero_copy(minima: dict[str, float]) -> dict[str, dict[str, float]]:
             "ratio": npz_s / raw_s,
         }
     return zero_copy
+
+
+def load_obs(minima: dict[str, float]) -> dict[str, dict[str, float]]:
+    """Pair the enabled/disabled telemetry runs into per-path overheads."""
+    overheads: dict[str, dict[str, float]] = {}
+    for name, enabled_s in sorted(minima.items()):
+        if not name.startswith(OBS_ENABLED_PREFIX):
+            continue
+        path = name[len(OBS_ENABLED_PREFIX) :]
+        disabled_s = minima.get(OBS_DISABLED_PREFIX + path)
+        if disabled_s is None or disabled_s <= 0:
+            continue
+        overheads[f"obs_overhead_{path}"] = {
+            "enabled_s": enabled_s,
+            "disabled_s": disabled_s,
+            "ratio": enabled_s / disabled_s,
+        }
+    return overheads
+
+
+def check_obs(overheads: dict[str, dict[str, float]]) -> list[str]:
+    failures: list[str] = []
+    for name, row in overheads.items():
+        measured = row["ratio"]
+        if measured > OBS_OVERHEAD_CEILING:
+            failures.append(
+                f"{name}: telemetry costs {(measured - 1.0):.1%} of the hot "
+                f"path (ceiling {OBS_OVERHEAD_CEILING - 1.0:.0%})"
+            )
+    return failures
 
 
 def check_zero_copy(
@@ -361,7 +407,8 @@ def main(argv: list[str] | None = None) -> int:
     latencies = load_latencies(minima)
     ingest = load_ingest(minima)
     zero_copy = load_zero_copy(minima)
-    if not speedups and not latencies and not ingest and not zero_copy:
+    obs = load_obs(minima)
+    if not speedups and not latencies and not ingest and not zero_copy and not obs:
         print("no reference/vectorized benchmark pairs found", file=sys.stderr)
         return 2
 
@@ -446,6 +493,20 @@ def main(argv: list[str] | None = None) -> int:
                 f"{measured / floor:8.2f}x  {base_margin}"
             )
 
+    if obs:
+        width = max(len(k) for k in obs)
+        print(
+            f"\n{'telemetry':<{width}}  {'disabled':>11}  {'enabled':>11}  "
+            f"{'ratio':>8}  {'vs ceiling':>10}"
+        )
+        for name, row in obs.items():
+            measured = row["ratio"]
+            print(
+                f"{name:<{width}}  {row['disabled_s'] * 1e3:9.2f}ms  "
+                f"{row['enabled_s'] * 1e3:9.2f}ms  {measured:7.3f}x  "
+                f"{OBS_OVERHEAD_CEILING - measured:+9.3f}x"
+            )
+
     if args.emit_json is not None:
         snapshot = {
             "source": str(args.benchmark_json),
@@ -453,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
             "latencies": latencies,
             "ingest": ingest,
             "zero_copy": zero_copy,
+            "obs": obs,
         }
         args.emit_json.parent.mkdir(parents=True, exist_ok=True)
         args.emit_json.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
@@ -460,7 +522,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        merged = {**speedups, **latencies, **ingest, **zero_copy}
+        merged = {**speedups, **latencies, **ingest, **zero_copy, **obs}
         args.baseline.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
         print(f"baselines written to {args.baseline}")
         return 0
@@ -469,18 +531,19 @@ def main(argv: list[str] | None = None) -> int:
         speedups,
         baselines,
         args.tolerance,
-        also_present=set(latencies) | set(ingest) | set(zero_copy),
+        also_present=set(latencies) | set(ingest) | set(zero_copy) | set(obs),
     )
     failures += check_latencies(latencies, baselines)
     failures += check_ingest(ingest, baselines)
     failures += check_zero_copy(zero_copy, baselines)
+    failures += check_obs(obs)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print(
-        "kernel speedups, serving latencies, ingest and zero-copy ratios "
-        "within tolerance of committed baselines"
+        "kernel speedups, serving latencies, ingest, zero-copy and telemetry "
+        "ratios within tolerance of committed baselines"
     )
     return 0
 

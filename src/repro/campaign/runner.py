@@ -59,6 +59,7 @@ from repro.config import ClusterConfig, DEFAULT_CLUSTER
 from repro.distributed.cluster import ClusterCostModel
 from repro.distributed.mapreduce import MapReduceEngine
 from repro.evaluation.report import format_table
+from repro.obs.core import Obs, default_obs
 from repro.pipeline.artifact import external_artifact
 from repro.pipeline.cache import MISS, StageCache
 from repro.pipeline.fingerprint import config_slice, digest
@@ -405,10 +406,12 @@ class CampaignRunner:
         config: CampaignConfig,
         cost_model: ClusterCostModel | None = None,
         cluster: ClusterConfig = DEFAULT_CLUSTER,
+        obs: Obs | None = None,
     ) -> None:
         self.config = config
         self.cost_model = cost_model if cost_model is not None else ClusterCostModel()
         self.cluster = cluster
+        self.obs = obs if obs is not None else default_obs()
         self.fingerprint = config.fingerprint()
         self.cache: CampaignCache | None = (
             CampaignCache(config.cache_dir, self.fingerprint)
@@ -440,6 +443,7 @@ class CampaignRunner:
             executor=executor,
             max_workers=self.config.n_workers,
             use_shm=self.config.use_shm,
+            obs=self.obs,
         )
 
     def close(self) -> None:
@@ -588,7 +592,25 @@ class CampaignRunner:
     # -- stages ----------------------------------------------------------------
 
     def run(self) -> CampaignResult:
-        """Run (or resume) the whole campaign and return aggregated results."""
+        """Run (or resume) the whole campaign and return aggregated results.
+
+        Telemetry: the whole run executes inside a ``campaign.run`` span —
+        the fan-out engine's ``mapreduce.*`` spans nest under it — with one
+        ``campaign.<stage>`` child per timing stage (curation, training,
+        inference, aggregation) mirroring the :class:`TimingRecord`.
+        """
+        with self.obs.span("campaign.run", fingerprint=self.fingerprint) as span:
+            result = self._run()
+            span.set(
+                n_granules=result.n_granules,
+                cache_hits=len(result.cache_hits),
+                stage_misses=len(result.stage_misses),
+            )
+        self.obs.counter("campaign_runs_total").inc()
+        self.obs.counter("campaign_granules_total").inc(result.n_granules)
+        return result
+
+    def _run(self) -> CampaignResult:
         specs = self.config.expand()
         timing = TimingRecord()
         hits: list[str] = []
@@ -700,7 +722,9 @@ class CampaignRunner:
             stage_hits.extend(item_hits)
             stage_misses.extend(item_misses)
             self._cache_store(f"{item.granule_id}.curated", item)
-        timing.add("curation", sw.stop())
+        curation_s = sw.stop()
+        timing.add("curation", curation_s)
+        self.obs.record("campaign.curation", curation_s, n_pending=len(pending))
 
         # Stage 2: one classifier on the pooled labelled segments
         # (driver-side).  Granules are pooled in canonical expansion order;
@@ -735,6 +759,7 @@ class CampaignRunner:
             )
             training_seconds = sw.stop()
             timing.add("training", training_seconds)
+            self.obs.record("campaign.training", training_seconds, cached=False)
             self._cache_store(
                 "classifier",
                 {
@@ -754,7 +779,9 @@ class CampaignRunner:
         else:
             # Cache hit: the measured fit time comes from the bundle so the
             # scaling report is identical to the original run's.
-            timing.add("training", sw.stop())
+            cached_s = sw.stop()
+            timing.add("training", cached_s)
+            self.obs.record("campaign.training", cached_s, cached=True)
 
         # Stage 3: inference / freeboard / baseline fan-out.
         sw = Stopwatch().start()
@@ -769,7 +796,9 @@ class CampaignRunner:
             stage_hits.extend(item_hits)
             stage_misses.extend(item_misses)
             self._cache_store(f"{item.granule_id}.result", item)
-        timing.add("inference", sw.stop())
+        inference_s = sw.stop()
+        timing.add("inference", inference_s)
+        self.obs.record("campaign.inference", inference_s, n_retrieved=len(to_retrieve))
 
         # Aggregate + simulated cluster scaling from serial-equivalent times.
         sw = Stopwatch().start()
@@ -782,7 +811,9 @@ class CampaignRunner:
             cost_model=self.cost_model,
             cluster=self.cluster,
         )
-        timing.add("aggregation", sw.stop())
+        aggregation_s = sw.stop()
+        timing.add("aggregation", aggregation_s)
+        self.obs.record("campaign.aggregation", aggregation_s)
 
         return CampaignResult(
             fingerprint=self.fingerprint,
@@ -1008,6 +1039,7 @@ class CampaignRunner:
             executor=executor,
             gridder=gridder,
             seed_l3=l3,
+            obs=self.obs,
         )
         if router is not None:
             warnings.warn(

@@ -298,6 +298,51 @@ class IngestConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Parameters of the telemetry subsystem (:mod:`repro.obs`).
+
+    One process-local config slice selecting between the real metric
+    registry / tracer pair and their no-op null twins.  Deliberately *not*
+    nested inside :class:`ServeConfig` or the experiment configs:
+    observability must never perturb content fingerprints, so whether a
+    run was traced can never change what it computed.
+    """
+
+    #: Real instrumentation (``True``) or the no-op null implementation.
+    enabled: bool = True
+    #: Capacity of the tracer's span ring buffer; the oldest finished
+    #: spans are dropped (and counted) once it fills.
+    trace_buffer_size: int = 4096
+    #: Default histogram bucket upper bounds, in seconds (Prometheus
+    #: ``le`` semantics), used by latency histograms unless a metric names
+    #: its own edges.  Must be strictly increasing.
+    latency_buckets_s: tuple[float, ...] = (
+        0.001,
+        0.0025,
+        0.005,
+        0.01,
+        0.025,
+        0.05,
+        0.1,
+        0.25,
+        0.5,
+        1.0,
+        2.5,
+        5.0,
+    )
+
+    def __post_init__(self) -> None:
+        if self.trace_buffer_size < 1:
+            raise ValueError("trace_buffer_size must be >= 1")
+        if not self.latency_buckets_s:
+            raise ValueError("latency_buckets_s must name at least one bucket edge")
+        edges = tuple(float(e) for e in self.latency_buckets_s)
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("latency_buckets_s must be strictly increasing")
+        object.__setattr__(self, "latency_buckets_s", edges)
+
+
+@dataclass(frozen=True)
 class ServeConfig:
     """Parameters of the product-serving layer (:mod:`repro.serve`).
 
@@ -385,4 +430,5 @@ DEFAULT_SEA_SURFACE = SeaSurfaceConfig()
 DEFAULT_L3_GRID = L3GridConfig()
 DEFAULT_ROUTER = RouterConfig()
 DEFAULT_INGEST = IngestConfig()
+DEFAULT_OBS = ObsConfig()
 DEFAULT_SERVE = ServeConfig()

@@ -38,6 +38,7 @@ test suite — parallel execution never changes the answer, only the time.
 from __future__ import annotations
 
 import pickle
+import time
 import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -47,6 +48,7 @@ from typing import Callable, Sequence, TypeVar
 import numpy as np
 
 from repro.distributed.shm import ArrayDescriptor, SharedArrayStore, attach_view, dumps_shared
+from repro.obs.core import Obs, default_obs
 from repro.utils.timing import Stopwatch, TimingRecord
 
 T = TypeVar("T")
@@ -123,6 +125,13 @@ class MapReduceEngine:
     shm_min_bytes:
         Arrays smaller than this are pickled by value even with ``use_shm``
         (descriptor overhead beats copying only past a threshold).
+    obs:
+        Telemetry handle; ``None`` resolves the process default.  Jobs emit
+        ``mapreduce.load``/``map``/``reduce`` spans plus one
+        ``mapreduce.task`` span per partition (pool workers measure
+        locally and the driver merges the compact results), and feed the
+        ``mapreduce_*`` counters: jobs, pool spawns, shm publish/attach
+        bytes.
 
     The engine keeps its worker pool alive between jobs; call :meth:`close`
     (or use the engine as a context manager) to release the workers.  A
@@ -136,6 +145,7 @@ class MapReduceEngine:
         max_workers: int | None = None,
         use_shm: bool = True,
         shm_min_bytes: int | None = None,
+        obs: Obs | None = None,
     ) -> None:
         if n_partitions <= 0:
             raise ValueError("n_partitions must be positive")
@@ -148,6 +158,7 @@ class MapReduceEngine:
         self.max_workers = max_workers if max_workers is not None else n_partitions
         self.use_shm = bool(use_shm)
         self.shm_min_bytes = shm_min_bytes
+        self.obs = obs if obs is not None else default_obs()
         self._pool_box: list[Executor] = []
         self._pool_workers = 0
         self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool_box)
@@ -170,6 +181,11 @@ class MapReduceEngine:
             pool = ProcessPoolExecutor(max_workers=n_workers)
         self._pool_box.append(pool)
         self._pool_workers = n_workers
+        # Every creation counts: the first spawn, a widening respawn, and a
+        # respawn after close()/BrokenProcessPool all show up in the series.
+        self.obs.counter(
+            "mapreduce_pool_spawns_total", executor=self.executor
+        ).inc()
         return pool
 
     def _shutdown(self) -> None:
@@ -190,6 +206,17 @@ class MapReduceEngine:
 
     # -- execution -------------------------------------------------------------
 
+    def _merge_task_spans(self, results: list[tuple[R, float]]) -> list[R]:
+        """Unwrap ``(value, seconds)`` pairs, recording one span per task."""
+        tracer = self.obs.tracer
+        out: list[R] = []
+        for index, (value, elapsed) in enumerate(results):
+            tracer.record(
+                "mapreduce.task", elapsed, index=index, executor=self.executor
+            )
+            out.append(value)
+        return out
+
     def _run_tasks(self, tasks: list[Callable[[], R]]) -> list[R]:
         """Run ready-made thunks on the configured executor.
 
@@ -197,23 +224,42 @@ class MapReduceEngine:
         even dispatching to) a pool for one task only adds latency, and the
         campaign/serve layers rely on this to keep single-item fan-outs
         serial.
+
+        Inline tasks get real nested spans (they share the driver's trace
+        context).  Pool tasks cannot — threads don't inherit the span
+        contextvar and processes can't pickle it — so they run wrapped in
+        :class:`_TimedTask`, measure themselves locally, and come back as
+        compact ``(value, seconds)`` pairs the driver merges into synthetic
+        ``mapreduce.task`` spans.
         """
+        obs = self.obs
         if self.executor == "serial" or len(tasks) <= 1:
-            return [task() for task in tasks]
+            if not obs.tracer.enabled:
+                return [task() for task in tasks]
+            out = []
+            for index, task in enumerate(tasks):
+                with obs.span("mapreduce.task", index=index, executor="inline"):
+                    out.append(task())
+            return out
         n_workers = min(self.max_workers, len(tasks))
+        timed = obs.tracer.enabled
+        jobs: list[Callable] = [_TimedTask(t) for t in tasks] if timed else list(tasks)
         if self.executor == "thread":
             pool = self._pool(n_workers)
-            return list(pool.map(lambda f: f(), tasks))
+            results = list(pool.map(lambda f: f(), jobs))
+            return self._merge_task_spans(results) if timed else results
         pool = self._pool(n_workers)
         store = SharedArrayStore() if self.use_shm else None
         try:
             if store is None:
-                payloads = [pickle.dumps(t, protocol=pickle.HIGHEST_PROTOCOL) for t in tasks]
+                payloads = [pickle.dumps(t, protocol=pickle.HIGHEST_PROTOCOL) for t in jobs]
             else:
                 kwargs = {} if self.shm_min_bytes is None else {"min_bytes": self.shm_min_bytes}
-                payloads = [dumps_shared(t, store, **kwargs) for t in tasks]
+                payloads = [dumps_shared(t, store, **kwargs) for t in jobs]
+                self._count_shm(store, len(jobs))
             futures = [pool.submit(_call_pickled, payload) for payload in payloads]
-            return [f.result() for f in futures]
+            results = [f.result() for f in futures]
+            return self._merge_task_spans(results) if timed else results
         except BrokenProcessPool:
             # A worker died (OOM, signal): the pool is unusable.  Drop it so
             # the next job gets a fresh one, and let the caller see the error.
@@ -224,6 +270,18 @@ class MapReduceEngine:
             # exception already fired) — unlink them now, crash or not.
             if store is not None:
                 store.close()
+
+    def _count_shm(self, store: SharedArrayStore, n_attachers: int) -> None:
+        """Account one job's shared-memory traffic: published once, attached
+        (as views — no copies; the driver-side estimate assumes every task
+        touches every segment) by each worker task."""
+        published = store.nbytes
+        if not published:
+            return
+        self.obs.counter("mapreduce_shm_published_bytes_total").inc(published)
+        self.obs.counter("mapreduce_shm_attach_bytes_total").inc(
+            published * n_attachers
+        )
 
     def _map_stage(self, tasks: list[Callable[[], R]], timing: TimingRecord) -> list[R]:
         sw = Stopwatch().start()
@@ -251,10 +309,13 @@ class MapReduceEngine:
         """
         width = self.n_partitions if n_partitions is None else n_partitions
         timing = TimingRecord()
+        obs = self.obs
+        obs.counter("mapreduce_jobs_total", executor=self.executor).inc()
 
-        sw = Stopwatch().start()
-        items = list(load())
-        timing.add("load", sw.stop())
+        with obs.span("mapreduce.load"):
+            sw = Stopwatch().start()
+            items = list(load())
+            timing.add("load", sw.stop())
 
         parts = partition_indices(len(items), width)
         partitions = [[items[i] for i in part] for part in parts]
@@ -263,11 +324,13 @@ class MapReduceEngine:
             tasks = [_PartitionTask(map_fn, partition) for partition in partitions]
         else:
             tasks = [(lambda p=partition: map_fn(p)) for partition in partitions]
-        mapped = self._map_stage(tasks, timing)
+        with obs.span("mapreduce.map", n_partitions=width, executor=self.executor):
+            mapped = self._map_stage(tasks, timing)
 
-        sw = Stopwatch().start()
-        value = reduce_fn(list(mapped))
-        timing.add("reduce", sw.stop())
+        with obs.span("mapreduce.reduce"):
+            sw = Stopwatch().start()
+            value = reduce_fn(list(mapped))
+            timing.add("reduce", sw.stop())
 
         return MapReduceResult(
             value=value,
@@ -299,6 +362,8 @@ class MapReduceEngine:
         n_items = next(iter(lengths.values())) if lengths else 0
         width = self.n_partitions if n_partitions is None else n_partitions
 
+        obs = self.obs
+        obs.counter("mapreduce_jobs_total", executor=self.executor).inc()
         timing = TimingRecord()
         sw = Stopwatch().start()
         parts = partition_indices(n_items, width)
@@ -312,7 +377,10 @@ class MapReduceEngine:
             and any(np.asarray(a).nbytes for a in arrays.values())
         )
         if shared:
-            mapped = self._map_arrays_shared(arrays, map_fn, parts, timing)
+            with obs.span(
+                "mapreduce.map", n_partitions=width, executor=self.executor, shm=True
+            ):
+                mapped = self._map_arrays_shared(arrays, map_fn, parts, timing)
         else:
             slices = []
             for part in parts:
@@ -325,11 +393,15 @@ class MapReduceEngine:
                 tasks = [_PartitionTask(map_fn, chunk) for chunk in slices]
             else:
                 tasks = [(lambda c=chunk: map_fn(c)) for chunk in slices]
-            mapped = self._map_stage(tasks, timing)
+            with obs.span(
+                "mapreduce.map", n_partitions=width, executor=self.executor
+            ):
+                mapped = self._map_stage(tasks, timing)
 
-        sw = Stopwatch().start()
-        value = reduce_fn(list(mapped))
-        timing.add("reduce", sw.stop())
+        with obs.span("mapreduce.reduce"):
+            sw = Stopwatch().start()
+            value = reduce_fn(list(mapped))
+            timing.add("reduce", sw.stop())
 
         return MapReduceResult(
             value=value,
@@ -347,22 +419,26 @@ class MapReduceEngine:
     ) -> list[R]:
         """Publish-once shared-memory path for :meth:`map_arrays`."""
         contiguous = {name: np.ascontiguousarray(a) for name, a in arrays.items()}
+        timed = self.obs.tracer.enabled
         sw = Stopwatch().start()
         try:
             with SharedArrayStore() as store:
                 descriptors = store.publish(contiguous)
-                tasks: list[Callable[[], R]] = []
+                tasks: list[Callable] = []
                 for part in parts:
                     lo = int(part[0]) if part.size else 0
                     hi = int(part[-1]) + 1 if part.size else 0
-                    tasks.append(_ShmSliceTask(map_fn, descriptors, lo, hi))
+                    task: Callable = _ShmSliceTask(map_fn, descriptors, lo, hi)
+                    tasks.append(_TimedTask(task) if timed else task)
+                self._count_shm(store, len(tasks))
                 pool = self._pool(min(self.max_workers, len(tasks)))
                 try:
                     futures = [
                         pool.submit(_call_pickled, pickle.dumps(t, protocol=pickle.HIGHEST_PROTOCOL))
                         for t in tasks
                     ]
-                    return [f.result() for f in futures]
+                    results = [f.result() for f in futures]
+                    return self._merge_task_spans(results) if timed else results
                 except BrokenProcessPool:
                     self._shutdown()
                     raise
@@ -379,6 +455,24 @@ def _call_pickled(payload: bytes):
     read-only views here.
     """
     return pickle.loads(payload)()
+
+
+class _TimedTask:
+    """Picklable wrapper returning ``(value, elapsed_seconds)``.
+
+    The worker half of pool-task telemetry: pool workers can't reach the
+    driver's tracer (threads don't inherit the span contextvar; processes
+    can't pickle it), so each task times itself with ``perf_counter`` and
+    the driver merges the pair into a synthetic ``mapreduce.task`` span.
+    """
+
+    def __init__(self, task: Callable) -> None:
+        self.task = task
+
+    def __call__(self):
+        start = time.perf_counter()
+        value = self.task()
+        return value, time.perf_counter() - start
 
 
 class _PartitionTask:

@@ -179,6 +179,11 @@ class SharedArrayStore:
     def segment_names(self) -> tuple[str, ...]:
         return tuple(segment.name for segment in self._segments)
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held across this store's live segments."""
+        return sum(segment.size for segment in self._segments)
+
     def close(self) -> None:
         """Unlink every segment (idempotent; also runs via the finalizer)."""
         self._finalizer()  # weakref.finalize is call-once: close + detach

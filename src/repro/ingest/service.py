@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.config import DEFAULT_INGEST, IngestConfig
 from repro.kernels import resolve_backend
+from repro.obs.core import Obs, default_obs
 from repro.l3.merge import MosaicAccumulator
 from repro.l3.processor import Level3Processor
 from repro.l3.product import Level3Grid
@@ -109,6 +110,7 @@ class IngestService:
         gridder: Callable[[Any], Level3Grid] | None = None,
         on_rebuild: Callable[["IngestService"], None] | None = None,
         backend: str | None = None,
+        obs: Obs | None = None,
     ) -> None:
         if handle.products_dir is None:
             raise ValueError("the serve handle has no products directory")
@@ -117,6 +119,7 @@ class IngestService:
         self.on_rebuild = on_rebuild
         self._gridder = gridder
         self.backend = resolve_backend(backend if backend is not None else handle.backend)
+        self.obs = obs if obs is not None else getattr(handle, "obs", None) or default_obs()
 
         #: Stable catalog key of the live mosaic (constant across ingests, so
         #: untouched cached tiles stay addressable).
@@ -143,6 +146,10 @@ class IngestService:
         )
         self._live_loader().install(self.key, pyramid, self.builder.revisions)
         self.n_ingested = 0
+        #: The most recent :class:`IngestReport` (``None`` before any ingest);
+        #: the health dashboard exporter reads it.
+        self.last_report: IngestReport | None = None
+        self.obs.gauge("ingest_fleet_size").set(self.accumulator.n_granules)
 
     # -- the live serving seam ----------------------------------------------
 
@@ -190,7 +197,22 @@ class IngestService:
         ``gridder`` hook.  Serving continues throughout: during the rebuild
         window responses carry ``stale=True``; afterwards only the rebuilt
         tiles re-decode, everything else stays cached.
+
+        Telemetry: the whole call runs inside an ``ingest.ingest`` span with
+        ``ingest.grid`` / ``ingest.merge`` / ``ingest.rebuild`` children,
+        and feeds the ``ingest_*_total`` counters plus the fleet-size gauge.
         """
+        with self.obs.span("ingest.ingest") as span:
+            report = self._ingest(granule, span)
+        self.last_report = report
+        self.obs.counter("ingest_granules_total").inc()
+        self.obs.counter("ingest_dirty_cells_total").inc(report.n_dirty_cells)
+        self.obs.counter("ingest_rebuilt_tiles_total").inc(len(report.rebuilt_tiles))
+        self.obs.counter("ingest_invalidated_tiles_total").inc(report.n_invalidated)
+        self.obs.gauge("ingest_fleet_size").set(report.n_granules)
+        return report
+
+    def _ingest(self, granule: Any, span: Any) -> IngestReport:
         sw = Stopwatch().start()
         if not isinstance(granule, Level3Grid):
             if self._gridder is None:
@@ -199,10 +221,14 @@ class IngestService:
                     "attach ingest via CampaignRunner.serve so specs can be "
                     "gridded through the cached pipeline stages"
                 )
-            granule = self._gridder(granule)
+            with self.obs.span("ingest.grid"):
+                granule = self._gridder(granule)
 
         granule_id = str(granule.metadata.get("granule_id", "")).strip()
-        dirty = self.accumulator.add(granule)
+        span.set(granule_id=granule_id)
+        with self.obs.span("ingest.merge", granule_id=granule_id) as merge_span:
+            dirty = self.accumulator.add(granule)
+            merge_span.set(n_dirty_cells=int(dirty.size))
         if self._verify_grids is not None:
             self._verify_grids[granule_id] = granule
 
@@ -215,7 +241,9 @@ class IngestService:
             if self.config.verify_merge:
                 self._verify(snapshot)
             snapshot.metadata["fingerprint"] = self.key
-            rebuilt = self.builder.update(snapshot, dirty)
+            with self.obs.span("ingest.rebuild", granule_id=granule_id) as rb_span:
+                rebuilt = self.builder.update(snapshot, dirty)
+                rb_span.set(n_rebuilt_tiles=len(rebuilt))
 
             written = [str(self._publish_mosaic(snapshot))]
             if self.config.write_granule_products and granule_id:

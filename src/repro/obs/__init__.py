@@ -1,0 +1,70 @@
+"""``repro.obs`` — unified telemetry: metrics, spans, exporters.
+
+The one instrumentation layer across campaign → serve → ingest:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — process-local counters,
+  gauges and fixed-bucket histograms keyed by (name, labels), so metrics
+  outlive the components that feed them.
+* :class:`~repro.obs.trace.Tracer` — nested spans (trace/parent ids,
+  pluggable clock) in a bounded ring buffer.
+* :class:`~repro.obs.core.Obs` — the facade bundling both, resolved from
+  :func:`~repro.obs.core.default_obs` wherever a component is built
+  without an explicit handle; ``ObsConfig(enabled=False)`` selects no-op
+  null twins.
+* :mod:`~repro.obs.export` — JSON health dashboard (versioned schema,
+  atomic writes), Prometheus text exposition, Chrome trace JSON.
+"""
+
+from repro.config import DEFAULT_OBS, ObsConfig
+from repro.obs.core import Obs, default_obs, set_default_obs
+from repro.obs.export import (
+    DASHBOARD_SCHEMA_VERSION,
+    build_health_dashboard,
+    chrome_trace,
+    dashboard_schema,
+    prometheus_text,
+    validate_dashboard,
+    validate_json,
+    write_chrome_trace,
+    write_health_dashboard,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    NullRegistry,
+)
+from repro.obs.trace import NullSpan, NullTracer, Span, Tracer
+
+__all__ = [
+    "DASHBOARD_SCHEMA_VERSION",
+    "DEFAULT_OBS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+    "NullSpan",
+    "NullTracer",
+    "Obs",
+    "ObsConfig",
+    "Span",
+    "Tracer",
+    "build_health_dashboard",
+    "chrome_trace",
+    "dashboard_schema",
+    "default_obs",
+    "prometheus_text",
+    "set_default_obs",
+    "validate_dashboard",
+    "validate_json",
+    "write_chrome_trace",
+    "write_health_dashboard",
+]

@@ -1,0 +1,299 @@
+"""Exporters: health dashboard JSON, Prometheus text, Chrome trace JSON.
+
+Three ways telemetry leaves the process:
+
+* :func:`build_health_dashboard` / :func:`write_health_dashboard` — the
+  versioned-schema JSON document the ROADMAP's degraded-operation item
+  asks for: campaign summary, per-shard serve health (the router's
+  ``health()`` payload embedded *unchanged*), ingest freshness, and a flat
+  metrics dump.  Writes are atomic (tmp file + ``os.replace``) so a
+  dashboard poller never reads a torn document.
+* :func:`prometheus_text` — the classic ``text/plain`` exposition format:
+  ``# TYPE`` lines, labelled samples, cumulative ``le`` histogram buckets
+  with ``_sum``/``_count``.
+* :func:`chrome_trace` — Chrome ``trace_event`` JSON (``"X"`` complete
+  events, microsecond timestamps); load the file in Perfetto or
+  ``chrome://tracing`` and every span renders on its trace's track.
+
+The dashboard schema is committed at ``dashboard.schema.json`` next to
+this module and enforced by :func:`validate_dashboard`, a dependency-free
+validator for the JSON-Schema subset the schema uses (``type``,
+``required``, ``properties``, ``items``, ``additionalProperties``,
+``enum``) — the container has no ``jsonschema`` package, and the document
+is small enough that a full validator buys nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.metrics import Histogram, MetricsRegistry, NullRegistry
+from repro.obs.trace import Span
+
+__all__ = [
+    "DASHBOARD_SCHEMA_VERSION",
+    "build_health_dashboard",
+    "chrome_trace",
+    "dashboard_schema",
+    "prometheus_text",
+    "validate_dashboard",
+    "validate_json",
+    "write_chrome_trace",
+    "write_health_dashboard",
+]
+
+#: Version stamped into (and required from) every dashboard document.
+DASHBOARD_SCHEMA_VERSION = 1
+
+_SCHEMA_PATH = Path(__file__).with_name("dashboard.schema.json")
+
+
+def dashboard_schema() -> dict[str, Any]:
+    """The committed dashboard schema (parsed fresh on every call)."""
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+# ---------------------------------------------------------------------------
+# Mini JSON-Schema validator (subset; the container has no jsonschema)
+# ---------------------------------------------------------------------------
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _validate(value: Any, schema: Mapping[str, Any], path: str, errors: list[str]) -> None:
+    allowed = schema.get("type")
+    if allowed is not None:
+        types = [allowed] if isinstance(allowed, str) else list(allowed)
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            errors.append(f"{path}: expected type {'|'.join(types)}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, sub in properties.items():
+            if name in value:
+                _validate(value[name], sub, f"{path}.{name}", errors)
+        additional = schema.get("additionalProperties", True)
+        for name in value:
+            if name in properties:
+                continue
+            if additional is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+            elif isinstance(additional, Mapping):
+                _validate(value[name], additional, f"{path}.{name}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{index}]", errors)
+
+
+def validate_json(value: Any, schema: Mapping[str, Any]) -> None:
+    """Validate ``value`` against a schema (subset); raise with every error."""
+    errors: list[str] = []
+    _validate(value, schema, "$", errors)
+    if errors:
+        raise ValueError(
+            "document does not match schema:\n  " + "\n  ".join(errors)
+        )
+
+
+def validate_dashboard(doc: Mapping[str, Any]) -> None:
+    """Validate one dashboard document against the committed schema."""
+    validate_json(doc, dashboard_schema())
+    if doc.get("schema_version") != DASHBOARD_SCHEMA_VERSION:
+        raise ValueError(
+            f"dashboard schema_version {doc.get('schema_version')!r} != "
+            f"{DASHBOARD_SCHEMA_VERSION}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Health dashboard
+# ---------------------------------------------------------------------------
+
+
+def _campaign_summary(result: Any) -> dict[str, Any]:
+    """Flatten a ``CampaignResult`` into the dashboard's campaign block."""
+    timing = result.timing.as_dict()
+    return {
+        "fingerprint": str(result.fingerprint),
+        "n_granules": int(result.n_granules),
+        "timing_s": {stage: float(seconds) for stage, seconds in timing.items()},
+        "total_s": float(result.timing.total()),
+        "cache": {
+            "hits": len(result.cache_hits),
+            "misses": len(result.cache_misses),
+            "stage_hits": len(result.stage_hits),
+            "stage_misses": len(result.stage_misses),
+        },
+    }
+
+
+def _ingest_summary(service: Any) -> dict[str, Any]:
+    """Flatten an ``IngestService`` into the dashboard's freshness block."""
+    report = getattr(service, "last_report", None)
+    return {
+        "key": str(service.key),
+        "n_ingested": int(service.n_ingested),
+        "n_granules": int(service.accumulator.n_granules),
+        "last_report": None
+        if report is None
+        else {
+            "granule_id": report.granule_id,
+            "n_dirty_cells": int(report.n_dirty_cells),
+            "n_rebuilt_tiles": len(report.rebuilt_tiles),
+            "n_invalidated": int(report.n_invalidated),
+            "seconds": float(report.seconds),
+        },
+    }
+
+
+def build_health_dashboard(
+    campaign: Any = None,
+    router: Any = None,
+    ingest: Any = None,
+    registry: MetricsRegistry | NullRegistry | None = None,
+    generated_at: float | None = None,
+) -> dict[str, Any]:
+    """Assemble the dashboard document from whatever tiers exist.
+
+    Every section is optional — a campaign-only run, a serve-only process
+    and a full live stack all produce valid documents.  The router's
+    ``health()`` payload is embedded verbatim under ``serve.health`` (the
+    round-trip contract: readers see exactly what the router reports).
+    """
+    return {
+        "schema_version": DASHBOARD_SCHEMA_VERSION,
+        "generated_at": float(generated_at) if generated_at is not None else time.time(),
+        "campaign": _campaign_summary(campaign) if campaign is not None else None,
+        "serve": {"health": router.health()} if router is not None else None,
+        "ingest": _ingest_summary(ingest) if ingest is not None else None,
+        "metrics": registry.as_dict() if registry is not None else {},
+    }
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def write_health_dashboard(path: str | Path, doc: Mapping[str, Any]) -> Path:
+    """Validate and atomically write one dashboard document; returns the path."""
+    validate_dashboard(doc)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _render_labels(labels: Sequence[tuple[str, str]], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry | NullRegistry) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for metric in registry.collect():
+        if metric.name not in typed:
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            typed.add(metric.name)
+        if isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for edge, count in zip(metric.edges, cumulative):
+                labels = _render_labels(metric.labels, f'le="{edge}"')
+                lines.append(f"{metric.name}_bucket{labels} {int(count)}")
+            labels = _render_labels(metric.labels, 'le="+Inf"')
+            lines.append(f"{metric.name}_bucket{labels} {int(cumulative[-1])}")
+            base = _render_labels(metric.labels)
+            lines.append(f"{metric.name}_sum{base} {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count{base} {metric.count}")
+        else:
+            labels = _render_labels(metric.labels)
+            lines.append(f"{metric.name}{labels} {_format_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event JSON (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace(spans: Iterable[Span], process_name: str = "repro") -> dict[str, Any]:
+    """Render finished spans as a Chrome ``trace_event`` document.
+
+    Each trace gets its own ``tid`` track; spans become ``"X"`` (complete)
+    events with microsecond timestamps and their attributes under
+    ``args``.  The result is ``json.dump``-able as-is.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    tids: dict[str, int] = {}
+    for span in spans:
+        if not span.finished:
+            continue
+        tid = tids.setdefault(span.trace_id, len(tids) + 1)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.trace_id,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **span.attributes,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path, spans: Iterable[Span], process_name: str = "repro"
+) -> Path:
+    """Atomically write a Chrome trace JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write(path, json.dumps(chrome_trace(spans, process_name)) + "\n")
+    return path

@@ -1,0 +1,397 @@
+"""The metrics registry: named counters, gauges and fixed-bucket histograms.
+
+One process-local :class:`MetricsRegistry` is the aggregation point for
+every tier's counters — the campaign fan-out, the query engines behind the
+router shards, the ingest service.  Three properties drive the design:
+
+* **Identity by (name, labels), not by holder.**  ``registry.counter(name,
+  **labels)`` returns the *same* :class:`Counter` object every time, so a
+  rebuilt query engine (quarantine re-route, loader swap) re-acquires the
+  counters its predecessor was feeding and the series continues — the
+  pre-obs ``QueryStats`` reset silently on every rebuild.
+* **No allocation on the hot path.**  Histograms pre-allocate their NumPy
+  bucket-count array at registration; ``observe`` is one ``searchsorted``
+  plus two scalar adds under the metric's lock.
+* **Real thread safety.**  The router's asyncio tasks, the engine's thread
+  executor and the map-reduce driver all hammer one registry; every mutate
+  takes a per-metric ``threading.Lock`` (an unsynchronized ``+=`` is *not*
+  atomic under the GIL).
+
+The null twins (:class:`NullCounter` & co., behind
+``ObsConfig(enabled=False)``) share the same surface and do nothing, so
+instrumented code never branches on whether telemetry is on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+]
+
+#: Default histogram bucket upper bounds (seconds); mirrors
+#: :class:`repro.config.ObsConfig.latency_buckets_s` without importing it so
+#: the module stays dependency-free for the timing shim.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+#: One registry key: (metric name, sorted (label, value) pairs).
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, seconds-of-work)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def inc(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ValueError("counters only go up; use a gauge for ups and downs")
+        with self._lock:
+            self._value += value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{dict(self.labels)}={self._value})"
+
+
+class Gauge:
+    """A value that goes both ways (queue depth, fleet size, freshness)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, value: float) -> None:
+        with self._lock:
+            self._value += value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{dict(self.labels)}={self._value})"
+
+
+class Histogram:
+    """Fixed-bucket distribution with Prometheus ``le`` semantics.
+
+    ``edges`` are the finite bucket upper bounds; an implicit ``+Inf``
+    bucket catches the overflow.  Bucket counts are a pre-allocated int64
+    array — ``observe`` allocates nothing: one ``searchsorted`` locates the
+    bucket (``side="left"`` puts a value equal to an edge *in* that edge's
+    ``le`` bucket) and two scalar adds maintain ``count``/``sum``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...] = (),
+        edges: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        finite = tuple(float(e) for e in edges)
+        if not finite:
+            raise ValueError("a histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(finite, finite[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.edges = finite
+        self._edges_array = np.asarray(finite, dtype=float)
+        self._counts = np.zeros(len(finite) + 1, dtype=np.int64)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = int(np.searchsorted(self._edges_array, value, side="left"))
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def value(self) -> float:
+        """The running mean — the scalar summary exports fall back to."""
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> np.ndarray:
+        """Per-bucket (non-cumulative) counts; last entry is the +Inf bucket."""
+        with self._lock:
+            return self._counts.copy()
+
+    def cumulative_counts(self) -> np.ndarray:
+        """Cumulative ``le`` counts, the Prometheus exposition shape."""
+        with self._lock:
+            return np.cumsum(self._counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}{dict(self.labels)} "
+            f"count={self._count} sum={self._sum})"
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric, keyed by (name, labels).
+
+    Re-requesting a metric returns the existing instance — the property
+    that lets counters outlive the components that increment them.  A name
+    registered as one kind cannot be re-registered as another.
+    """
+
+    enabled = True
+
+    def __init__(self, default_buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.default_buckets = tuple(float(e) for e in default_buckets)
+        self._metrics: dict[MetricKey, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, labels: Mapping[str, Any], **kwargs):
+        key: MetricKey = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, key[1], **kwargs)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is already registered as a "
+                    f"{metric.kind}, not a {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, edges: Sequence[float] | None = None, **labels: Any
+    ) -> Histogram:
+        chosen = self.default_buckets if edges is None else edges
+        return self._get_or_create(Histogram, name, labels, edges=chosen)
+
+    # -- introspection / export ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def collect(self) -> list[Counter | Gauge | Histogram]:
+        """Every registered metric, sorted by (name, labels)."""
+        with self._lock:
+            return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def find(self, name: str) -> list[Counter | Gauge | Histogram]:
+        """Every metric registered under one name (any label set)."""
+        with self._lock:
+            return [
+                self._metrics[key] for key in sorted(self._metrics) if key[0] == name
+            ]
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Scalar value of one metric; 0 when it was never registered."""
+        key: MetricKey = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+        return metric.value if metric is not None else 0.0
+
+    def total(self, name: str) -> float:
+        """Sum of one name's scalar values across every label set."""
+        return float(sum(metric.value for metric in self.find(name)))
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat ``name{label="v",...}`` -> scalar value map (JSON-friendly)."""
+        out: dict[str, float] = {}
+        for metric in self.collect():
+            if metric.labels:
+                rendered = ",".join(f'{k}="{v}"' for k, v in metric.labels)
+                out[f"{metric.name}{{{rendered}}}"] = metric.value
+            else:
+                out[metric.name] = metric.value
+        return out
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(self.collect())
+
+
+# ---------------------------------------------------------------------------
+# Null twins: same surface, no work, no state.
+# ---------------------------------------------------------------------------
+
+
+class NullCounter:
+    kind = "counter"
+    name = ""
+    labels: tuple[tuple[str, str], ...] = ()
+    value = 0.0
+
+    def inc(self, value: float = 1.0) -> None:
+        pass
+
+
+class NullGauge:
+    kind = "gauge"
+    name = ""
+    labels: tuple[tuple[str, str], ...] = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, value: float) -> None:
+        pass
+
+
+class NullHistogram:
+    kind = "histogram"
+    name = ""
+    labels: tuple[tuple[str, str], ...] = ()
+    edges: tuple[float, ...] = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def bucket_counts(self) -> np.ndarray:
+        return np.zeros(1, dtype=np.int64)
+
+    def cumulative_counts(self) -> np.ndarray:
+        return np.zeros(1, dtype=np.int64)
+
+
+class NullRegistry:
+    """The disabled registry: every lookup yields a shared no-op metric."""
+
+    enabled = False
+    default_buckets: tuple[float, ...] = DEFAULT_BUCKETS
+
+    _COUNTER = NullCounter()
+    _GAUGE = NullGauge()
+    _HISTOGRAM = NullHistogram()
+
+    def counter(self, name: str, **labels: Any) -> NullCounter:
+        return self._COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> NullGauge:
+        return self._GAUGE
+
+    def histogram(
+        self, name: str, edges: Sequence[float] | None = None, **labels: Any
+    ) -> NullHistogram:
+        return self._HISTOGRAM
+
+    def __len__(self) -> int:
+        return 0
+
+    def collect(self) -> list:
+        return []
+
+    def find(self, name: str) -> list:
+        return []
+
+    def value(self, name: str, **labels: Any) -> float:
+        return 0.0
+
+    def total(self, name: str) -> float:
+        return 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {}
+
+    def __iter__(self) -> Iterator:
+        return iter(())

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
+from repro.obs.core import Obs, default_obs
 from repro.pipeline.artifact import Artifact
 from repro.pipeline.cache import MISS, StageCache
 from repro.pipeline.graph import StageGraph
@@ -93,6 +94,10 @@ class GraphRunner:
         :class:`~repro.pipeline.stage.StageContext` (``serial`` reproduces
         the reference behaviour; ``thread``/``process`` only change time,
         never values).
+    obs:
+        Telemetry handle; ``None`` resolves the process default.  Every
+        executed stage emits a ``pipeline.stage`` span (fingerprint, cache
+        outcome) and feeds the ``pipeline_stage_*`` counters.
     """
 
     def __init__(
@@ -101,6 +106,7 @@ class GraphRunner:
         cache: StageCache | None = None,
         executor: str = "serial",
         n_workers: int = 1,
+        obs: Obs | None = None,
     ) -> None:
         if graph is None:
             from repro.pipeline.stages import default_graph
@@ -110,6 +116,7 @@ class GraphRunner:
         self.cache = cache
         self.executor = executor
         self.n_workers = n_workers
+        self.obs = obs if obs is not None else default_obs()
 
     # -- fingerprints without execution ---------------------------------------
 
@@ -211,14 +218,26 @@ class GraphRunner:
             if outputs is None:
                 for name in stage.inputs:
                     materialize(name)
-                sw = Stopwatch().start()
-                outputs = stage.fn(
-                    context, **{name: artifacts[name].value for name in stage.inputs}
-                )
-                seconds = sw.stop()
+                with self.obs.span(
+                    "pipeline.stage", stage=stage.name, fingerprint=fp, cached=False
+                ):
+                    sw = Stopwatch().start()
+                    outputs = stage.fn(
+                        context,
+                        **{name: artifacts[name].value for name in stage.inputs},
+                    )
+                    seconds = sw.stop()
                 self._validate_outputs(stage.name, stage.outputs, outputs)
                 if stage.cacheable and self.cache is not None:
                     self.cache.store_stage(stage.name, fp, outputs, seconds)
+            outcome = "hit" if cached else "miss"
+            self.obs.counter(
+                "pipeline_stage_runs_total", stage=stage.name, cache=outcome
+            ).inc()
+            if not cached:
+                self.obs.histogram("pipeline_stage_seconds", stage=stage.name).observe(
+                    seconds
+                )
 
             for name in stage.outputs:
                 artifacts[name] = Artifact(

@@ -71,6 +71,21 @@ class VirtualClock:
             return None
         return max(min(pending) - self._now, 0.0)
 
+    def tick(self, seconds: float) -> float:
+        """Advance time *synchronously* without waking sleepers.
+
+        Models synchronous service time inside otherwise-async tests: a
+        handler that ``tick(0.004)``s mid-request makes every ``now()``
+        delta — span durations, latency arithmetic — exactly 0.004 with no
+        event-loop round trip.  Sleepers whose deadlines pass stay parked
+        until the next :meth:`advance`/:meth:`advance_to_next` (which wake
+        them immediately, their deadlines being already due).
+        """
+        if seconds < 0:
+            raise ValueError("cannot tick a clock backwards")
+        self._now += float(seconds)
+        return self._now
+
     async def sleep(self, seconds: float) -> None:
         if seconds <= 0:
             await asyncio.sleep(0)

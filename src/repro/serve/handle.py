@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.config import DEFAULT_SERVE, IngestConfig, RouterConfig, ServeConfig
+from repro.obs.core import Obs, default_obs
 from repro.serve.catalog import ProductCatalog
 from repro.serve.live import LivePyramidLoader
 from repro.serve.query import QueryEngine, TileKey, TileRequest, TileResponse
@@ -72,12 +73,16 @@ class ServeHandle:
         gridder: Callable[[Any], Any] | None = None,
         seed_l3: Any | None = None,
         backend: str | None = None,
+        obs: Obs | None = None,
     ) -> None:
         self.serve = serve
         self.products_dir = Path(products_dir) if products_dir is not None else None
         self.n_workers = n_workers
         self.executor = executor
         self.backend = backend
+        #: One telemetry handle for the whole stack the builder constructs —
+        #: engine, router shards, and ingest all share it.
+        self.obs = obs if obs is not None else default_obs()
         self._catalog = catalog
         self._gridder = gridder
         self._seed_l3 = seed_l3
@@ -116,7 +121,7 @@ class ServeHandle:
             loader_factory=lambda index: LivePyramidLoader(serve, backend=self.backend),
             n_workers=self.n_workers,
             executor=self.executor,
-            **router_kwargs,
+            **{"obs": self.obs, **router_kwargs},
         )
         return self
 
@@ -144,7 +149,7 @@ class ServeHandle:
             seed_l3=self._seed_l3,
             config=config if config is not None else self.serve.ingest,
             gridder=self._gridder,
-            **ingest_kwargs,
+            **{"obs": self.obs, **ingest_kwargs},
         )
         return self
 
@@ -165,6 +170,7 @@ class ServeHandle:
                 serve=self.serve,
                 n_workers=self.n_workers,
                 executor=self.executor,
+                obs=self.obs,
             )
         return self._engine
 

@@ -22,16 +22,18 @@ decode, which is the whole point of the cache.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.config import DEFAULT_SERVE, ServeConfig
 from repro.distributed.mapreduce import EXECUTORS, MapReduceEngine
 from repro.l3.writer import read_level3
+from repro.obs.core import Obs, default_obs
 from repro.serve.catalog import CatalogEntry, ProductCatalog
 from repro.serve.pyramid import (
     TilePyramid,
@@ -44,6 +46,10 @@ from repro.utils.timing import Stopwatch
 
 #: Cache key of one tile: (product key, variable, zoom, row, col).
 TileKey = tuple[str, str, int, int, int]
+
+#: Auto-assigned ``engine=eN`` metric labels for engines constructed without
+#: explicit ``obs_labels`` (keeps independent engines' counters separate).
+_ENGINE_IDS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -139,7 +145,13 @@ class TileResponse:
 
 @dataclass
 class QueryStats:
-    """Cumulative engine counters (across every batch served)."""
+    """Cumulative engine counters (across every batch served).
+
+    A plain *snapshot* dataclass: :attr:`QueryEngine.stats` assembles one
+    from the registry-backed ``serve_*`` counters on every access, so the
+    numbers survive engine/loader reconstruction (the counters live in the
+    obs registry, keyed by name and labels, not on the engine).
+    """
 
     requests: int = 0
     batches: int = 0
@@ -164,18 +176,32 @@ class ProductLoader:
     Subclass and override :meth:`decode` to serve from other storage.
     """
 
-    def __init__(self, serve: ServeConfig = DEFAULT_SERVE, backend: str | None = None) -> None:
+    def __init__(
+        self,
+        serve: ServeConfig = DEFAULT_SERVE,
+        backend: str | None = None,
+        obs: Obs | None = None,
+    ) -> None:
         self.serve = serve
         self.backend = backend
         self.n_loads = 0
         self.loaded: list[str] = []
         self._lock = threading.Lock()
+        self._obs = obs
+
+    @property
+    def obs(self) -> Obs:
+        """The telemetry handle (the owning engine wires its own in)."""
+        return self._obs if self._obs is not None else default_obs()
 
     def __getstate__(self) -> dict[str, Any]:
         # Locks cannot cross process boundaries; worker-side copies get a
         # fresh one (their counters live and die in the worker anyway).
+        # The obs handle stays behind too — its tracer holds a contextvar —
+        # so worker-side fetches fall back to the worker's default obs.
         state = self.__dict__.copy()
         del state["_lock"]
+        state["_obs"] = None
         return state
 
     def __setstate__(self, state: dict[str, Any]) -> None:
@@ -205,14 +231,21 @@ class ProductLoader:
         products, overview zooms, live in-memory products) decodes the full
         pyramid as before.
         """
-        tiles = self._window_tiles(entry, needed)
-        if tiles is not None:
-            with self._lock:
-                self.n_loads += 1
-                self.loaded.append(entry.key)
-            return tiles
-        pyramid = self.load(entry)
-        return {key: pyramid.tile(key[1], key[2], key[3], key[4]) for key in needed}
+        with self.obs.span(
+            "loader.fetch", product=entry.key, n_tiles=len(needed)
+        ) as span:
+            tiles = self._window_tiles(entry, needed)
+            if tiles is not None:
+                with self._lock:
+                    self.n_loads += 1
+                    self.loaded.append(entry.key)
+                span.set(windowed=True)
+                return tiles
+            pyramid = self.load(entry)
+            span.set(windowed=False)
+            return {
+                key: pyramid.tile(key[1], key[2], key[3], key[4]) for key in needed
+            }
 
     def _window_tiles(
         self, entry: CatalogEntry, needed: Sequence[TileKey]
@@ -388,7 +421,15 @@ def plan_request(entry: CatalogEntry, request: TileRequest, serve: ServeConfig) 
 
 
 class QueryEngine:
-    """Serve tile requests over a :class:`~repro.serve.catalog.ProductCatalog`."""
+    """Serve tile requests over a :class:`~repro.serve.catalog.ProductCatalog`.
+
+    Telemetry: every batch runs inside an ``engine.query_batch`` span and
+    feeds the registry-backed ``serve_*`` counters (labelled with
+    ``obs_labels``, e.g. the owning router shard).  Because the counters
+    live in the obs registry rather than on the engine, :attr:`stats`
+    survives engine reconstruction — a quarantine re-route that rebuilds a
+    shard's engine keeps accumulating into the same counters.
+    """
 
     def __init__(
         self,
@@ -397,6 +438,8 @@ class QueryEngine:
         serve: ServeConfig = DEFAULT_SERVE,
         n_workers: int = 1,
         executor: str = "serial",
+        obs: Obs | None = None,
+        obs_labels: Mapping[str, str] | None = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -421,7 +464,26 @@ class QueryEngine:
         self.n_workers = n_workers
         self.executor = executor
         self.tile_cache = _LRUCache(serve.tile_cache_size)
-        self.stats = QueryStats()
+        self.obs = obs if obs is not None else default_obs()
+        if isinstance(self.loader, ProductLoader) and self.loader._obs is None:
+            self.loader._obs = self.obs
+        # Explicit obs_labels name a *shared* counter series (the router
+        # passes its shard index, so a rebuilt engine re-attaches to the
+        # same counters and stats survive quarantine re-routes).  Without
+        # them each engine gets a private series, so two engines on one
+        # process-default registry never double-count each other.
+        if obs_labels is None:
+            labels: dict[str, Any] = {"engine": f"e{next(_ENGINE_IDS)}"}
+        else:
+            labels = dict(obs_labels)
+        registry = self.obs.registry
+        self._c_requests = registry.counter("serve_requests_total", **labels)
+        self._c_batches = registry.counter("serve_batches_total", **labels)
+        self._c_tile_hits = registry.counter("serve_tile_hits_total", **labels)
+        self._c_tile_misses = registry.counter("serve_tile_misses_total", **labels)
+        self._c_loads = registry.counter("serve_loads_total", **labels)
+        self._c_seconds = registry.counter("serve_batch_seconds_total", **labels)
+        self._h_batch = registry.histogram("serve_batch_seconds", **labels)
         # One persistent fan-out engine for the engine's lifetime: the worker
         # pool spawns once, not once per batch.  Width adapts per batch via
         # the n_partitions override; single-product batches run inline.
@@ -429,6 +491,19 @@ class QueryEngine:
             n_partitions=n_workers,
             executor=executor if n_workers > 1 else "serial",
             max_workers=n_workers,
+            obs=self.obs,
+        )
+
+    @property
+    def stats(self) -> QueryStats:
+        """Snapshot of the registry-backed counters as a :class:`QueryStats`."""
+        return QueryStats(
+            requests=int(self._c_requests.value),
+            batches=int(self._c_batches.value),
+            tile_hits=int(self._c_tile_hits.value),
+            tile_misses=int(self._c_tile_misses.value),
+            loads=int(self._c_loads.value),
+            seconds=self._c_seconds.value,
         )
 
     def close(self) -> None:
@@ -472,6 +547,14 @@ class QueryEngine:
         per batch, however many requests need it — and independent products
         fan across the map-reduce engine.
         """
+        with self.obs.span(
+            "engine.query_batch", n_requests=len(requests)
+        ) as span:
+            return self._query_batch(requests, span)
+
+    def _query_batch(
+        self, requests: Sequence[TileRequest], span: Any
+    ) -> list[TileResponse]:
         sw = Stopwatch().start()
         plans = [self._plan(request) for request in requests]
 
@@ -504,7 +587,7 @@ class QueryEngine:
                 n_partitions=max(min(self.n_workers, len(work)), 1),
             )
             for _, tiles, n_loads in fetched.value:
-                self.stats.loads += n_loads
+                self._c_loads.inc(n_loads)
                 for key, tile in tiles.items():
                     # Tiles that crossed a process boundary unpickled as
                     # fresh writeable arrays; freeze so every cached/served
@@ -545,9 +628,14 @@ class QueryEngine:
                     stale=self.loader.is_stale(plan.entry.key),
                 )
             )
-            self.stats.tile_hits += len(plan.tile_keys) - n_computed
-            self.stats.tile_misses += n_computed
-        self.stats.requests += len(requests)
-        self.stats.batches += 1
-        self.stats.seconds += seconds
+            self._c_tile_hits.inc(len(plan.tile_keys) - n_computed)
+            self._c_tile_misses.inc(n_computed)
+        self._c_requests.inc(len(requests))
+        self._c_batches.inc()
+        self._c_seconds.inc(seconds)
+        self._h_batch.observe(seconds)
+        span.set(
+            n_cached=sum(r.n_cached for r in responses),
+            n_computed=sum(r.n_computed for r in responses),
+        )
         return responses

@@ -40,12 +40,14 @@ sleeps.
 from __future__ import annotations
 
 import asyncio
+import itertools
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Awaitable, Callable, Hashable, Sequence
 
 from repro.config import DEFAULT_SERVE, RouterConfig, ServeConfig
 from repro.l3.writer import Level3ProductError
+from repro.obs.core import Obs, default_obs
 from repro.serve.catalog import CatalogEntry, ProductCatalog
 from repro.serve.clock import MonotonicClock, VirtualClock
 from repro.serve.query import (
@@ -72,6 +74,10 @@ __all__ = [
 #: calls the shard engine synchronously on the event loop; tests inject
 #: virtual-clock implementations to model service time deterministically.
 ExecuteHook = Callable[["Shard", TileRequest], Awaitable[TileResponse]]
+
+#: Auto-assigned ``router=rN`` metric labels keeping independent routers'
+#: counter series separate on a shared (process-default) registry.
+_ROUTER_IDS = itertools.count(1)
 
 
 class RouterOverloadedError(RuntimeError):
@@ -114,7 +120,11 @@ class Shard:
 
 @dataclass
 class RouterStats:
-    """Cumulative router counters (the service-tier view, not the engine's)."""
+    """Cumulative router counters (the service-tier view, not the engine's).
+
+    A *snapshot* dataclass: :attr:`RequestRouter.stats` assembles one from
+    the registry-backed ``router_*_total`` counters on every access.
+    """
 
     requests: int = 0
     shed: int = 0
@@ -182,6 +192,7 @@ class RequestRouter:
         executor: str = "serial",
         clock: MonotonicClock | VirtualClock | None = None,
         execute: ExecuteHook | None = None,
+        obs: Obs | None = None,
     ) -> None:
         self.config = config if config is not None else serve.router
         if isinstance(catalog, ProductCatalog):
@@ -194,29 +205,85 @@ class RequestRouter:
         self.serve_config = serve
         self.clock = clock if clock is not None else MonotonicClock()
         self._execute: ExecuteHook = execute if execute is not None else self._engine_execute
+        self.obs = obs if obs is not None else default_obs()
+        self._labels = {"router": f"r{next(_ROUTER_IDS)}"}
+        self._loader_factory = loader_factory
+        self._n_workers = n_workers
+        self._executor = executor
         self.shards = tuple(
-            Shard(
-                index=index,
-                catalog=sub,
-                engine=QueryEngine(
-                    sub,
-                    loader=(
-                        loader_factory(index)
-                        if loader_factory is not None
-                        else ProductLoader(serve)
-                    ),
-                    serve=serve,
-                    n_workers=n_workers,
-                    executor=executor,
-                ),
-            )
+            Shard(index=index, catalog=sub, engine=self._build_engine(index, sub))
             for index, sub in enumerate(catalog.shards)
         )
-        self.stats = RouterStats()
+        registry = self.obs.registry
+        self._c_requests = registry.counter("router_requests_total", **self._labels)
+        self._c_shed = registry.counter("router_shed_total", **self._labels)
+        self._c_coalesced = registry.counter("router_coalesced_total", **self._labels)
+        self._c_executions = registry.counter("router_executions_total", **self._labels)
+        self._c_prefetch = registry.counter(
+            "router_prefetch_refreshes_total", **self._labels
+        )
+        self._c_errors = registry.counter("router_errors_total", **self._labels)
+        self._h_latency = registry.histogram(
+            "router_request_latency_seconds", **self._labels
+        )
+        self._h_queue_wait = registry.histogram(
+            "router_queue_wait_seconds", **self._labels
+        )
+        self._g_depth = registry.gauge("router_depth", **self._labels)
         self._flights: dict[Hashable, _Flight] = {}
         self._depth = 0
         self._prefetch = _PrefetchState()
         self._prefetch_task: asyncio.Task | None = None
+
+    def _build_engine(self, index: int, sub: ProductCatalog) -> QueryEngine:
+        """One shard engine, its metrics labelled ``{router, shard}``.
+
+        The labels are the stats-survival contract: a rebuilt engine
+        (:meth:`rebuild_shard`) re-requests the same counters from the
+        registry and keeps accumulating where its predecessor stopped.
+        """
+        return QueryEngine(
+            sub,
+            loader=(
+                self._loader_factory(index)
+                if self._loader_factory is not None
+                else ProductLoader(self.serve_config)
+            ),
+            serve=self.serve_config,
+            n_workers=self._n_workers,
+            executor=self._executor,
+            obs=self.obs,
+            obs_labels={**self._labels, "shard": str(index)},
+        )
+
+    def rebuild_shard(self, index: int) -> Shard:
+        """Replace one shard's engine and loader in place (quarantine repair).
+
+        Closes the old engine's worker pool, builds a fresh engine (and, via
+        ``loader_factory``, a fresh loader), and clears the shard's error /
+        quarantine state so resolution routes to it again.  The shard's
+        ``serve_*`` metric series carries over unchanged — the counters live
+        in the obs registry keyed by ``{router, shard}``, not on the engine —
+        so :attr:`Shard.engine`'s ``stats`` survives the swap.
+        """
+        shard = self.shards[index]
+        shard.engine.close()
+        shard.engine = self._build_engine(index, shard.catalog)
+        shard.errors = 0
+        shard.quarantined = False
+        return shard
+
+    @property
+    def stats(self) -> RouterStats:
+        """Snapshot of the registry-backed counters as a :class:`RouterStats`."""
+        return RouterStats(
+            requests=int(self._c_requests.value),
+            shed=int(self._c_shed.value),
+            coalesced=int(self._c_coalesced.value),
+            executions=int(self._c_executions.value),
+            prefetch_refreshes=int(self._c_prefetch.value),
+            errors=int(self._c_errors.value),
+        )
 
     # -- resolution --------------------------------------------------------
 
@@ -274,31 +341,46 @@ class RequestRouter:
         Raises :class:`RouterOverloadedError` when shed, ``LookupError``
         when no healthy product matches, and propagates the underlying
         engine error (to every coalesced waiter) when execution fails.
+
+        Every request runs inside a ``router.request`` span (attributes:
+        shard, coalesced, outcome ``served``/``shed``/``unroutable``) whose
+        children are the shard engine's ``engine.query_batch`` span and,
+        below it, the loader's ``loader.fetch`` — the end-to-end trace.
         """
+        with self.obs.span(
+            "router.request", variable=request.variable, zoom=request.zoom
+        ) as span:
+            return await self._query(request, span)
+
+    async def _query(self, request: TileRequest, span) -> TileResponse:
         arrived = self.clock.now()
-        self.stats.requests += 1
+        self._c_requests.inc()
         try:
             shard_id, key = self.flight_key(request)
         except LookupError:
-            self.stats.errors += 1
+            self._c_errors.inc()
+            span.set(outcome="unroutable")
             raise
         self._prefetch.popularity[key] += 1
         self._prefetch.requests[key] = request
 
         flight = self._flights.get(key)
         if flight is not None:
-            self.stats.coalesced += 1
+            self._c_coalesced.inc()
+            span.set(shard=flight.shard, coalesced=True, outcome="served")
             response = await asyncio.shield(flight.future)
             return self._routed(request, response, flight.shard, arrived, coalesced=True)
 
         if self._depth >= self.config.max_queue_depth:
-            self.stats.shed += 1
+            self._c_shed.inc()
+            span.set(outcome="shed", depth=self._depth)
             raise RouterOverloadedError(
                 depth=self._depth,
                 max_queue_depth=self.config.max_queue_depth,
                 retry_after_s=self.config.retry_after_s,
             )
 
+        span.set(shard=shard_id, coalesced=False, outcome="served")
         response = await self._fly(key, shard_id, request, prefetch=False)
         return self._routed(request, response, shard_id, arrived, coalesced=False)
 
@@ -318,6 +400,7 @@ class RequestRouter:
             future=future, shard=shard_id, prefetch=prefetch, started=self.clock.now()
         )
         self._depth += 1
+        self._g_depth.set(self._depth)
         try:
             response = await self._execute(shard, request)
         except BaseException as exc:
@@ -326,18 +409,19 @@ class RequestRouter:
                 future.set_exception(exc)
             raise
         else:
-            self.stats.executions += 1
+            self._c_executions.inc()
             if prefetch:
-                self.stats.prefetch_refreshes += 1
+                self._c_prefetch.inc()
             if not future.done():
                 future.set_result(response)
             return response
         finally:
             del self._flights[key]
             self._depth -= 1
+            self._g_depth.set(self._depth)
 
     def _note_failure(self, shard: Shard, exc: BaseException) -> None:
-        self.stats.errors += 1
+        self._c_errors.inc()
         if isinstance(exc, Level3ProductError):
             shard.errors += 1
             if shard.errors >= self.config.quarantine_errors:
@@ -353,6 +437,9 @@ class RequestRouter:
     ) -> TileResponse:
         elapsed = self.clock.now() - arrived
         service = response.seconds
+        queue_wait = max(elapsed - service, 0.0)
+        self._h_latency.observe(elapsed)
+        self._h_queue_wait.observe(queue_wait)
         # Each caller (including every coalesced joiner) gets its own
         # response object with its own timing, sharing the executing
         # request's tiles/fingerprints dicts.
@@ -361,7 +448,7 @@ class RequestRouter:
             request=request,
             shard=shard,
             coalesced=coalesced,
-            queue_wait_s=max(elapsed - service, 0.0),
+            queue_wait_s=queue_wait,
         )
 
     def serve(self, requests: Sequence[TileRequest]) -> list[TileResponse]:

@@ -3,47 +3,95 @@
 The paper reports separate *load*, *map* and *reduce* wall-clock times for the
 PySpark workflows (Tables II and V), so the engine needs light-weight,
 composable timers that can be aggregated per stage.
+
+Since the :mod:`repro.obs` layer landed, :class:`TimingRecord` is a thin
+shim over a private :class:`~repro.obs.metrics.MetricsRegistry`: each
+``add`` feeds a pair of stage-labelled counters
+(``timing_seconds_total{stage=...}`` / ``timing_calls_total{stage=...}``)
+and ``stages``/``counts`` are derived views — one timing scheme for the
+whole codebase, with the public API of the old dataclass kept intact.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, TypeVar
+from typing import Callable, Iterator, Mapping, TypeVar
+
+from repro.obs.metrics import MetricsRegistry
 
 T = TypeVar("T")
 
+#: Registry metric names backing one record's two derived dict views.
+_SECONDS = "timing_seconds_total"
+_CALLS = "timing_calls_total"
 
-@dataclass
+
 class TimingRecord:
-    """Accumulated wall-clock time per named stage."""
+    """Accumulated wall-clock time per named stage (registry-backed)."""
 
-    stages: dict[str, float] = field(default_factory=dict)
-    counts: dict[str, int] = field(default_factory=dict)
+    def __init__(
+        self,
+        stages: Mapping[str, float] | None = None,
+        counts: Mapping[str, int] | None = None,
+    ) -> None:
+        self._registry = MetricsRegistry()
+        if stages:
+            for stage, seconds in stages.items():
+                self._registry.counter(_SECONDS, stage=stage).inc(float(seconds))
+        if counts:
+            for stage, count in counts.items():
+                self._registry.counter(_CALLS, stage=stage).inc(int(count))
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing registry (for export alongside other obs metrics)."""
+        return self._registry
+
+    @property
+    def stages(self) -> dict[str, float]:
+        return {
+            dict(metric.labels)["stage"]: metric.value
+            for metric in self._registry.find(_SECONDS)
+        }
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {
+            dict(metric.labels)["stage"]: int(metric.value)
+            for metric in self._registry.find(_CALLS)
+        }
 
     def add(self, stage: str, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
-        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
-        self.counts[stage] = self.counts.get(stage, 0) + 1
+        self._registry.counter(_SECONDS, stage=stage).inc(float(seconds))
+        self._registry.counter(_CALLS, stage=stage).inc(1)
 
     def get(self, stage: str) -> float:
-        return self.stages.get(stage, 0.0)
+        return self._registry.value(_SECONDS, stage=stage)
 
     def total(self) -> float:
-        return float(sum(self.stages.values()))
+        return float(self._registry.total(_SECONDS))
 
     def merge(self, other: "TimingRecord") -> "TimingRecord":
-        merged = TimingRecord(dict(self.stages), dict(self.counts))
+        merged = TimingRecord(self.stages, self.counts)
         for stage, seconds in other.stages.items():
-            merged.stages[stage] = merged.stages.get(stage, 0.0) + seconds
+            merged._registry.counter(_SECONDS, stage=stage).inc(seconds)
         for stage, count in other.counts.items():
-            merged.counts[stage] = merged.counts.get(stage, 0) + count
+            merged._registry.counter(_CALLS, stage=stage).inc(count)
         return merged
 
     def as_dict(self) -> dict[str, float]:
-        return dict(self.stages)
+        return self.stages
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimingRecord):
+            return NotImplemented
+        return self.stages == other.stages and self.counts == other.counts
+
+    def __repr__(self) -> str:
+        return f"TimingRecord(stages={self.stages!r}, counts={self.counts!r})"
 
 
 class Stopwatch:

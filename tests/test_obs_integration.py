@@ -1,0 +1,281 @@
+"""Cross-tier telemetry integration: the E2E trace, stats survival, spans.
+
+The acceptance-critical scenario lives here: one request traced from
+router admission through the shard engine down to the tile loader, with
+*exact* durations under the virtual clock, exportable as a Chrome trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RouterConfig, ServeConfig
+from repro.distributed.mapreduce import MapReduceEngine
+from repro.geodesy.grid import GridDefinition
+from repro.l3.product import Level3Grid
+from repro.l3.writer import write_level3
+from repro.obs.core import Obs
+from repro.obs.export import chrome_trace
+from repro.pipeline.cache import StageCache
+from repro.pipeline.runner import GraphRunner
+from repro.serve.catalog import ProductCatalog
+from repro.serve.clock import VirtualClock
+from repro.serve.query import ProductLoader, QueryEngine, TileRequest
+from repro.serve.router import RequestRouter
+from repro.serve.shard import ShardedCatalog
+from repro.utils.timing import TimingRecord, timed
+
+SERVE = ServeConfig(tile_size=8, tile_cache_size=64)
+
+
+def write_product(path, fingerprint="fp-m", nx=40, ny=24, seed=0):
+    rng = np.random.default_rng(seed)
+    grid = GridDefinition(x_min_m=0.0, y_min_m=0.0, cell_size_m=100.0, nx=nx, ny=ny)
+    n_seg = rng.integers(0, 4, grid.shape).astype(np.int64)
+    layers = {
+        "n_segments": n_seg,
+        "freeboard_mean": np.where(n_seg > 0, rng.normal(0.3, 0.1, grid.shape), np.nan),
+    }
+    write_level3(
+        Level3Grid(
+            grid=grid,
+            variables=layers,
+            metadata={"kind": "mosaic", "fingerprint": fingerprint, "granule_ids": ["g000"]},
+        ),
+        path,
+        format="npz",
+    )
+
+
+class TickingLoader(ProductLoader):
+    """A loader whose decode costs an exact amount of *virtual* time."""
+
+    def __init__(self, serve, clock, decode_s):
+        super().__init__(serve)
+        self.clock = clock
+        self.decode_s = decode_s
+
+    def decode(self, entry):
+        self.clock.tick(self.decode_s)
+        return super().decode(entry)
+
+
+def ancestors(span, by_id):
+    chain = []
+    while span.parent_id is not None:
+        span = by_id[span.parent_id]
+        chain.append(span)
+    return chain
+
+
+REQUEST = TileRequest(bbox=(0.0, 0.0, 1500.0, 1500.0), variable="freeboard_mean")
+
+
+class TestEndToEndTrace:
+    @pytest.fixture()
+    def stack(self, tmp_path):
+        write_product(tmp_path / "mosaic")
+        catalog = ProductCatalog()
+        catalog.scan(tmp_path)
+        clock = VirtualClock()
+        obs = Obs(clock=clock)
+        router = RequestRouter(
+            ShardedCatalog.from_catalog(catalog, 2),
+            serve=SERVE,
+            config=RouterConfig(n_shards=2),
+            loader_factory=lambda index: TickingLoader(SERVE, clock, 0.004),
+            clock=clock,
+            obs=obs,
+        )
+        return clock, obs, router
+
+    def test_request_traces_router_to_engine_to_loader(self, stack):
+        clock, obs, router = stack
+        response = router.serve([REQUEST])[0]
+        assert response.n_computed > 0
+
+        spans = obs.tracer.spans()
+        by_id = {s.span_id: s for s in spans}
+        (root,) = obs.tracer.spans("router.request")
+        (batch,) = obs.tracer.spans("engine.query_batch")
+        (fetch,) = obs.tracer.spans("loader.fetch")
+
+        # One trace, rooted at the router.
+        assert root.parent_id is None
+        assert {s.trace_id for s in (root, batch, fetch)} == {root.trace_id}
+        assert batch.parent_id == root.span_id
+        assert root in ancestors(fetch, by_id)
+        assert batch in ancestors(fetch, by_id)
+
+        # Exact virtual-clock durations: the only time that passes is the
+        # loader's 4 ms decode tick.
+        assert fetch.duration == 0.004
+        assert batch.duration == 0.004
+        assert root.duration == 0.004
+
+        # Span attributes carry the routing outcome.
+        assert root.attributes["outcome"] == "served"
+        assert root.attributes["coalesced"] is False
+        assert batch.attributes["n_computed"] == response.n_computed
+        assert fetch.attributes["windowed"] is False
+
+    def test_cached_repeat_skips_the_loader_span(self, stack):
+        clock, obs, router = stack
+        router.serve([REQUEST])
+        obs.tracer.clear()
+        response = router.serve([REQUEST])[0]
+        assert response.from_cache
+        assert obs.tracer.spans("loader.fetch") == ()
+        (root,) = obs.tracer.spans("router.request")
+        assert root.duration == 0.0  # no decode, no virtual time
+
+    def test_trace_exports_to_chrome_format(self, stack):
+        clock, obs, router = stack
+        router.serve([REQUEST])
+        (root,) = obs.tracer.spans("router.request")
+        doc = chrome_trace(obs.tracer.spans())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in events}
+        assert {"router.request", "engine.query_batch", "loader.fetch"} <= names
+        by_name = {e["name"]: e for e in events}
+        assert by_name["router.request"]["dur"] == pytest.approx(4000.0)
+        # All three render on the same trace track.
+        assert len({by_name[n]["tid"] for n in names}) == 1
+        assert by_name["engine.query_batch"]["args"]["parent_id"] == root.span_id
+
+
+class TestStatsSurvival:
+    def test_engine_stats_survive_shard_rebuild(self, tmp_path):
+        """The QueryStats-loss fix: a quarantine-style engine rebuild keeps
+        the shard's cumulative counters (they live in the registry, keyed by
+        {router, shard}, not on the engine instance)."""
+        write_product(tmp_path / "mosaic")
+        catalog = ProductCatalog()
+        catalog.scan(tmp_path)
+        clock = VirtualClock()
+        obs = Obs(clock=clock)
+        router = RequestRouter(
+            ShardedCatalog.from_catalog(catalog, 2),
+            serve=SERVE,
+            config=RouterConfig(n_shards=2),
+            clock=clock,
+            obs=obs,
+        )
+        router.serve([REQUEST, REQUEST])
+        shard_id = router.catalog.shard_of("fp-m")
+        shard = router.shards[shard_id]
+        shard.errors = 3
+        shard.quarantined = True
+        before = shard.engine.stats
+        assert before.requests == 2
+        old_engine = shard.engine
+
+        rebuilt = router.rebuild_shard(shard_id)
+        assert rebuilt.engine is not old_engine
+        assert not rebuilt.quarantined and rebuilt.errors == 0
+        # The new engine re-attached to the same counter series.
+        assert rebuilt.engine.stats == before
+
+        router.serve([REQUEST])
+        after = rebuilt.engine.stats
+        assert after.requests == 3
+        assert after.batches == before.batches + 1
+        # Router-level counters kept counting across the rebuild too.
+        assert router.stats.requests == 3
+
+    def test_independent_engines_do_not_share_counters(self, tmp_path):
+        write_product(tmp_path / "mosaic")
+        catalog = ProductCatalog()
+        catalog.scan(tmp_path)
+        obs = Obs()
+        a = QueryEngine(catalog, serve=SERVE, obs=obs)
+        b = QueryEngine(catalog, serve=SERVE, obs=obs)
+        a.query(REQUEST)
+        assert a.stats.requests == 1
+        assert b.stats.requests == 0
+
+
+class TestPipelineAndMapReduceSpans:
+    def test_graph_runner_emits_stage_spans_and_counters(self, tmp_path):
+        from repro.pipeline import ArtifactSpec, Stage, StageGraph
+
+        graph = StageGraph(
+            [Stage("make_x", lambda ctx, **inputs: {"x": 41}, (), ("x",))],
+            [ArtifactSpec("x", int)],
+        )
+        obs = Obs()
+        runner = GraphRunner(graph, cache=StageCache(str(tmp_path)), obs=obs)
+        runner.run(None, targets=("x",))
+        (span,) = obs.tracer.spans("pipeline.stage")
+        assert span.attributes["stage"] == "make_x"
+        assert obs.registry.value(
+            "pipeline_stage_runs_total", stage="make_x", cache="miss"
+        ) == 1
+        # Warm run: cache hit, no new compute span.
+        GraphRunner(graph, cache=StageCache(str(tmp_path)), obs=obs).run(
+            None, targets=("x",)
+        )
+        assert len(obs.tracer.spans("pipeline.stage")) == 1
+        assert obs.registry.value(
+            "pipeline_stage_runs_total", stage="make_x", cache="hit"
+        ) == 1
+
+    def test_mapreduce_thread_tasks_merge_into_driver_trace(self):
+        obs = Obs()
+        engine = MapReduceEngine(n_partitions=3, executor="thread", max_workers=3, obs=obs)
+        try:
+            with obs.span("driver") as driver:
+                result = engine.run(
+                    lambda: list(range(30)),
+                    lambda part: [v * 2 for v in part],
+                    lambda parts: sorted(v for part in parts for v in part),
+                )
+        finally:
+            engine.close()
+        assert result.value == [v * 2 for v in range(30)]
+        tasks = obs.tracer.spans("mapreduce.task")
+        assert len(tasks) == 3
+        assert {s.attributes["executor"] for s in tasks} == {"thread"}
+        # Worker-measured spans merge under the driver's open span.
+        (map_span,) = obs.tracer.spans("mapreduce.map")
+        assert map_span.trace_id == driver.trace_id
+        assert all(s.trace_id == driver.trace_id for s in tasks)
+        assert obs.registry.value("mapreduce_jobs_total", executor="thread") == 1
+        assert obs.registry.value("mapreduce_pool_spawns_total", executor="thread") == 1
+
+    def test_disabled_obs_keeps_results_identical(self):
+        enabled = MapReduceEngine(n_partitions=2, executor="serial", obs=Obs())
+        disabled = MapReduceEngine(n_partitions=2, executor="serial", obs=Obs.disabled())
+
+        def load():
+            return list(range(10))
+
+        def map_fn(part):
+            return [v + 1 for v in part]
+
+        def reduce_fn(parts):
+            return [v for part in parts for v in part]
+
+        assert (
+            enabled.run(load, map_fn, reduce_fn).value
+            == disabled.run(load, map_fn, reduce_fn).value
+        )
+
+
+class TestTimingShim:
+    def test_timing_record_rides_the_registry(self):
+        record = TimingRecord()
+        record.add("map", 0.5)
+        record.add("map", 0.25)
+        with timed(record, "reduce"):
+            pass
+        assert record.get("map") == pytest.approx(0.75)
+        assert record.counts["map"] == 2
+        assert record.registry.value("timing_seconds_total", stage="map") == pytest.approx(0.75)
+        assert set(record.registry.as_dict()) == {
+            'timing_seconds_total{stage="map"}',
+            'timing_calls_total{stage="map"}',
+            'timing_seconds_total{stage="reduce"}',
+            'timing_calls_total{stage="reduce"}',
+        }
