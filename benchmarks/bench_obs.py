@@ -1,6 +1,6 @@
 """Telemetry overhead benchmarks: the same work with obs on and off.
 
-Two enabled/disabled pairs, mirroring the two hot paths the instrumentation
+Four enabled/disabled pairs, mirroring the hot paths the instrumentation
 rides on:
 
 * **query**: a pre-warmed router serving a request batch from the shard LRU
@@ -11,11 +11,19 @@ rides on:
 * **campaign**: one small end-to-end campaign run — curation, pooled
   training, retrieval, aggregation — where spans and stage counters wrap
   seconds of numeric work and the overhead must disappear in the noise.
+* **logging**: a fully cache-hot campaign re-run — every stage is a cache
+  hit, and every hit emits a structured ``campaign.cache_hit`` record
+  through the dedup ring *and* a JSON-lines file sink, so the enabled run
+  pays serialization + write per record on top of the span/counter cost.
+* **propagation**: a process-pool map-reduce job — the enabled run pickles
+  each task wrapped with the driver's trace context, installs a worker-side
+  tracer, ships spans + metric deltas back and grafts them into the
+  driver's tree; the disabled run submits the bare tasks.
 
 ``benchmarks/check_regression.py`` pairs each ``obs_enabled_*`` benchmark
 with its ``obs_disabled_*`` twin and holds the enabled/disabled time ratio
 under ``OBS_OVERHEAD_CEILING`` (1.05: telemetry may cost at most 5 % of
-either hot path).
+any hot path).
 
 Run:  python -m pytest benchmarks/bench_obs.py --benchmark-json=obs-bench.json
 """
@@ -34,6 +42,7 @@ if str(_SRC) not in sys.path:
 
 from repro.campaign import CampaignConfig, CampaignRunner
 from repro.config import RouterConfig, ServeConfig
+from repro.distributed.mapreduce import MapReduceEngine
 from repro.geodesy.grid import GridDefinition
 from repro.l3.product import Level3Grid
 from repro.l3.writer import write_level3
@@ -154,3 +163,94 @@ def test_obs_enabled_campaign(benchmark):
 
 def test_obs_disabled_campaign(benchmark):
     _bench_campaign(benchmark, Obs.disabled())
+
+
+# -- logging: cache-hot campaign, one structured record per stage hit ---------
+
+
+@pytest.fixture(scope="module")
+def warm_cache(tmp_path_factory):
+    """A campaign cache populated once, shared by both logging runs."""
+    cache_dir = tmp_path_factory.mktemp("obs-bench-cache")
+    config = CampaignConfig(
+        base=_BASE, grid=_GRID, seed=23, n_workers=1, cache_dir=str(cache_dir)
+    )
+    with CampaignRunner(config, obs=Obs.disabled()) as runner:
+        runner.run()
+    return cache_dir
+
+
+def _bench_logging(benchmark, warm_cache, obs: Obs) -> None:
+    config = CampaignConfig(
+        base=_BASE, grid=_GRID, seed=23, n_workers=1, cache_dir=str(warm_cache)
+    )
+
+    def run_cached():
+        # 10 cache-hot runs per round: each is only a few ms, so batching
+        # keeps timer jitter out of the minima the gate compares.
+        for _ in range(10):
+            with CampaignRunner(config, obs=obs) as runner:
+                result = runner.run()
+        return result
+
+    result = benchmark.pedantic(run_cached, **ROUNDS)
+    assert result.n_granules == 2
+
+
+def test_obs_enabled_logging(benchmark, warm_cache, tmp_path):
+    obs = Obs()
+    obs.log.attach_sink(tmp_path / "events.jsonl")
+    try:
+        _bench_logging(benchmark, warm_cache, obs)
+        assert obs.log.n_records > 0
+    finally:
+        obs.log.close()
+
+
+def test_obs_disabled_logging(benchmark, warm_cache):
+    _bench_logging(benchmark, warm_cache, Obs.disabled())
+
+
+# -- propagation: trace context across a process pool -------------------------
+
+
+def _load_matrices() -> list[np.ndarray]:
+    # Sized so per-task numeric work dominates the fixed per-task costs
+    # (context pickle, telemetry ship-back) the pair is meant to bound.
+    rng = np.random.default_rng(7)
+    return [rng.normal(size=(224, 224)) for _ in range(12)]
+
+
+def _eig_partition(matrices) -> float:
+    total = 0.0
+    for m in matrices:
+        total += float(np.abs(np.linalg.eigvals(m @ m.T)).sum())
+    return total
+
+
+def _sum_partials(partials) -> float:
+    return float(sum(partials))
+
+
+def _bench_propagation(benchmark, obs: Obs) -> None:
+    with MapReduceEngine(n_partitions=4, executor="process", obs=obs) as engine:
+        # Warm the persistent pool outside the measured region so both runs
+        # pay worker startup once, not per round.
+        engine.run(_load_matrices, _eig_partition, _sum_partials)
+
+        def run_job():
+            return engine.run(_load_matrices, _eig_partition, _sum_partials)
+
+        result = benchmark.pedantic(run_job, **ROUNDS)
+        assert result.value > 0.0
+
+
+def test_obs_enabled_propagation(benchmark):
+    obs = Obs()
+    _bench_propagation(benchmark, obs)
+    # The enabled run must actually graft worker subtrees into the driver.
+    assert obs.tracer.spans("mapreduce.task")
+
+
+def test_obs_disabled_propagation(benchmark):
+    _bench_propagation(benchmark, Obs.disabled())

@@ -33,7 +33,10 @@ from repro.campaign import CampaignConfig, CampaignRunner
 from repro.config import IngestConfig, L3GridConfig, RouterConfig, ServeConfig
 from repro.obs import (
     Obs,
+    SloEvaluator,
+    availability_slo,
     build_health_dashboard,
+    freshness_slo,
     prometheus_text,
     set_default_obs,
     validate_dashboard,
@@ -121,13 +124,22 @@ def main() -> None:
             f"(fleet gauge: {int(obs.registry.value('ingest_fleet_size'))})"
         )
 
-        # 4a. Health dashboard: every tier in one versioned JSON document,
-        #     validated against the committed schema before the atomic write.
+        # 4a. Health dashboard: every tier in one versioned JSON document —
+        #     v2 adds SLO alerts/error budgets, recent structured events and
+        #     trace-ring accounting — validated against the committed schema
+        #     before the atomic write.
+        slo = SloEvaluator(obs.registry, clock=obs.clock, log=obs.log)
+        slo.add(availability_slo())
+        slo.add(freshness_slo())
+        slo.evaluate()
         doc = build_health_dashboard(
             campaign=result,
             router=handle.router,
             ingest=handle.ingest_service,
             registry=obs.registry,
+            slo=slo,
+            log=obs.log,
+            tracer=obs.tracer,
         )
         validate_dashboard(doc)
         assert doc["serve"]["health"] == handle.router.health()  # verbatim embed
@@ -139,17 +151,20 @@ def main() -> None:
             f"campaign total {doc['campaign']['total_s']:.2f}s, "
             f"serve requests {doc['serve']['health']['requests']}, "
             f"ingested {doc['ingest']['n_ingested']}, "
-            f"{len(doc['metrics'])} metric series"
+            f"{len(doc['metrics'])} metric series, "
+            f"{len(doc['slo']['alerts'])} alerts, "
+            f"{len(doc['events'])} recent events"
         )
 
         # 4b. Prometheus exposition + Chrome trace.
         text = prometheus_text(obs.registry)
         assert "# TYPE router_requests_total counter" in text
         trace_path = write_chrome_trace(workdir / "trace.json", obs.tracer.spans())
-        n_events = len(json.loads(trace_path.read_text())["traceEvents"]) - 1
+        trace_events = json.loads(trace_path.read_text())["traceEvents"]
+        n_events = sum(1 for e in trace_events if e["ph"] == "X")
         print(
             f"prometheus exposition: {len(text.splitlines())} lines; "
-            f"chrome trace: {n_events} events (open in chrome://tracing)"
+            f"chrome trace: {n_events} span events (open in chrome://tracing)"
         )
     finally:
         if runner is not None:

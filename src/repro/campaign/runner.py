@@ -482,8 +482,10 @@ class CampaignRunner:
         value = self.cache.load(key, MISS)
         if value is MISS or (valid is not None and not valid(value)):
             misses.append(key)
+            self.obs.log.debug("campaign.cache_miss", key=key)
             return MISS
         hits.append(key)
+        self.obs.log.debug("campaign.cache_hit", key=key)
         return value
 
     def _cache_store(self, key: str, value) -> None:
@@ -815,6 +817,13 @@ class CampaignRunner:
         timing.add("aggregation", aggregation_s)
         self.obs.record("campaign.aggregation", aggregation_s)
 
+        self.obs.log.info(
+            "campaign.stage_cache",
+            hits=len(hits),
+            misses=len(misses),
+            stage_hits=len(stage_hits),
+            stage_misses=len(stage_misses),
+        )
         return CampaignResult(
             fingerprint=self.fingerprint,
             granules=ordered,

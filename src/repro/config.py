@@ -17,6 +17,7 @@ processes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -298,6 +299,83 @@ class IngestConfig:
 
 
 @dataclass(frozen=True)
+class SloConfig:
+    """Parameters of the SLO burn-rate evaluator (:mod:`repro.obs.slo`).
+
+    The window geometry follows the Google-SRE multi-window multi-burn-rate
+    recipe: a *fast* window that reacts to acute violations within minutes
+    and a *slow* window that catches sustained low-grade burn.  Both are
+    expressed in seconds of the pluggable clock, so `VirtualClock` tests
+    exercise exact fire/resolve ticks without real sleeps.
+    """
+
+    #: Fast burn-rate window length in seconds (reacts to acute outages).
+    fast_window_s: float = 300.0
+    #: Slow burn-rate window length in seconds (catches sustained burn).
+    slow_window_s: float = 3600.0
+    #: Burn-rate threshold for the fast window (budget consumed this many
+    #: times faster than sustainable fires the alert).
+    fast_burn_threshold: float = 14.4
+    #: Burn-rate threshold for the slow window.
+    slow_burn_threshold: float = 6.0
+    #: A pending alert must stay above threshold this long before firing.
+    for_s: float = 0.0
+    #: Hysteresis: a firing alert resolves only once the burn rate drops
+    #: below ``threshold * resolve_fraction``.
+    resolve_fraction: float = 0.5
+    #: Maximum number of (time, bad, total) samples retained per window.
+    max_samples: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.fast_window_s <= 0 or self.slow_window_s <= 0:
+            raise ValueError("SLO window lengths must be positive seconds")
+        if self.fast_window_s >= self.slow_window_s:
+            raise ValueError(
+                "fast_window_s must be shorter than slow_window_s "
+                f"(got {self.fast_window_s} >= {self.slow_window_s})"
+            )
+        if self.fast_burn_threshold <= 0 or self.slow_burn_threshold <= 0:
+            raise ValueError("burn-rate thresholds must be positive")
+        if self.for_s < 0:
+            raise ValueError("for_s must be >= 0")
+        if not 0 < self.resolve_fraction <= 1:
+            raise ValueError("resolve_fraction must be in (0, 1]")
+        if self.max_samples < 2:
+            raise ValueError("max_samples must be >= 2 to form a window delta")
+
+
+@dataclass(frozen=True)
+class LogConfig:
+    """Parameters of the structured event log (:mod:`repro.obs.log`).
+
+    The log keeps a bounded in-memory ring (feeding the dashboard's
+    "recent events" section) and optionally mirrors each record to a
+    JSON-lines file sink.  Repeated identical events inside the dedup
+    window are suppressed and surface as a single summary record, so an
+    error loop cannot flood the ring or the sink.
+    """
+
+    #: Capacity of the in-memory ring of recent events.
+    ring_size: int = 1024
+    #: Suppress repeats of the same ``(level, event)`` pair observed
+    #: within this many seconds; 0 disables dedup.
+    dedup_window_s: float = 5.0
+    #: Minimum severity recorded ("debug" | "info" | "warning" | "error").
+    min_level: str = "debug"
+
+    def __post_init__(self) -> None:
+        if self.ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        if self.dedup_window_s < 0:
+            raise ValueError("dedup_window_s must be >= 0")
+        if self.min_level not in ("debug", "info", "warning", "error"):
+            raise ValueError(
+                "min_level must be one of 'debug', 'info', 'warning', "
+                f"'error', got {self.min_level!r}"
+            )
+
+
+@dataclass(frozen=True)
 class ObsConfig:
     """Parameters of the telemetry subsystem (:mod:`repro.obs`).
 
@@ -330,15 +408,36 @@ class ObsConfig:
         2.5,
         5.0,
     )
+    #: Burn-rate evaluator geometry (:class:`SloConfig`).
+    slo: SloConfig = SloConfig()
+    #: Structured event-log sizing and dedup (:class:`LogConfig`).
+    log: LogConfig = LogConfig()
 
     def __post_init__(self) -> None:
         if self.trace_buffer_size < 1:
-            raise ValueError("trace_buffer_size must be >= 1")
+            raise ValueError(
+                "trace_buffer_size must be >= 1 "
+                f"(got {self.trace_buffer_size}); the tracer needs at least "
+                "one ring slot to hold a finished span"
+            )
         if not self.latency_buckets_s:
-            raise ValueError("latency_buckets_s must name at least one bucket edge")
+            raise ValueError(
+                "latency_buckets_s must name at least one bucket edge; an "
+                "empty histogram cannot bucket observations"
+            )
         edges = tuple(float(e) for e in self.latency_buckets_s)
+        bad = [e for e in edges if not math.isfinite(e)]
+        if bad:
+            raise ValueError(
+                f"latency_buckets_s edges must be finite, got {bad}; an "
+                "implicit +inf overflow bucket is always appended, do not "
+                "list it explicitly"
+            )
         if any(b <= a for a, b in zip(edges, edges[1:])):
-            raise ValueError("latency_buckets_s must be strictly increasing")
+            raise ValueError(
+                "latency_buckets_s must be strictly increasing, got "
+                f"{edges}; sort and deduplicate the edges"
+            )
         object.__setattr__(self, "latency_buckets_s", edges)
 
 
@@ -430,5 +529,7 @@ DEFAULT_SEA_SURFACE = SeaSurfaceConfig()
 DEFAULT_L3_GRID = L3GridConfig()
 DEFAULT_ROUTER = RouterConfig()
 DEFAULT_INGEST = IngestConfig()
+DEFAULT_SLO = SloConfig()
+DEFAULT_LOG = LogConfig()
 DEFAULT_OBS = ObsConfig()
 DEFAULT_SERVE = ServeConfig()

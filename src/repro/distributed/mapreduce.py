@@ -37,8 +37,9 @@ test suite — parallel execution never changes the answer, only the time.
 
 from __future__ import annotations
 
+import contextvars
 import pickle
-import time
+import threading
 import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -49,6 +50,7 @@ import numpy as np
 
 from repro.distributed.shm import ArrayDescriptor, SharedArrayStore, attach_view, dumps_shared
 from repro.obs.core import Obs, default_obs
+from repro.obs.propagate import TracedTask, WorkerTelemetry, current_context, merge_worker_telemetry
 from repro.utils.timing import Stopwatch, TimingRecord
 
 T = TypeVar("T")
@@ -128,9 +130,11 @@ class MapReduceEngine:
     obs:
         Telemetry handle; ``None`` resolves the process default.  Jobs emit
         ``mapreduce.load``/``map``/``reduce`` spans plus one
-        ``mapreduce.task`` span per partition (pool workers measure
-        locally and the driver merges the compact results), and feed the
-        ``mapreduce_*`` counters: jobs, pool spawns, shm publish/attach
+        ``mapreduce.task`` span per partition — thread tasks open real
+        child spans inside a copied driver context, process tasks run a
+        worker-side tracer whose finished subtree (and metric deltas) ship
+        back with the result and graft under ``mapreduce.map`` — and feed
+        the ``mapreduce_*`` counters: jobs, pool spawns, shm publish/attach
         bytes.
 
     The engine keeps its worker pool alive between jobs; call :meth:`close`
@@ -206,14 +210,26 @@ class MapReduceEngine:
 
     # -- execution -------------------------------------------------------------
 
-    def _merge_task_spans(self, results: list[tuple[R, float]]) -> list[R]:
-        """Unwrap ``(value, seconds)`` pairs, recording one span per task."""
-        tracer = self.obs.tracer
-        out: list[R] = []
-        for index, (value, elapsed) in enumerate(results):
-            tracer.record(
-                "mapreduce.task", elapsed, index=index, executor=self.executor
+    def _traced_tasks(self, tasks: list[Callable[[], R]]) -> list[TracedTask]:
+        """Wrap tasks for the process pool with the driver's trace context."""
+        context = current_context(self.obs.tracer)
+        return [
+            TracedTask(
+                task,
+                context=context,
+                attributes={"index": index, "executor": self.executor},
             )
+            for index, task in enumerate(tasks)
+        ]
+
+    def _merge_worker_results(
+        self, results: list[tuple[R, WorkerTelemetry]]
+    ) -> list[R]:
+        """Unwrap ``(value, telemetry)`` pairs, grafting each worker's spans
+        and metric deltas into the driver's tracer and registry."""
+        out: list[R] = []
+        for value, telemetry in results:
+            merge_worker_telemetry(self.obs, telemetry)
             out.append(value)
         return out
 
@@ -226,11 +242,13 @@ class MapReduceEngine:
         serial.
 
         Inline tasks get real nested spans (they share the driver's trace
-        context).  Pool tasks cannot — threads don't inherit the span
-        contextvar and processes can't pickle it — so they run wrapped in
-        :class:`_TimedTask`, measure themselves locally, and come back as
-        compact ``(value, seconds)`` pairs the driver merges into synthetic
-        ``mapreduce.task`` spans.
+        context).  Thread-pool tasks run inside a *copy* of the driver's
+        context (:class:`_ContextTask`), so their spans are true children
+        of the driver's open ``mapreduce.map`` span on the shared tracer.
+        Process-pool tasks run under a worker-local tracer rooted at the
+        shipped :class:`~repro.obs.propagate.TraceContext` and come back as
+        ``(value, WorkerTelemetry)`` pairs the driver grafts into its own
+        tree (real subtrees, not retroactive duration blobs).
         """
         obs = self.obs
         if self.executor == "serial" or len(tasks) <= 1:
@@ -243,11 +261,15 @@ class MapReduceEngine:
             return out
         n_workers = min(self.max_workers, len(tasks))
         timed = obs.tracer.enabled
-        jobs: list[Callable] = [_TimedTask(t) for t in tasks] if timed else list(tasks)
         if self.executor == "thread":
+            jobs: list[Callable] = (
+                [_ContextTask(t, obs, i) for i, t in enumerate(tasks)]
+                if timed
+                else list(tasks)
+            )
             pool = self._pool(n_workers)
-            results = list(pool.map(lambda f: f(), jobs))
-            return self._merge_task_spans(results) if timed else results
+            return list(pool.map(lambda f: f(), jobs))
+        jobs = self._traced_tasks(tasks) if timed else list(tasks)
         pool = self._pool(n_workers)
         store = SharedArrayStore() if self.use_shm else None
         try:
@@ -259,7 +281,7 @@ class MapReduceEngine:
                 self._count_shm(store, len(jobs))
             futures = [pool.submit(_call_pickled, payload) for payload in payloads]
             results = [f.result() for f in futures]
-            return self._merge_task_spans(results) if timed else results
+            return self._merge_worker_results(results) if timed else results
         except BrokenProcessPool:
             # A worker died (OOM, signal): the pool is unusable.  Drop it so
             # the next job gets a fresh one, and let the caller see the error.
@@ -428,8 +450,9 @@ class MapReduceEngine:
                 for part in parts:
                     lo = int(part[0]) if part.size else 0
                     hi = int(part[-1]) + 1 if part.size else 0
-                    task: Callable = _ShmSliceTask(map_fn, descriptors, lo, hi)
-                    tasks.append(_TimedTask(task) if timed else task)
+                    tasks.append(_ShmSliceTask(map_fn, descriptors, lo, hi))
+                if timed:
+                    tasks = list(self._traced_tasks(tasks))
                 self._count_shm(store, len(tasks))
                 pool = self._pool(min(self.max_workers, len(tasks)))
                 try:
@@ -438,7 +461,7 @@ class MapReduceEngine:
                         for t in tasks
                     ]
                     results = [f.result() for f in futures]
-                    return self._merge_task_spans(results) if timed else results
+                    return self._merge_worker_results(results) if timed else results
                 except BrokenProcessPool:
                     self._shutdown()
                     raise
@@ -457,22 +480,34 @@ def _call_pickled(payload: bytes):
     return pickle.loads(payload)()
 
 
-class _TimedTask:
-    """Picklable wrapper returning ``(value, elapsed_seconds)``.
+class _ContextTask:
+    """Thread-pool wrapper running a task inside the driver's trace context.
 
-    The worker half of pool-task telemetry: pool workers can't reach the
-    driver's tracer (threads don't inherit the span contextvar; processes
-    can't pickle it), so each task times itself with ``perf_counter`` and
-    the driver merges the pair into a synthetic ``mapreduce.task`` span.
+    Threads do not inherit ``contextvars``, so each task captures a *copy*
+    of the driver's context at submission (while ``mapreduce.map`` is the
+    current span) and runs inside it — its ``mapreduce.task`` span is a
+    true child on the shared, thread-safe tracer, measured on the driver's
+    clock.  One copy per task: a ``Context`` object cannot be entered
+    concurrently.
     """
 
-    def __init__(self, task: Callable) -> None:
+    def __init__(self, task: Callable, obs: Obs, index: int) -> None:
         self.task = task
+        self.obs = obs
+        self.index = index
+        self._context = contextvars.copy_context()
 
     def __call__(self):
-        start = time.perf_counter()
-        value = self.task()
-        return value, time.perf_counter() - start
+        return self._context.run(self._run)
+
+    def _run(self):
+        with self.obs.span(
+            "mapreduce.task",
+            index=self.index,
+            executor="thread",
+            worker=threading.current_thread().name,
+        ):
+            return self.task()
 
 
 class _PartitionTask:

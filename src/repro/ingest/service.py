@@ -210,6 +210,8 @@ class IngestService:
         self.obs.counter("ingest_rebuilt_tiles_total").inc(len(report.rebuilt_tiles))
         self.obs.counter("ingest_invalidated_tiles_total").inc(report.n_invalidated)
         self.obs.gauge("ingest_fleet_size").set(report.n_granules)
+        if self.obs.clock is not None:
+            self.obs.gauge("ingest_last_ingest_ts").set(self.obs.clock.now())
         return report
 
     def _ingest(self, granule: Any, span: Any) -> IngestReport:
@@ -226,9 +228,13 @@ class IngestService:
 
         granule_id = str(granule.metadata.get("granule_id", "")).strip()
         span.set(granule_id=granule_id)
+        self.obs.log.info("ingest.granule_accepted", granule_id=granule_id)
         with self.obs.span("ingest.merge", granule_id=granule_id) as merge_span:
             dirty = self.accumulator.add(granule)
             merge_span.set(n_dirty_cells=int(dirty.size))
+        self.obs.log.info(
+            "ingest.granule_merged", granule_id=granule_id, n_dirty_cells=int(dirty.size)
+        )
         if self._verify_grids is not None:
             self._verify_grids[granule_id] = granule
 
@@ -244,6 +250,9 @@ class IngestService:
             with self.obs.span("ingest.rebuild", granule_id=granule_id) as rb_span:
                 rebuilt = self.builder.update(snapshot, dirty)
                 rb_span.set(n_rebuilt_tiles=len(rebuilt))
+            self.obs.log.info(
+                "ingest.tiles_rebuilt", granule_id=granule_id, n_rebuilt_tiles=len(rebuilt)
+            )
 
             written = [str(self._publish_mosaic(snapshot))]
             if self.config.write_granule_products and granule_id:

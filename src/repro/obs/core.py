@@ -16,6 +16,7 @@ import threading
 from typing import Any
 
 from repro.config import DEFAULT_OBS, ObsConfig
+from repro.obs.log import EventLog, NullEventLog
 from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.obs.trace import NullTracer, Tracer
 
@@ -23,7 +24,8 @@ __all__ = ["Obs", "default_obs", "set_default_obs"]
 
 
 class Obs:
-    """One telemetry handle: ``.registry`` (metrics) plus ``.tracer`` (spans).
+    """One telemetry handle: ``.registry`` (metrics), ``.tracer`` (spans),
+    ``.log`` (structured events, trace-correlated).
 
     Parameters
     ----------
@@ -45,9 +47,20 @@ class Obs:
             self.tracer: Tracer | NullTracer = Tracer(
                 clock=clock, buffer_size=config.trace_buffer_size
             )
+            # Ring-buffer drops surface as a counter so truncated traces
+            # are visible in exports, not only on tracer internals.
+            self.tracer.drop_counter = self.registry.counter(
+                "trace_spans_dropped_total"
+            )
+            self.clock = self.tracer.clock
+            self.log: EventLog | NullEventLog = EventLog(
+                config.log, clock=self.clock, tracer=self.tracer
+            )
         else:
             self.registry = NullRegistry()
             self.tracer = NullTracer()
+            self.clock = clock
+            self.log = NullEventLog()
 
     @classmethod
     def disabled(cls) -> "Obs":

@@ -36,9 +36,11 @@ from repro.obs.trace import Span
 
 __all__ = [
     "DASHBOARD_SCHEMA_VERSION",
+    "HealthMonitor",
     "build_health_dashboard",
     "chrome_trace",
     "dashboard_schema",
+    "migrate_dashboard",
     "prometheus_text",
     "validate_dashboard",
     "validate_json",
@@ -47,7 +49,10 @@ __all__ = [
 ]
 
 #: Version stamped into (and required from) every dashboard document.
-DASHBOARD_SCHEMA_VERSION = 1
+#: v2 added the interpretation layer: ``slo`` (alerts + error budgets),
+#: ``events`` (recent structured log records) and ``trace`` (ring-buffer
+#: drop accounting).  :func:`migrate_dashboard` upgrades v1 documents.
+DASHBOARD_SCHEMA_VERSION = 2
 
 _SCHEMA_PATH = Path(__file__).with_name("dashboard.schema.json")
 
@@ -122,6 +127,31 @@ def validate_dashboard(doc: Mapping[str, Any]) -> None:
         )
 
 
+def migrate_dashboard(doc: Mapping[str, Any]) -> dict[str, Any]:
+    """Upgrade a dashboard document to the current schema version.
+
+    v1 → v2 adds the interpretation sections a v1 writer could not have
+    produced — ``slo: null``, ``events: []``, ``trace: null`` — and bumps
+    ``schema_version``.  Already-current documents come back as an
+    unchanged copy; unknown (newer) versions are refused rather than
+    silently downgraded.
+    """
+    version = doc.get("schema_version")
+    migrated = dict(doc)
+    if version == 1:
+        migrated["schema_version"] = 2
+        migrated.setdefault("slo", None)
+        migrated.setdefault("events", [])
+        migrated.setdefault("trace", None)
+        version = 2
+    if version != DASHBOARD_SCHEMA_VERSION:
+        raise ValueError(
+            f"cannot migrate dashboard schema_version {doc.get('schema_version')!r} "
+            f"to {DASHBOARD_SCHEMA_VERSION}"
+        )
+    return migrated
+
+
 # ---------------------------------------------------------------------------
 # Health dashboard
 # ---------------------------------------------------------------------------
@@ -163,12 +193,27 @@ def _ingest_summary(service: Any) -> dict[str, Any]:
     }
 
 
+def _sanitize_event(row: Mapping[str, Any]) -> dict[str, Any]:
+    """Clamp one log record to JSON scalars (the schema's event shape)."""
+    out: dict[str, Any] = {}
+    for key, value in row.items():
+        if value is None or isinstance(value, (bool, int, float, str)):
+            out[str(key)] = value
+        else:
+            out[str(key)] = repr(value)
+    return out
+
+
 def build_health_dashboard(
     campaign: Any = None,
     router: Any = None,
     ingest: Any = None,
     registry: MetricsRegistry | NullRegistry | None = None,
     generated_at: float | None = None,
+    slo: Any = None,
+    log: Any = None,
+    tracer: Any = None,
+    max_events: int = 50,
 ) -> dict[str, Any]:
     """Assemble the dashboard document from whatever tiers exist.
 
@@ -176,6 +221,10 @@ def build_health_dashboard(
     and a full live stack all produce valid documents.  The router's
     ``health()`` payload is embedded verbatim under ``serve.health`` (the
     round-trip contract: readers see exactly what the router reports).
+    v2 sections: ``slo`` is an :class:`~repro.obs.slo.SloEvaluator`'s
+    alerts + error budgets, ``events`` the newest ``max_events`` records of
+    an :class:`~repro.obs.log.EventLog`, and ``trace`` the tracer's
+    ring-buffer drop accounting.
     """
     return {
         "schema_version": DASHBOARD_SCHEMA_VERSION,
@@ -184,6 +233,16 @@ def build_health_dashboard(
         "serve": {"health": router.health()} if router is not None else None,
         "ingest": _ingest_summary(ingest) if ingest is not None else None,
         "metrics": registry.as_dict() if registry is not None else {},
+        "slo": slo.as_dict() if slo is not None else None,
+        "events": [_sanitize_event(row) for row in log.tail(max_events)]
+        if log is not None
+        else [],
+        "trace": {
+            "spans_dropped": int(getattr(tracer, "n_dropped", 0)),
+            "buffer_size": int(getattr(tracer, "buffer_size", 0)),
+        }
+        if tracer is not None
+        else None,
     }
 
 
@@ -249,35 +308,50 @@ def prometheus_text(registry: MetricsRegistry | NullRegistry) -> str:
 # ---------------------------------------------------------------------------
 
 
+#: The Chrome pid the driver's own spans render under.
+_DRIVER_PID = 1
+
+
 def chrome_trace(spans: Iterable[Span], process_name: str = "repro") -> dict[str, Any]:
     """Render finished spans as a Chrome ``trace_event`` document.
 
-    Each trace gets its own ``tid`` track; spans become ``"X"`` (complete)
-    events with microsecond timestamps and their attributes under
-    ``args``.  The result is ``json.dump``-able as-is.
+    Each trace gets its own ``tid`` track and spans become ``"X"``
+    (complete) events with microsecond timestamps and their attributes
+    under ``args``.  Spans carrying a ``pid`` attribute (worker subtrees
+    merged by :mod:`repro.obs.propagate`) render on that process's own
+    track; ``process_name``/``thread_name`` metadata events label every
+    track, so Perfetto shows "repro driver" and "repro worker pid=N"
+    instead of bare numbers.  The result is ``json.dump``-able as-is.
     """
-    events: list[dict[str, Any]] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "tid": 0,
-            "args": {"name": process_name},
-        }
-    ]
+    span_events: list[dict[str, Any]] = []
     tids: dict[str, int] = {}
+    process_labels: dict[int, str] = {}
+    thread_labels: dict[tuple[int, int], str] = {}
     for span in spans:
         if not span.finished:
             continue
+        attr_pid = span.attributes.get("pid")
+        pid = attr_pid if isinstance(attr_pid, int) and attr_pid > 0 else _DRIVER_PID
         tid = tids.setdefault(span.trace_id, len(tids) + 1)
-        events.append(
+        if pid == _DRIVER_PID:
+            process_labels.setdefault(pid, f"{process_name} driver")
+        else:
+            process_labels.setdefault(pid, f"{process_name} worker pid={pid}")
+        worker = span.attributes.get("worker")
+        key = (pid, tid)
+        existing = thread_labels.get(key)
+        if worker and (existing is None or existing.startswith("trace ")):
+            thread_labels[key] = str(worker)
+        elif existing is None:
+            thread_labels[key] = f"trace {span.trace_id}"
+        span_events.append(
             {
                 "name": span.name,
                 "cat": span.trace_id,
                 "ph": "X",
                 "ts": span.start * 1e6,
                 "dur": span.duration * 1e6,
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "args": {
                     "span_id": span.span_id,
@@ -286,7 +360,17 @@ def chrome_trace(spans: Iterable[Span], process_name: str = "repro") -> dict[str
                 },
             }
         )
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    if not process_labels:
+        process_labels[_DRIVER_PID] = f"{process_name} driver"
+    metadata: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0, "args": {"name": label}}
+        for pid, label in sorted(process_labels.items())
+    ]
+    metadata.extend(
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid, "args": {"name": label}}
+        for (pid, tid), label in sorted(thread_labels.items())
+    )
+    return {"traceEvents": metadata + span_events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(
@@ -297,3 +381,96 @@ def write_chrome_trace(
     path.parent.mkdir(parents=True, exist_ok=True)
     _atomic_write(path, json.dumps(chrome_trace(spans, process_name)) + "\n")
     return path
+
+
+# ---------------------------------------------------------------------------
+# HealthMonitor: the periodic evaluate-and-publish loop
+# ---------------------------------------------------------------------------
+
+
+class HealthMonitor:
+    """Evaluate SLOs on a cadence and atomically republish the dashboard.
+
+    The glue between the interpretation layer and the exporters: every
+    :meth:`tick` runs one :class:`~repro.obs.slo.SloEvaluator` evaluation,
+    rebuilds the v2 dashboard document (alerts, error budgets, recent
+    events, trace drops, plus whatever tiers were attached) and rewrites
+    ``path`` atomically — a poller always reads a complete, current
+    document.  :meth:`run` is the async loop form, paced by the same
+    pluggable clock as everything else, so a ``VirtualClock`` drives the
+    monitor to exact ticks in tests and the demo.
+
+    Parameters
+    ----------
+    path:
+        Dashboard JSON destination (atomic tmp + ``os.replace`` writes).
+    obs:
+        The :class:`~repro.obs.core.Obs` handle supplying the registry,
+        tracer, event log and clock.
+    slo:
+        Optional :class:`~repro.obs.slo.SloEvaluator` to tick; without one
+        the monitor still publishes (metrics/events/trace sections only).
+    campaign / router / ingest:
+        Optional tier sections, as for :func:`build_health_dashboard`.
+    interval_s:
+        Cadence of :meth:`run` (ignored by manual :meth:`tick` calls).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        obs: Any,
+        slo: Any = None,
+        campaign: Any = None,
+        router: Any = None,
+        ingest: Any = None,
+        interval_s: float = 15.0,
+        max_events: int = 50,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.path = Path(path)
+        self.obs = obs
+        self.slo = slo
+        self.campaign = campaign
+        self.router = router
+        self.ingest = ingest
+        self.interval_s = float(interval_s)
+        self.max_events = max_events
+        self.n_ticks = 0
+
+    def tick(self, now: float | None = None) -> dict[str, Any]:
+        """One evaluation + publish; returns the written document."""
+        if self.slo is not None:
+            self.slo.evaluate(now)
+        clock = getattr(self.obs, "clock", None)
+        generated = now if now is not None else (clock.now() if clock is not None else None)
+        doc = build_health_dashboard(
+            campaign=self.campaign,
+            router=self.router,
+            ingest=self.ingest,
+            registry=self.obs.registry,
+            generated_at=generated,
+            slo=self.slo,
+            log=self.obs.log,
+            tracer=self.obs.tracer,
+            max_events=self.max_events,
+        )
+        write_health_dashboard(self.path, doc)
+        self.n_ticks += 1
+        return doc
+
+    async def run(self, n_ticks: int | None = None) -> None:
+        """Tick forever (or ``n_ticks`` times), sleeping on the obs clock."""
+        clock = getattr(self.obs, "clock", None)
+        remaining = n_ticks
+        while remaining is None or remaining > 0:
+            if clock is not None and hasattr(clock, "sleep"):
+                await clock.sleep(self.interval_s)
+            else:  # no async clock attached: fall back to the event loop's
+                import asyncio
+
+                await asyncio.sleep(self.interval_s)
+            self.tick()
+            if remaining is not None:
+                remaining -= 1

@@ -197,6 +197,27 @@ class Histogram:
         """The running mean — the scalar summary exports fall back to."""
         return self._sum / self._count if self._count else 0.0
 
+    def merge_counts(
+        self, counts: Sequence[int], total_sum: float, total_count: int
+    ) -> None:
+        """Fold another histogram's per-bucket counts into this one.
+
+        The driver-side half of worker metric propagation: a pool worker
+        ships its histogram as ``(bucket counts, sum, count)`` and the
+        driver adds them here.  Bucket layouts must match — the worker
+        built its histogram from the same registration site.
+        """
+        incoming = np.asarray(counts, dtype=np.int64)
+        if incoming.shape != self._counts.shape:
+            raise ValueError(
+                f"bucket count mismatch merging {self.name!r}: "
+                f"{incoming.shape} into {self._counts.shape}"
+            )
+        with self._lock:
+            self._counts += incoming
+            self._sum += float(total_sum)
+            self._count += int(total_count)
+
     def bucket_counts(self) -> np.ndarray:
         """Per-bucket (non-cumulative) counts; last entry is the +Inf bucket."""
         with self._lock:
@@ -345,6 +366,11 @@ class NullHistogram:
     sum = 0.0
 
     def observe(self, value: float) -> None:
+        pass
+
+    def merge_counts(
+        self, counts: Sequence[int], total_sum: float, total_count: int
+    ) -> None:
         pass
 
     def bucket_counts(self) -> np.ndarray:

@@ -96,6 +96,11 @@ class Tracer:
         self.buffer_size = buffer_size
         self._spans: deque[Span] = deque(maxlen=buffer_size)
         self.n_dropped = 0
+        #: Optional anything-with-``inc()`` (a registry counter) mirroring
+        #: every ring-buffer drop, so truncated traces are visible in
+        #: exports instead of only on this private attribute.  ``Obs``
+        #: wires ``trace_spans_dropped_total`` here.
+        self.drop_counter: Any = None
         self._lock = threading.Lock()
         self._next_span = 1
         self._next_trace = 1
@@ -122,10 +127,14 @@ class Tracer:
 
     def _finish(self, span: Span, end: float) -> None:
         span.end = end
+        dropped = False
         with self._lock:
             if len(self._spans) == self._spans.maxlen:
                 self.n_dropped += 1
+                dropped = True
             self._spans.append(span)
+        if dropped and self.drop_counter is not None:
+            self.drop_counter.inc()
 
     # -- emission ------------------------------------------------------------
 
@@ -181,6 +190,38 @@ class Tracer:
             attributes=dict(attributes),
         )
         self._finish(span, begin + seconds)
+        return span
+
+    def emit(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Append one externally measured span with explicit lineage.
+
+        The low-level merge primitive behind cross-process propagation
+        (:mod:`repro.obs.propagate`): the driver re-emits every span a pool
+        worker shipped back, with a *fresh local span id* (worker-side ids
+        are meaningless here) but the caller's choice of trace and parent —
+        so a whole worker subtree grafts under the driver's open span while
+        keeping its internal parent/child structure.
+        """
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts")
+        span = Span(
+            name=name,
+            trace_id=trace_id if trace_id is not None else self._trace_id(),
+            span_id=self._span_id(),
+            parent_id=parent_id,
+            start=float(start),
+            attributes=dict(attributes),
+        )
+        self._finish(span, float(end))
         return span
 
     # -- inspection ----------------------------------------------------------
@@ -244,6 +285,7 @@ class NullTracer:
     n_dropped = 0
     buffer_size = 0
     current_span = None
+    drop_counter = None
 
     _CONTEXT = _NullSpanContext()
     _SPAN = NullSpan()
@@ -253,6 +295,18 @@ class NullTracer:
 
     def record(
         self, name: str, seconds: float, start: float | None = None, **attributes: Any
+    ) -> NullSpan:
+        return self._SPAN
+
+    def emit(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+        **attributes: Any,
     ) -> NullSpan:
         return self._SPAN
 

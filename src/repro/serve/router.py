@@ -271,6 +271,7 @@ class RequestRouter:
         shard.engine = self._build_engine(index, shard.catalog)
         shard.errors = 0
         shard.quarantined = False
+        self.obs.log.info("router.shard_rebuilt", shard=index, **self._labels)
         return shard
 
     @property
@@ -374,6 +375,13 @@ class RequestRouter:
         if self._depth >= self.config.max_queue_depth:
             self._c_shed.inc()
             span.set(outcome="shed", depth=self._depth)
+            # Dedup keeps an overload burst to one ring slot per window.
+            self.obs.log.warning(
+                "router.shed",
+                depth=self._depth,
+                max_queue_depth=self.config.max_queue_depth,
+                **self._labels,
+            )
             raise RouterOverloadedError(
                 depth=self._depth,
                 max_queue_depth=self.config.max_queue_depth,
@@ -424,8 +432,15 @@ class RequestRouter:
         self._c_errors.inc()
         if isinstance(exc, Level3ProductError):
             shard.errors += 1
-            if shard.errors >= self.config.quarantine_errors:
+            if shard.errors >= self.config.quarantine_errors and not shard.quarantined:
                 shard.quarantined = True
+                self.obs.log.error(
+                    "router.shard_quarantined",
+                    shard=shard.index,
+                    errors=shard.errors,
+                    cause=type(exc).__name__,
+                    **self._labels,
+                )
 
     def _routed(
         self,

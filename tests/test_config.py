@@ -6,8 +6,11 @@ from repro import config
 from repro.config import (
     ClusterConfig,
     LSTMConfig,
+    LogConfig,
     MLPConfig,
+    ObsConfig,
     SeaSurfaceConfig,
+    SloConfig,
     TrainingConfig,
 )
 
@@ -106,3 +109,103 @@ class TestClusterConfigs:
     def test_sea_surface_min_segments_positive(self):
         with pytest.raises(ValueError):
             SeaSurfaceConfig(min_open_water_segments=0)
+
+
+class TestObsConfig:
+    def test_defaults_are_valid_and_buckets_sorted(self):
+        cfg = ObsConfig()
+        assert cfg.enabled is True
+        assert cfg.trace_buffer_size == 4096
+        assert list(cfg.latency_buckets_s) == sorted(cfg.latency_buckets_s)
+
+    def test_empty_buckets_rejected_with_actionable_message(self):
+        with pytest.raises(ValueError, match="at least one bucket edge"):
+            ObsConfig(latency_buckets_s=())
+
+    @pytest.mark.parametrize(
+        "edges",
+        [(0.1, 0.1, 0.5), (0.5, 0.1), (1.0, 1.0)],
+    )
+    def test_unsorted_or_duplicate_buckets_rejected(self, edges):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ObsConfig(latency_buckets_s=edges)
+
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            (0.1, float("inf")),
+            (float("nan"), 0.1),
+            (0.1, 0.5, float("-inf")),
+        ],
+    )
+    def test_non_finite_buckets_rejected_mentioning_overflow_bucket(self, edges):
+        with pytest.raises(ValueError, match="must be finite.*overflow bucket"):
+            ObsConfig(latency_buckets_s=edges)
+
+    def test_single_finite_edge_is_the_minimum_valid_histogram(self):
+        assert ObsConfig(latency_buckets_s=(0.1,)).latency_buckets_s == (0.1,)
+
+    @pytest.mark.parametrize("size", [0, -1])
+    def test_non_positive_trace_buffer_rejected(self, size):
+        with pytest.raises(ValueError, match="trace_buffer_size must be >= 1"):
+            ObsConfig(trace_buffer_size=size)
+
+    def test_buffer_of_one_is_the_boundary(self):
+        assert ObsConfig(trace_buffer_size=1).trace_buffer_size == 1
+
+    def test_nested_slices_have_defaults(self):
+        cfg = ObsConfig()
+        assert cfg.slo == SloConfig()
+        assert cfg.log == LogConfig()
+
+
+class TestSloConfig:
+    def test_google_sre_defaults(self):
+        cfg = SloConfig()
+        assert (cfg.fast_window_s, cfg.slow_window_s) == (300.0, 3600.0)
+        assert (cfg.fast_burn_threshold, cfg.slow_burn_threshold) == (14.4, 6.0)
+
+    def test_windows_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive seconds"):
+            SloConfig(fast_window_s=0.0)
+
+    def test_fast_window_must_be_shorter_than_slow(self):
+        with pytest.raises(ValueError, match="shorter than slow_window_s"):
+            SloConfig(fast_window_s=600.0, slow_window_s=600.0)
+
+    def test_thresholds_must_be_positive(self):
+        with pytest.raises(ValueError, match="thresholds must be positive"):
+            SloConfig(fast_burn_threshold=-1.0)
+
+    def test_for_s_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="for_s"):
+            SloConfig(for_s=-1.0)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.5])
+    def test_resolve_fraction_bounds(self, fraction):
+        with pytest.raises(ValueError, match="resolve_fraction"):
+            SloConfig(resolve_fraction=fraction)
+
+    def test_max_samples_needs_a_window_delta(self):
+        with pytest.raises(ValueError, match="max_samples"):
+            SloConfig(max_samples=1)
+
+
+class TestLogConfig:
+    def test_defaults(self):
+        cfg = LogConfig()
+        assert cfg.ring_size == 1024
+        assert cfg.dedup_window_s == 5.0
+        assert cfg.min_level == "debug"
+
+    def test_ring_size_must_hold_a_record(self):
+        with pytest.raises(ValueError, match="ring_size"):
+            LogConfig(ring_size=0)
+
+    def test_dedup_window_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="dedup_window_s"):
+            LogConfig(dedup_window_s=-0.1)
+
+    def test_min_level_must_be_known(self):
+        with pytest.raises(ValueError, match="min_level"):
+            LogConfig(min_level="trace")

@@ -223,3 +223,148 @@ class TestHealthDashboard:
         schema = dashboard_schema()
         assert schema["type"] == "object"
         assert "schema_version" in schema["required"]
+
+
+class TestDashboardV2:
+    def make_obs(self):
+        return Obs(clock=VirtualClock())
+
+    def test_slo_section_carries_alerts_and_budgets(self):
+        from repro.obs.slo import SloEvaluator, availability_slo
+
+        obs = self.make_obs()
+        obs.counter("router_requests_total").inc(100)
+        obs.counter("router_shed_total").inc(50)
+        ev = SloEvaluator(obs.registry, clock=obs.clock)
+        ev.add(availability_slo())
+        ev.evaluate()
+        obs.clock.tick(30.0)
+        obs.counter("router_requests_total").inc(100)
+        obs.counter("router_shed_total").inc(50)
+        ev.evaluate()
+        doc = build_health_dashboard(registry=obs.registry, slo=ev, generated_at=0.0)
+        validate_dashboard(doc)
+        states = {a["window"]: a["state"] for a in doc["slo"]["alerts"]}
+        assert states["fast"] == "firing"
+        assert doc["slo"]["error_budgets"][0]["slo"] == "serve_availability"
+
+    def test_events_section_is_the_log_tail_sanitized(self):
+        obs = self.make_obs()
+        obs.log.warning("router.shed", depth=3, extra=object())
+        doc = build_health_dashboard(log=obs.log, generated_at=0.0)
+        validate_dashboard(doc)
+        (event,) = doc["events"]
+        assert event["event"] == "router.shed"
+        assert event["depth"] == 3
+        assert isinstance(event["extra"], str)  # non-scalar clamped to repr
+
+    def test_trace_section_reports_ring_drops(self):
+        from repro.config import ObsConfig
+
+        obs = Obs(ObsConfig(trace_buffer_size=2), clock=VirtualClock())
+        for i in range(5):
+            with obs.span(f"s{i}"):
+                pass
+        doc = build_health_dashboard(tracer=obs.tracer, generated_at=0.0)
+        validate_dashboard(doc)
+        assert doc["trace"] == {"spans_dropped": 3, "buffer_size": 2}
+
+    def test_dropped_spans_feed_the_counter_series(self):
+        from repro.config import ObsConfig
+
+        obs = Obs(ObsConfig(trace_buffer_size=2), clock=VirtualClock())
+        for i in range(5):
+            with obs.span(f"s{i}"):
+                pass
+        assert obs.registry.total("trace_spans_dropped_total") == 3
+
+
+class TestMigration:
+    def v1_doc(self):
+        doc = build_health_dashboard(generated_at=1.0)
+        doc["schema_version"] = 1
+        for key in ("slo", "events", "trace"):
+            del doc[key]
+        return doc
+
+    def test_v1_upgrades_and_validates(self):
+        from repro.obs.export import migrate_dashboard
+
+        migrated = migrate_dashboard(self.v1_doc())
+        validate_dashboard(migrated)
+        assert migrated["schema_version"] == 2
+        assert migrated["slo"] is None
+        assert migrated["events"] == []
+        assert migrated["trace"] is None
+
+    def test_current_document_round_trips_unchanged(self):
+        from repro.obs.export import migrate_dashboard
+
+        doc = build_health_dashboard(generated_at=1.0)
+        assert migrate_dashboard(doc) == doc
+
+    def test_unknown_version_refused(self):
+        from repro.obs.export import migrate_dashboard
+
+        doc = build_health_dashboard(generated_at=1.0)
+        doc["schema_version"] = 3
+        with pytest.raises(ValueError, match="cannot migrate"):
+            migrate_dashboard(doc)
+
+
+class TestHealthMonitor:
+    def make_monitor(self, tmp_path, with_slo=True):
+        from repro.obs.export import HealthMonitor
+        from repro.obs.slo import SloEvaluator, availability_slo
+
+        obs = Obs(clock=VirtualClock())
+        slo = None
+        if with_slo:
+            slo = SloEvaluator(obs.registry, clock=obs.clock)
+            slo.add(availability_slo())
+        monitor = HealthMonitor(tmp_path / "health.json", obs, slo=slo)
+        return obs, slo, monitor
+
+    def test_tick_evaluates_and_publishes_atomically(self, tmp_path):
+        obs, slo, monitor = self.make_monitor(tmp_path)
+        monitor.tick()  # baseline evaluation
+        obs.counter("router_requests_total").inc(10)
+        obs.clock.tick(5.0)
+        doc = monitor.tick()
+        assert monitor.n_ticks == 2
+        on_disk = json.loads(monitor.path.read_text())
+        assert on_disk == json.loads(json.dumps(doc))
+        assert on_disk["generated_at"] == 5.0
+        assert on_disk["slo"]["error_budgets"][0]["total_events"] == 10
+        assert not monitor.path.with_name("health.json.tmp").exists()
+
+    def test_tick_without_slo_still_publishes(self, tmp_path):
+        obs, _, monitor = self.make_monitor(tmp_path, with_slo=False)
+        obs.log.info("hello")
+        doc = monitor.tick()
+        assert doc["slo"] is None
+        assert doc["events"][0]["event"] == "hello"
+
+    def test_run_is_paced_by_the_obs_clock(self, tmp_path):
+        import asyncio
+
+        obs, _, monitor = self.make_monitor(tmp_path, with_slo=False)
+        monitor.interval_s = 10.0
+
+        async def drive():
+            task = asyncio.ensure_future(monitor.run(n_ticks=3))
+            for _ in range(10):
+                if monitor.n_ticks >= 3:
+                    break
+                await obs.clock.advance_to_next()
+            await task
+
+        asyncio.run(drive())
+        assert monitor.n_ticks == 3
+        assert obs.clock.now() == 30.0  # three exact 10 s intervals
+
+    def test_rejects_non_positive_interval(self, tmp_path):
+        from repro.obs.export import HealthMonitor
+
+        with pytest.raises(ValueError, match="interval_s"):
+            HealthMonitor(tmp_path / "h.json", Obs(), interval_s=0.0)

@@ -263,6 +263,172 @@ class TestPipelineAndMapReduceSpans:
         )
 
 
+class TestSloLifecycleAcceptance:
+    """The PR's acceptance scenario: a scripted outage fires the fast-window
+    alert at an exact virtual tick, the v2 dashboard carries the firing
+    alert + remaining budget + correlated shed events (trace ids matching
+    the router spans that shed), and recovery resolves it — no real sleeps.
+    """
+
+    def make_stack(self, tmp_path):
+        import asyncio
+
+        from repro.config import RouterConfig, SloConfig
+        from repro.obs.export import HealthMonitor
+        from repro.obs.slo import SloEvaluator, availability_slo
+        from repro.serve.catalog import CatalogEntry
+        from repro.serve.query import TileResponse
+
+        clock = VirtualClock()
+        obs = Obs(clock=clock)
+        entry = CatalogEntry(
+            base_path="/products/p0",
+            kind="mosaic",
+            fingerprint="fp-0",
+            granule_ids=("g000",),
+            variables=("freeboard_mean",),
+            servable=("freeboard_mean",),
+            x_min_m=0.0,
+            y_min_m=0.0,
+            x_max_m=4800.0,
+            y_max_m=3200.0,
+            cell_size_m=100.0,
+            shape=(32, 48),
+        )
+
+        async def execute(shard, request):
+            await clock.sleep(0.25)
+            return TileResponse(
+                request=request,
+                product="synthetic",
+                zoom=request.zoom,
+                tiles={},
+                n_cached=0,
+                n_computed=1,
+                seconds=0.25,
+            )
+
+        router = RequestRouter(
+            ShardedCatalog(1, [entry]),
+            serve=SERVE,
+            config=RouterConfig(n_shards=1, max_queue_depth=2),
+            clock=clock,
+            execute=execute,
+            obs=obs,
+        )
+        slo = SloEvaluator(
+            obs.registry,
+            clock=clock,
+            config=SloConfig(fast_window_s=60.0, slow_window_s=600.0),
+            log=obs.log,
+        )
+        slo.add(availability_slo(objective=0.999))
+        monitor = HealthMonitor(tmp_path / "health.json", obs, slo=slo, router=router)
+        return asyncio, clock, obs, router, slo, monitor
+
+    def request(self, i):
+        # One whole 800 m tile (tile_size 8 × cell 100 m) per index, so
+        # every request owns a distinct flight key — nothing coalesces.
+        col, row = i % 6, i // 6
+        return TileRequest(
+            bbox=(col * 800.0, row * 800.0, col * 800.0 + 800.0, row * 800.0 + 800.0),
+            variable="freeboard_mean",
+            zoom=0,
+        )
+
+    def test_outage_fires_dashboard_correlates_recovery_resolves(self, tmp_path):
+        import json
+
+        asyncio, clock, obs, router, slo, monitor = self.make_stack(tmp_path)
+        monitor.tick()  # baseline sample at t=0, published
+        fast = slo.alert("serve_availability", "fast")
+        assert fast.state == "ok"
+
+        # -- the outage: 2x-saturation open-loop burst ----------------------
+        # 10 distinct requests hit a single shard with watermark 2: the
+        # admitted flights run, the rest shed immediately.
+        async def flood():
+            tasks = [
+                asyncio.ensure_future(router.query(self.request(i)))
+                for i in range(10)
+            ]
+            while not all(t.done() for t in tasks):
+                # Drain generously so every submission reaches admission
+                # control before any virtual time passes (a true burst).
+                for _ in range(30):
+                    await asyncio.sleep(0)
+                if not all(t.done() for t in tasks):
+                    await clock.advance_to_next()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(flood())
+        n_shed = sum(1 for r in results if isinstance(r, Exception))
+        assert n_shed == 8 and router.stats.shed == 8
+
+        clock.tick(30.0)
+        fired_tick = clock.now()
+        doc = monitor.tick()
+
+        # The fast-window alert fired at this exact virtual tick.
+        assert fast.state == "firing"
+        assert fast.fired_at == fired_tick
+        assert fast.burn_rate == pytest.approx((8 / 10) / 0.001)
+
+        # The published v2 document carries the whole story.
+        on_disk = json.loads((tmp_path / "health.json").read_text())
+        assert on_disk == json.loads(json.dumps(doc))
+        alert_row = next(
+            a
+            for a in doc["slo"]["alerts"]
+            if a["slo"] == "serve_availability" and a["window"] == "fast"
+        )
+        assert alert_row["state"] == "firing"
+        budget_row = doc["slo"]["error_budgets"][0]
+        assert budget_row["remaining_fraction"] < 0  # overspent: 8 bad vs 0.01
+        assert doc["serve"]["health"]["shed"] == 8
+
+        # Correlation: the dashboard's shed event carries the same trace id
+        # as a router.request span that shed.
+        shed_events = [e for e in doc["events"] if e["event"] == "router.shed"]
+        assert shed_events
+        shed_traces = {
+            s.trace_id
+            for s in obs.tracer.spans("router.request")
+            if s.attributes.get("outcome") == "shed"
+        }
+        assert all(e["trace_id"] in shed_traces for e in shed_events)
+        assert any(e["event"] == "slo.alert_firing" for e in doc["events"])
+
+        # -- recovery: healthy sequential traffic after the burst ages out --
+        clock.tick(120.0)
+
+        async def healthy():
+            for round_ in range(5):
+                for i in range(8):
+                    task = asyncio.ensure_future(router.query(self.request(i)))
+                    while not task.done():
+                        for _ in range(10):
+                            await asyncio.sleep(0)
+                        if not task.done():
+                            await clock.advance_to_next()
+                    await task  # sequential: never deeper than the watermark
+
+        asyncio.run(healthy())
+        assert router.stats.shed == 8  # no new sheds during recovery
+        resolved_tick = clock.now()
+        doc = monitor.tick(now=resolved_tick)
+
+        assert fast.state == "resolved"
+        assert fast.resolved_at == resolved_tick
+        alert_row = next(
+            a
+            for a in doc["slo"]["alerts"]
+            if a["slo"] == "serve_availability" and a["window"] == "fast"
+        )
+        assert alert_row["state"] == "resolved"
+        assert any(e["event"] == "slo.alert_resolved" for e in doc["events"])
+
+
 class TestTimingShim:
     def test_timing_record_rides_the_registry(self):
         record = TimingRecord()
